@@ -1,0 +1,81 @@
+// Command transit-bench regenerates the tables and figures of the paper's
+// evaluation section:
+//
+//	transit-bench -table2          CEGIS trace for max(a, b)
+//	transit-bench -table3 [-long]  expression-inference benchmarks
+//	transit-bench -fig5            pruned vs. exhaustive enumeration
+//	transit-bench -table4 [-n N]   VI and MSI synthesis + model checking
+//	transit-bench -table5 [-n N]   case-study workflow metrics
+//	transit-bench -all             everything (short variants)
+//
+// Absolute numbers depend on the machine; the shapes to compare against
+// the paper are described in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"transit/internal/bench"
+)
+
+func main() {
+	var (
+		table2 = flag.Bool("table2", false, "regenerate Table 2")
+		table3 = flag.Bool("table3", false, "regenerate Table 3")
+		fig5   = flag.Bool("fig5", false, "regenerate Figure 5")
+		table4 = flag.Bool("table4", false, "regenerate Table 4")
+		table5 = flag.Bool("table5", false, "regenerate Table 5")
+		all    = flag.Bool("all", false, "regenerate everything (short variants)")
+		long   = flag.Bool("long", false, "include long-running rows (Table 3 max-of-three; larger Figure 5 trials)")
+		n      = flag.Int("n", 3, "cache count for Tables 4 and 5")
+	)
+	flag.Parse()
+	if !*table2 && !*table3 && !*fig5 && !*table4 && !*table5 && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *all {
+		*table2, *table3, *fig5, *table4, *table5 = true, true, true, true, true
+	}
+	if *table2 {
+		rows, final, stats, err := bench.Table2()
+		check(err)
+		fmt.Println(bench.FormatTable2(rows, final))
+		fmt.Printf("(%d iterations, %d SMT queries, %s)\n\n", stats.Iterations, stats.SMTQueries,
+			stats.Elapsed.Round(1000*1000))
+	}
+	if *table3 {
+		rows, err := bench.Table3(bench.Table3Options{IncludeLong: *long})
+		check(err)
+		fmt.Println(bench.FormatTable3(rows))
+	}
+	if *fig5 {
+		opts := bench.DefaultFig5Options()
+		if *long {
+			opts.Trials = 5
+			opts.ExhaustiveCap = 30_000_000
+		}
+		pts, err := bench.Fig5(opts)
+		check(err)
+		fmt.Println(bench.FormatFig5(pts))
+	}
+	if *table4 {
+		rows, err := bench.Table4(*n)
+		check(err)
+		fmt.Println(bench.FormatTable4(rows))
+	}
+	if *table5 {
+		rows, err := bench.Table5(*n)
+		check(err)
+		fmt.Println(bench.FormatTable5(rows))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "transit-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import "testing"
+
+func TestParseSpec(t *testing.T) {
+	sp, err := parseSpec(`
+universe 4;
+enum E { c1, c2 };
+var a: Int;       // a comment
+var s: Set;
+output o: Int;
+example true ==> o >= a;
+example a > 0 ==> o = a;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.numCaches != 4 {
+		t.Errorf("numCaches = %d", sp.numCaches)
+	}
+	if len(sp.enums) != 1 || sp.enums[0].name != "E" || len(sp.enums[0].values) != 2 {
+		t.Errorf("enums = %+v", sp.enums)
+	}
+	if len(sp.vars) != 2 || sp.vars[1].typ != "Set" {
+		t.Errorf("vars = %+v", sp.vars)
+	}
+	if sp.output == nil || sp.output.name != "o" {
+		t.Errorf("output = %+v", sp.output)
+	}
+	if len(sp.examples) != 2 || sp.examples[1].pre != "a > 0" {
+		t.Errorf("examples = %+v", sp.examples)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []string{
+		"var a: Int;",                   // no output, no examples
+		"output o: Int;",                // no examples
+		"output o: Int; example o = 1;", // missing ==>
+		"output o: Int; output p: Int; example true ==> o = 0;", // duplicate output
+		"universe x; output o: Int; example true ==> o = 0;",    // bad universe
+		"wibble; output o: Int; example true ==> o = 0;",        // unknown stmt
+	}
+	for _, src := range cases {
+		if _, err := parseSpec(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	err := run(`
+var a: Int;
+var b: Int;
+output o: Int;
+example true ==> (o >= a) & (o >= b) & ((o = a) | (o = b));
+`, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithEnumAndSets(t *testing.T) {
+	err := run(`
+enum K { Red, Blue };
+var k: K;
+var s: Set;
+var p: PID;
+output o: Set;
+example k = Red ==> o = setadd(s, p);
+example k != Red ==> o = setminus(s, setof(p));
+`, 12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+// Command transit runs the full TRANSIT pipeline on a protocol written in
+// the TRANSIT surface language: parse, synthesize guards and updates from
+// the concolic snippets, print the completed transitions, and model check
+// against the declared invariants.
+//
+// Usage:
+//
+//	transit [flags] protocol.tr
+//	transit [flags] -builtin vi|msi|mesi|origin|origin-buggy
+//
+// Flags:
+//
+//	-n N          number of caches (default 3)
+//	-max-size K   expression-size bound for inference (default 12)
+//	-states N     model-checking state budget (default 2,000,000)
+//	-deadlock     also report deadlocks (default true)
+//	-dump         print every completed transition
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"transit"
+	"transit/internal/export"
+	"transit/internal/expr"
+)
+
+func main() {
+	var (
+		numCaches = flag.Int("n", 3, "number of caches")
+		maxSize   = flag.Int("max-size", 12, "expression-size bound for inference")
+		maxStates = flag.Int("states", 2_000_000, "model-checking state budget")
+		deadlock  = flag.Bool("deadlock", true, "check for deadlocks")
+		dump      = flag.Bool("dump", false, "print the completed transitions")
+		msc       = flag.Bool("msc", false, "render violations as a message-sequence chart")
+		murphi    = flag.String("murphi", "", "write the completed protocol as a Murphi model to this file")
+		builtin   = flag.String("builtin", "", "run a built-in protocol: vi, msi, mesi, origin, origin-buggy")
+	)
+	flag.Parse()
+	if err := run(*numCaches, *maxSize, *maxStates, *deadlock, *dump, *msc, *builtin, *murphi, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "transit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(numCaches, maxSize, maxStates int, deadlock, dump, msc bool, builtin, murphiOut string, args []string) error {
+	var proto *transit.Protocol
+	switch {
+	case builtin != "":
+		switch builtin {
+		case "vi":
+			proto = transit.VI(numCaches)
+		case "msi":
+			proto = transit.MSI(numCaches)
+		case "mesi":
+			proto = transit.MESI(numCaches)
+		case "origin":
+			proto = transit.Origin(numCaches, true)
+		case "origin-buggy":
+			proto = transit.Origin(numCaches, false)
+		default:
+			return fmt.Errorf("unknown builtin %q", builtin)
+		}
+	case len(args) == 1:
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		proto, err = transit.LoadProtocol(string(src), numCaches)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("expected one .tr file or -builtin (see -h)")
+	}
+
+	fmt.Printf("protocol %s with %d caches: %d snippets\n", proto.Name, numCaches, len(proto.Snippets))
+	rep, err := transit.Synthesize(proto, transit.SynthesisOptions{
+		Limits: transit.Limits{MaxSize: maxSize},
+	})
+	if err != nil {
+		return fmt.Errorf("synthesis: %w", err)
+	}
+	fmt.Printf("synthesized %d transitions in %s: %d updates (%d exprs tried), %d guards (%d exprs tried), %d SMT queries\n",
+		rep.Transitions, rep.Elapsed.Round(1000*1000),
+		rep.UpdatesSynthesized, rep.UpdateExprsTried,
+		rep.GuardsSynthesized, rep.GuardExprsTried, rep.SMTQueries)
+
+	if dump {
+		for _, d := range proto.Sys.Defs {
+			fmt.Printf("\nprocess %s:\n", d.Name)
+			for _, t := range d.Transitions {
+				if t.Defer {
+					fmt.Printf("  (%s, %s) [%s] stall\n", t.From, t.Event, t.GuardString())
+					continue
+				}
+				fmt.Printf("  (%s, %s) [%s] -> %s\n", t.From, t.Event, t.GuardString(), t.To)
+				for _, u := range t.Updates {
+					fmt.Printf("      %s := %s\n", u.Var, expr.Pretty(u.Rhs))
+				}
+				for _, s := range t.Sends {
+					if s.TargetSet != nil {
+						fmt.Printf("      send %s to each of %s:\n", s.Net.Name, expr.Pretty(s.TargetSet))
+					} else {
+						fmt.Printf("      send %s:\n", s.Net.Name)
+					}
+					for _, f := range s.Fields {
+						fmt.Printf("        %s = %s\n", f.Field, expr.Pretty(f.Rhs))
+					}
+				}
+			}
+		}
+	}
+
+	if murphiOut != "" {
+		src, err := export.Murphi(proto.Sys)
+		if err != nil {
+			return fmt.Errorf("murphi export: %w", err)
+		}
+		if err := os.WriteFile(murphiOut, []byte(src), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Murphi model to %s (%d bytes)\n", murphiOut, len(src))
+	}
+
+	res, chart, err := transit.VerifyWithChart(proto, transit.VerifyOptions{
+		MaxStates:     maxStates,
+		CheckDeadlock: deadlock,
+	})
+	if err != nil {
+		return fmt.Errorf("model checking: %w", err)
+	}
+	if res.OK {
+		fmt.Printf("model check PASSED: %d states, %d transitions explored, depth %d\n",
+			res.States, res.Transitions, res.Depth)
+		return nil
+	}
+	fmt.Printf("model check FAILED after %d states:\n%v\n", res.States, res.Violation)
+	if msc {
+		fmt.Printf("\nmessage-sequence chart:\n%s", chart)
+	}
+	os.Exit(2)
+	return nil
+}

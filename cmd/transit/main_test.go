@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBuiltinVI(t *testing.T) {
+	if err := run(2, 10, 100_000, true, true, false, "vi", "", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTRFile(t *testing.T) {
+	src := `
+protocol Mini;
+enum K { Ping }
+message M { Kind: K; From: PID }
+message R { Kind: K; Dest: PID }
+network Up ordered M to Server;
+network Down ordered R to Client by Dest;
+process Server {
+    states { S } init S;
+    transition (S, Up Msg) => (S, Down Out) {
+        [] ==> { Out.Kind' = Ping; Out.Dest' = Msg.From; }
+    }
+}
+process Client replicated {
+    states { Idle, Wait } init Idle;
+    triggers { Go }
+    transition (Idle, Go) => (Wait, Up Out) {
+        [] ==> { Out.Kind' = Ping; Out.From' = Self; }
+    }
+    transition (Wait, Down Msg) => (Idle);
+}
+`
+	dir := t.TempDir()
+	file := filepath.Join(dir, "mini.tr")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	murphiOut := filepath.Join(dir, "mini.m")
+	if err := run(2, 8, 100_000, true, false, false, "", murphiOut, []string{file}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(murphiOut); err != nil || fi.Size() == 0 {
+		t.Fatalf("murphi output missing: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(2, 8, 1000, false, false, false, "nope", "", nil); err == nil {
+		t.Error("unknown builtin should error")
+	}
+	if err := run(2, 8, 1000, false, false, false, "", "", nil); err == nil {
+		t.Error("no input should error")
+	}
+	if err := run(2, 8, 1000, false, false, false, "", "", []string{"/does/not/exist.tr"}); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -1,0 +1,463 @@
+// Package core is the TRANSIT synthesis tool (§5 of the paper): it
+// completes an EFSM protocol skeleton from concolic snippets. Update
+// expressions for each primed variable are inferred directly with
+// SolveConcolic (§5.1); guards for each (control state, input event) group
+// are inferred sequentially under mutual-exclusion side conditions (§5.2);
+// the completed transitions are installed into the efsm.System, ready for
+// the model checker. The iterative specify → synthesize → model-check →
+// fix-with-snippets workflow of the case studies is driven by RunCaseStudy.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"transit/internal/efsm"
+	"transit/internal/expr"
+	"transit/internal/smt"
+	"transit/internal/synth"
+)
+
+// Options configures protocol completion.
+type Options struct {
+	// Limits bounds each expression-inference call.
+	Limits synth.Limits
+	// SkipGuardCheck disables the static pairwise mutual-exclusion
+	// verification of each group's guards.
+	SkipGuardCheck bool
+}
+
+// Report summarizes one completion run; its counters feed Table 4.
+type Report struct {
+	// Snippets is the number of snippets consumed (the paper's
+	// "scenarios").
+	Snippets int
+	// UpdatesSynthesized counts inferred update and message-field
+	// expressions; GuardsSynthesized counts inferred guards.
+	UpdatesSynthesized int
+	GuardsSynthesized  int
+	// UpdateExprsTried / GuardExprsTried are the enumeration workloads.
+	UpdateExprsTried int64
+	GuardExprsTried  int64
+	// SMTQueries counts consistency and concretization queries.
+	SMTQueries int
+	UpdateTime time.Duration
+	GuardTime  time.Duration
+	Elapsed    time.Duration
+	// Transitions is the number of completed transitions installed.
+	Transitions int
+}
+
+// guardVar is the fresh output variable name used for guard inference; the
+// '$' keeps it out of any user scope.
+const guardVar = "guard$"
+
+// Complete synthesizes full transitions for every process of the system
+// from the given snippets and installs them. Existing transitions on the
+// definitions are replaced. The vocabulary is the search space for inferred
+// guards and updates (snippet expressions themselves may use constants
+// outside it).
+func Complete(sys *efsm.System, vocab *expr.Vocabulary, snippets []*efsm.Snippet, opts Options) (*Report, error) {
+	start := time.Now()
+	rep := &Report{Snippets: len(snippets)}
+	defByName := map[string]*efsm.ProcDef{}
+	for _, d := range sys.Defs {
+		defByName[d.Name] = d
+		d.Transitions = nil
+	}
+	perDef := map[string][]*efsm.Snippet{}
+	var defOrder []string
+	for _, sn := range snippets {
+		d, ok := defByName[sn.Process]
+		if !ok {
+			return rep, fmt.Errorf("core: snippet %q names unknown process %s", sn.Label, sn.Process)
+		}
+		if err := sn.Validate(sys, d); err != nil {
+			return rep, err
+		}
+		if _, seen := perDef[sn.Process]; !seen {
+			defOrder = append(defOrder, sn.Process)
+		}
+		perDef[sn.Process] = append(perDef[sn.Process], sn)
+	}
+	for _, name := range defOrder {
+		if err := completeDef(sys, defByName[name], vocab, perDef[name], opts, rep); err != nil {
+			return rep, err
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	if err := sys.Validate(); err != nil {
+		return rep, fmt.Errorf("core: completed system is malformed: %w", err)
+	}
+	return rep, nil
+}
+
+// block is one guard-action block: the snippets sharing (from, event, to).
+type block struct {
+	key      string
+	snips    []*efsm.Snippet
+	guard    expr.Expr // symbolic or synthesized
+	symbolic bool
+	defer_   bool
+}
+
+// group is one (state, event) family whose guards must be mutually
+// exclusive.
+type group struct {
+	key    string
+	event  efsm.Event
+	from   string
+	blocks []*block
+}
+
+func completeDef(sys *efsm.System, d *efsm.ProcDef, vocab *expr.Vocabulary,
+	snips []*efsm.Snippet, opts Options, rep *Report) error {
+
+	groups := map[string]*group{}
+	var order []string
+	for _, sn := range snips {
+		gk := sn.GroupKey()
+		g, ok := groups[gk]
+		if !ok {
+			g = &group{key: gk, event: sn.Event, from: sn.From}
+			groups[gk] = g
+			order = append(order, gk)
+		}
+		bk := sn.BlockKey()
+		var b *block
+		for _, cand := range g.blocks {
+			if cand.key == bk {
+				b = cand
+				break
+			}
+		}
+		if b == nil {
+			b = &block{key: bk, defer_: sn.Defer}
+			g.blocks = append(g.blocks, b)
+		}
+		b.snips = append(b.snips, sn)
+		if sn.Guard != nil {
+			// A non-empty guard is symbolic (§3.2); multiple guarded
+			// snippets in one block disjoin.
+			if b.guard == nil {
+				b.guard = sn.Guard
+			} else if !expr.Equal(b.guard, sn.Guard) {
+				b.guard = expr.Or(b.guard, sn.Guard)
+			}
+			b.symbolic = true
+		}
+	}
+
+	for _, gk := range order {
+		if err := completeGroup(sys, d, vocab, groups[gk], opts, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func completeGroup(sys *efsm.System, d *efsm.ProcDef, vocab *expr.Vocabulary,
+	g *group, opts Options, rep *Report) error {
+
+	ctx := fmt.Sprintf("core: %s (%s, %s)", d.Name, g.from, g.event)
+	scopeVars := sys.ScopeVars(d, g.event)
+
+	// Guard inference needs symbolic blocks first (§5.2 processes blocks
+	// sequentially; known guards constrain later ones).
+	ordered := make([]*block, 0, len(g.blocks))
+	for _, b := range g.blocks {
+		if b.symbolic {
+			ordered = append(ordered, b)
+		}
+	}
+	for _, b := range g.blocks {
+		if !b.symbolic {
+			ordered = append(ordered, b)
+		}
+	}
+
+	// Catch-all defers (no guard) are legal only as runtime fallbacks;
+	// exclude them from guard inference entirely.
+	inferable := ordered[:0:0]
+	for _, b := range ordered {
+		if b.defer_ && !b.symbolic {
+			if len(g.blocks) == 1 {
+				// Sole unconditional stall: emit directly.
+				continue
+			}
+		}
+		inferable = append(inferable, b)
+	}
+
+	// Sequentially infer missing guards.
+	guardStart := time.Now()
+	for j, b := range inferable {
+		if b.symbolic {
+			continue
+		}
+		if b.defer_ {
+			continue // catch-all defer among other blocks: runtime fallback
+		}
+		guard, err := inferGuard(sys, d, vocab, g, inferable, j, scopeVars, opts, rep)
+		if err != nil {
+			return fmt.Errorf("%s: block %s: %w", ctx, b.key, err)
+		}
+		b.guard = guard
+		rep.GuardsSynthesized++
+	}
+	rep.GuardTime += time.Since(guardStart)
+
+	if !opts.SkipGuardCheck {
+		if err := checkMutualExclusion(sys, g, inferable, scopeVars); err != nil {
+			return fmt.Errorf("%s: %w", ctx, err)
+		}
+	}
+
+	// Build transitions: updates and send fields per block.
+	for _, b := range g.blocks {
+		t, err := buildTransition(sys, d, vocab, g, b, scopeVars, opts, rep)
+		if err != nil {
+			return fmt.Errorf("%s: block %s: %w", ctx, b.key, err)
+		}
+		d.Transitions = append(d.Transitions, t)
+		rep.Transitions++
+	}
+	return nil
+}
+
+// inferGuard implements §5.2: the guard ϕj must be false whenever an
+// earlier guard holds (ConcolicExs1), true whenever one of its own
+// preconditions holds (ConcolicExs2), and false whenever a later block's
+// precondition holds (ConcolicExs3).
+func inferGuard(sys *efsm.System, d *efsm.ProcDef, vocab *expr.Vocabulary,
+	g *group, blocks []*block, j int, scopeVars []*expr.Var, opts Options, rep *Report) (expr.Expr, error) {
+
+	o := expr.V(guardVar, expr.BoolType)
+	var exs []synth.ConcolicExample
+	for i := 0; i < j; i++ {
+		if blocks[i].guard == nil {
+			continue
+		}
+		exs = append(exs, synth.ConcolicExample{
+			Pre:  expr.True(),
+			Post: expr.Implies(blocks[i].guard, expr.Not(o)),
+		})
+	}
+	if pre := blockPre(blocks[j]); pre != nil {
+		exs = append(exs, synth.ConcolicExample{Pre: expr.True(), Post: expr.Implies(pre, o)})
+	}
+	for i := j + 1; i < len(blocks); i++ {
+		if blocks[i].symbolic {
+			exs = append(exs, synth.ConcolicExample{
+				Pre:  expr.True(),
+				Post: expr.Implies(blocks[i].guard, expr.Not(o)),
+			})
+			continue
+		}
+		if pre := blockPre(blocks[i]); pre != nil {
+			exs = append(exs, synth.ConcolicExample{Pre: expr.True(), Post: expr.Implies(pre, expr.Not(o))})
+		}
+	}
+	prob := synth.Problem{U: sys.U, Vocab: vocab, Vars: scopeVars, Output: o}
+	guard, stats, err := synth.SolveConcolic(prob, exs, opts.Limits)
+	rep.GuardExprsTried += stats.Concrete.Enumerated
+	rep.SMTQueries += stats.SMTQueries
+	if err != nil {
+		return nil, fmt.Errorf("guard inference: %w", err)
+	}
+	return guard, nil
+}
+
+// blockPre is the disjunction of a block's case preconditions (nil Pre
+// means true, making the whole disjunction true).
+func blockPre(b *block) expr.Expr {
+	var pres []expr.Expr
+	for _, sn := range b.snips {
+		for _, c := range sn.Cases {
+			if c.Pre == nil {
+				return expr.True()
+			}
+			pres = append(pres, c.Pre)
+		}
+	}
+	if len(pres) == 0 {
+		return nil
+	}
+	return expr.Or(pres...)
+}
+
+// checkMutualExclusion statically verifies pairwise guard disjointness
+// within a group via SMT validity.
+func checkMutualExclusion(sys *efsm.System, g *group, blocks []*block, scopeVars []*expr.Var) error {
+	for i := 0; i < len(blocks); i++ {
+		for j := i + 1; j < len(blocks); j++ {
+			gi, gj := blocks[i].guard, blocks[j].guard
+			if gi == nil || gj == nil {
+				continue
+			}
+			ok, cex, err := smt.Valid(sys.U, scopeVars, expr.Not(expr.And(gi, gj)))
+			if err != nil {
+				return fmt.Errorf("guard exclusivity check: %w", err)
+			}
+			if !ok {
+				return fmt.Errorf("guards %s and %s overlap (e.g. %v)",
+					expr.Pretty(gi), expr.Pretty(gj), cex)
+			}
+		}
+	}
+	return nil
+}
+
+// buildTransition synthesizes the block's updates and outbound message
+// fields (§5.1) and assembles the completed transition.
+func buildTransition(sys *efsm.System, d *efsm.ProcDef, vocab *expr.Vocabulary,
+	g *group, b *block, scopeVars []*expr.Var, opts Options, rep *Report) (*efsm.Transition, error) {
+
+	first := b.snips[0]
+	t := &efsm.Transition{
+		From:  g.from,
+		Event: g.event,
+		Guard: b.guard,
+		To:    first.To,
+		Defer: b.defer_,
+	}
+	if b.defer_ {
+		return t, nil
+	}
+
+	// All snippets of a block must declare the same outbound messages.
+	sends := first.Sends
+	for _, sn := range b.snips[1:] {
+		if !sameSends(sends, sn.Sends) {
+			return nil, fmt.Errorf("snippets %q and %q disagree on outbound messages",
+				first.Label, sn.Label)
+		}
+	}
+
+	// Collect posts per target across the block's cases.
+	type obligations struct {
+		target string
+		vt     expr.Type
+		exs    []synth.ConcolicExample
+	}
+	var targets []string
+	byTarget := map[string]*obligations{}
+	addPost := func(target string, vt expr.Type, pre expr.Expr, constraint expr.Expr) {
+		ob, ok := byTarget[target]
+		if !ok {
+			ob = &obligations{target: target, vt: vt}
+			byTarget[target] = ob
+			targets = append(targets, target)
+		}
+		if pre == nil {
+			pre = expr.True()
+		}
+		ob.exs = append(ob.exs, synth.ConcolicExample{Pre: pre, Post: constraint})
+	}
+	scope := sys.ScopeOf(d, g.event)
+	outType := func(target string) (expr.Type, bool) {
+		if ty, ok := scope[target]; ok {
+			return ty, true
+		}
+		for _, snd := range sends {
+			for _, f := range snd.Net.Msg.Fields {
+				if snd.MsgVar+"."+f.Name == target {
+					return f.T, true
+				}
+			}
+		}
+		return expr.Type{}, false
+	}
+	for _, sn := range b.snips {
+		for _, c := range sn.Cases {
+			for _, p := range c.Posts {
+				vt, ok := outType(p.Target)
+				if !ok {
+					return nil, fmt.Errorf("post targets %s, which is neither a process variable nor a declared outbound field", p.Target)
+				}
+				addPost(p.Target, vt, c.Pre, p.Constraint)
+			}
+		}
+	}
+
+	// Every declared outbound field must be produced, constrained or not;
+	// unconstrained fields are synthesized from an empty example set (the
+	// first enumerated expression — deliberately arbitrary, per the
+	// paper's underspecification-then-model-check dynamic). Multicast
+	// routing fields are filled per copy by the runtime instead.
+	for _, snd := range sends {
+		for _, f := range snd.Net.Msg.Fields {
+			if snd.TargetSet != nil && f.Name == snd.Net.DestField {
+				continue
+			}
+			target := snd.MsgVar + "." + f.Name
+			if _, ok := byTarget[target]; !ok {
+				byTarget[target] = &obligations{target: target, vt: f.T}
+				targets = append(targets, target)
+			}
+		}
+	}
+
+	updateStart := time.Now()
+	rhsByTarget := map[string]expr.Expr{}
+	for _, target := range targets {
+		ob := byTarget[target]
+		o := expr.V(efsm.Prime(target), ob.vt)
+		prob := synth.Problem{U: sys.U, Vocab: vocab, Vars: scopeVars, Output: o}
+		rhs, stats, err := synth.SolveConcolic(prob, ob.exs, opts.Limits)
+		rep.UpdateExprsTried += stats.Concrete.Enumerated
+		rep.SMTQueries += stats.SMTQueries
+		if err != nil {
+			return nil, fmt.Errorf("update inference for %s: %w", target, err)
+		}
+		rep.UpdatesSynthesized++
+		rhsByTarget[target] = rhs
+	}
+	rep.UpdateTime += time.Since(updateStart)
+
+	// Assemble: process-variable updates (dropping identities) ...
+	for _, target := range targets {
+		if _, isVar := scope[target]; !isVar || d.VarIndex(target) < 0 {
+			continue
+		}
+		rhs := rhsByTarget[target]
+		if v, ok := rhs.(*expr.Var); ok && v.Name == target {
+			continue // identity update: the variable is held anyway
+		}
+		t.Updates = append(t.Updates, efsm.Update{Var: target, Rhs: rhs})
+	}
+	// ... and outbound messages.
+	for _, snd := range sends {
+		out := efsm.Send{Net: snd.Net, MsgVar: snd.MsgVar, TargetSet: snd.TargetSet}
+		for _, f := range snd.Net.Msg.Fields {
+			if snd.TargetSet != nil && f.Name == snd.Net.DestField {
+				continue
+			}
+			out.Fields = append(out.Fields, efsm.SendField{
+				Field: f.Name,
+				Rhs:   rhsByTarget[snd.MsgVar+"."+f.Name],
+			})
+		}
+		t.Sends = append(t.Sends, out)
+	}
+	return t, nil
+}
+
+func sameSends(a, b []efsm.SendSpec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Net != b[i].Net || a[i].MsgVar != b[i].MsgVar {
+			return false
+		}
+		switch {
+		case a[i].TargetSet == nil && b[i].TargetSet == nil:
+		case a[i].TargetSet == nil || b[i].TargetSet == nil:
+			return false
+		case !expr.Equal(a[i].TargetSet, b[i].TargetSet):
+			return false
+		}
+	}
+	return true
+}

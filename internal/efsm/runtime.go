@@ -1,0 +1,500 @@
+package efsm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"transit/internal/expr"
+)
+
+// Instance is one running process: a definition plus, for replicated
+// definitions, its PID.
+type Instance struct {
+	Def *ProcDef
+	// Idx is the instance's global index in the runtime.
+	Idx int
+	// PID is the cache identity for replicated instances, 0 for
+	// singletons (whose Self variable is never meaningful).
+	PID int
+}
+
+// Name renders "Dir" or "Cache1".
+func (in *Instance) Name() string {
+	if in.Def.Replicated {
+		return fmt.Sprintf("%s%d", in.Def.Name, in.PID)
+	}
+	return in.Def.Name
+}
+
+// Msg is a message value: field values in MessageType order.
+type Msg []expr.Value
+
+// ProcState is one instance's local state.
+type ProcState struct {
+	Ctl  int // ordinal in Def.States
+	Vars []expr.Value
+}
+
+// State is a global protocol state: per-instance local states and
+// per-network, per-receiver-slot pending messages.
+type State struct {
+	Procs []ProcState
+	// Nets is indexed [network][receiver slot][message]. Static routes
+	// have one slot; by-field routes have one slot per PID.
+	Nets [][][]Msg
+}
+
+// Runtime instantiates a System and implements its execution semantics.
+type Runtime struct {
+	Sys    *System
+	Insts  []*Instance
+	byDef  map[*ProcDef][]int
+	netIdx map[*Network]int
+	// transIdx groups each definition's transitions by (state ordinal,
+	// event key).
+	transIdx map[*ProcDef]map[string][]*Transition
+}
+
+// NewRuntime validates the system and builds its instances: one per PID
+// for each replicated definition, one for each singleton.
+func NewRuntime(sys *System) (*Runtime, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Runtime{
+		Sys:      sys,
+		byDef:    make(map[*ProcDef][]int),
+		netIdx:   make(map[*Network]int),
+		transIdx: make(map[*ProcDef]map[string][]*Transition),
+	}
+	for _, d := range sys.Defs {
+		n := 1
+		if d.Replicated {
+			n = sys.U.NumCaches()
+		}
+		for pid := 0; pid < n; pid++ {
+			inst := &Instance{Def: d, Idx: len(r.Insts), PID: pid}
+			r.Insts = append(r.Insts, inst)
+			r.byDef[d] = append(r.byDef[d], inst.Idx)
+		}
+		idx := make(map[string][]*Transition)
+		for _, t := range d.Transitions {
+			key := transKey(d.States.Ord(t.From), t.Event)
+			idx[key] = append(idx[key], t)
+		}
+		r.transIdx[d] = idx
+	}
+	for i, n := range sys.Networks {
+		r.netIdx[n] = i
+		if len(r.byDef[n.Receiver]) == 0 {
+			return nil, fmt.Errorf("efsm: network %s receiver %s has no instances", n.Name, n.Receiver.Name)
+		}
+	}
+	return r, nil
+}
+
+func transKey(stateOrd int, ev Event) string {
+	return fmt.Sprintf("%d|%s", stateOrd, ev.Key())
+}
+
+// Initial builds the initial global state.
+func (r *Runtime) Initial() *State {
+	st := &State{
+		Procs: make([]ProcState, len(r.Insts)),
+		Nets:  make([][][]Msg, len(r.Sys.Networks)),
+	}
+	for i, inst := range r.Insts {
+		d := inst.Def
+		vars := make([]expr.Value, len(d.Vars))
+		for j, v := range d.Vars {
+			if init, ok := d.InitVals[v.Name]; ok {
+				vars[j] = init
+			} else {
+				vars[j] = expr.ZeroOf(v.VT)
+			}
+		}
+		st.Procs[i] = ProcState{Ctl: d.States.Ord(d.Init), Vars: vars}
+	}
+	for n, net := range r.Sys.Networks {
+		slots := 1
+		if net.Route == RouteByField {
+			slots = r.Sys.U.NumCaches()
+		}
+		st.Nets[n] = make([][]Msg, slots)
+	}
+	return st
+}
+
+// Clone deep-copies a state.
+func (st *State) Clone() *State {
+	out := &State{
+		Procs: make([]ProcState, len(st.Procs)),
+		Nets:  make([][][]Msg, len(st.Nets)),
+	}
+	for i, p := range st.Procs {
+		out.Procs[i] = ProcState{Ctl: p.Ctl, Vars: append([]expr.Value(nil), p.Vars...)}
+	}
+	for n, slots := range st.Nets {
+		out.Nets[n] = make([][]Msg, len(slots))
+		for s, msgs := range slots {
+			out.Nets[n][s] = make([]Msg, len(msgs))
+			for m, msg := range msgs {
+				out.Nets[n][s][m] = append(Msg(nil), msg...)
+			}
+		}
+	}
+	return out
+}
+
+// Action is one enabled step: an instance handling a trigger or consuming
+// a specific pending message via a specific transition.
+type Action struct {
+	Inst  int
+	Trans *Transition
+	// Net/Slot/Pos locate the consumed message; Net < 0 for triggers.
+	Net, Slot, Pos int
+	Msg            Msg
+}
+
+// ProblemKind classifies execution-semantics violations detected while
+// enumerating actions.
+type ProblemKind int
+
+const (
+	// UnexpectedMessage: a deliverable message has no matching transition
+	// (and no stall rule) in the receiver's current state — the error the
+	// paper's case studies repeatedly hit for underspecified protocols.
+	UnexpectedMessage ProblemKind = iota
+	// NonDeterministic: more than one guard of a (state, event) group is
+	// simultaneously true, violating the §5.2 determinism requirement.
+	NonDeterministic
+)
+
+func (k ProblemKind) String() string {
+	if k == UnexpectedMessage {
+		return "unexpected message"
+	}
+	return "nondeterministic guards"
+}
+
+// Problem is a semantics violation at a state.
+type Problem struct {
+	Kind   ProblemKind
+	Inst   int
+	Event  Event
+	Msg    Msg
+	Detail string
+}
+
+// Actions enumerates the enabled actions of a state and any semantics
+// problems. For ordered networks only the head of each slot is
+// deliverable; for unordered networks every distinct pending message is.
+func (r *Runtime) Actions(st *State) ([]Action, []Problem) {
+	var acts []Action
+	var probs []Problem
+
+	// External triggers.
+	for _, inst := range r.Insts {
+		for _, trig := range inst.Def.Triggers {
+			ev := Event{Trigger: trig}
+			t, prob := r.match(st, inst, ev, nil)
+			if prob != nil {
+				// Triggers with ambiguous guards are still an error;
+				// absent transitions are not (the environment simply
+				// cannot fire the trigger here).
+				if prob.Kind == NonDeterministic {
+					probs = append(probs, *prob)
+				}
+				continue
+			}
+			if t == nil || t.Defer {
+				continue
+			}
+			acts = append(acts, Action{Inst: inst.Idx, Trans: t, Net: -1})
+		}
+	}
+
+	// Message deliveries.
+	for n, net := range r.Sys.Networks {
+		for slot, msgs := range st.Nets[n] {
+			if len(msgs) == 0 {
+				continue
+			}
+			limit := len(msgs)
+			if net.Kind == Ordered {
+				limit = 1
+			}
+			seen := map[string]bool{}
+			for pos := 0; pos < limit; pos++ {
+				msg := msgs[pos]
+				if net.Kind == Unordered {
+					key := encodeMsg(msg)
+					if seen[key] {
+						continue // identical pending messages branch identically
+					}
+					seen[key] = true
+				}
+				instIdx := r.receiverOf(net, slot)
+				inst := r.Insts[instIdx]
+				ev := Event{Net: net, MsgVar: "Msg"}
+				t, prob := r.match(st, inst, ev, msg)
+				if prob != nil {
+					probs = append(probs, *prob)
+					continue
+				}
+				if t == nil || t.Defer {
+					continue // stalled
+				}
+				acts = append(acts, Action{Inst: instIdx, Trans: t, Net: n, Slot: slot, Pos: pos, Msg: msg})
+			}
+		}
+	}
+	return acts, probs
+}
+
+// receiverOf resolves a network slot to an instance index.
+func (r *Runtime) receiverOf(net *Network, slot int) int {
+	ids := r.byDef[net.Receiver]
+	if net.Route == RouteStatic {
+		return ids[0]
+	}
+	return ids[slot]
+}
+
+// match finds the unique enabled transition for (instance state, event),
+// or a stall, or a problem. For message events the candidate transitions'
+// own MsgVar binds the fields.
+func (r *Runtime) match(st *State, inst *Instance, ev Event, msg Msg) (*Transition, *Problem) {
+	d := inst.Def
+	ps := st.Procs[inst.Idx]
+	cands := r.transIdx[d][transKey(ps.Ctl, ev)]
+	if len(cands) == 0 {
+		if ev.IsTrigger() {
+			return nil, nil
+		}
+		return nil, &Problem{
+			Kind: UnexpectedMessage, Inst: inst.Idx, Event: ev, Msg: msg,
+			Detail: fmt.Sprintf("%s in state %s cannot handle %s message %s",
+				inst.Name(), d.States.Values[ps.Ctl], ev.Net.Name, r.FormatMsg(ev.Net, msg)),
+		}
+	}
+	base := r.baseEnv(st, inst)
+	var hit *Transition
+	var catchAllDefer *Transition
+	for _, t := range cands {
+		if t.Defer && t.Guard == nil {
+			// An unguarded stall rule is a lowest-priority catch-all:
+			// it applies only when no guarded transition matches.
+			catchAllDefer = t
+			continue
+		}
+		env := base
+		if !ev.IsTrigger() {
+			env = r.extendWithMsg(base, t.Event.MsgVar, ev.Net, msg)
+		}
+		if t.Guard != nil && !t.Guard.Eval(r.Sys.U, env).Bool() {
+			continue
+		}
+		if hit != nil {
+			return nil, &Problem{
+				Kind: NonDeterministic, Inst: inst.Idx, Event: ev, Msg: msg,
+				Detail: fmt.Sprintf("%s in state %s: guards %s and %s both enabled",
+					inst.Name(), d.States.Values[ps.Ctl], hit.GuardString(), t.GuardString()),
+			}
+		}
+		hit = t
+	}
+	if hit == nil {
+		if catchAllDefer != nil {
+			return catchAllDefer, nil
+		}
+		if ev.IsTrigger() {
+			return nil, nil
+		}
+		return nil, &Problem{
+			Kind: UnexpectedMessage, Inst: inst.Idx, Event: ev, Msg: msg,
+			Detail: fmt.Sprintf("%s in state %s: no guard accepts %s message %s",
+				inst.Name(), d.States.Values[ps.Ctl], ev.Net.Name, r.FormatMsg(ev.Net, msg)),
+		}
+	}
+	return hit, nil
+}
+
+// baseEnv builds the instance's pre-state environment (vars + Self).
+func (r *Runtime) baseEnv(st *State, inst *Instance) expr.Env {
+	d := inst.Def
+	env := make(expr.Env, len(d.Vars)+6)
+	for j, v := range d.Vars {
+		env[v.Name] = st.Procs[inst.Idx].Vars[j]
+	}
+	env[SelfVar] = expr.PIDVal(inst.PID)
+	return env
+}
+
+func (r *Runtime) extendWithMsg(base expr.Env, msgVar string, net *Network, msg Msg) expr.Env {
+	env := base.Clone()
+	for j, f := range net.Msg.Fields {
+		env[msgVar+"."+f.Name] = msg[j]
+	}
+	return env
+}
+
+// Apply executes an action, returning the successor state.
+func (r *Runtime) Apply(st *State, a Action) *State {
+	next := st.Clone()
+	inst := r.Insts[a.Inst]
+	d := inst.Def
+	env := r.baseEnv(st, inst)
+	if a.Net >= 0 {
+		env = r.extendWithMsg(env, a.Trans.Event.MsgVar, r.Sys.Networks[a.Net], a.Msg)
+		// Consume the message.
+		slot := next.Nets[a.Net][a.Slot]
+		next.Nets[a.Net][a.Slot] = append(slot[:a.Pos:a.Pos], slot[a.Pos+1:]...)
+	}
+	// Parallel assignment: evaluate all RHS in the pre-state.
+	newVals := make([]expr.Value, len(a.Trans.Updates))
+	for i, u := range a.Trans.Updates {
+		newVals[i] = u.Rhs.Eval(r.Sys.U, env)
+	}
+	for i, u := range a.Trans.Updates {
+		next.Procs[a.Inst].Vars[d.VarIndex(u.Var)] = newVals[i]
+	}
+	next.Procs[a.Inst].Ctl = d.States.Ord(a.Trans.To)
+	// Sends: field RHS evaluate in the pre-state scope as well.
+	for _, snd := range a.Trans.Sends {
+		msg := make(Msg, len(snd.Net.Msg.Fields))
+		for j, f := range snd.Net.Msg.Fields {
+			msg[j] = expr.ZeroOf(f.T)
+		}
+		for _, fa := range snd.Fields {
+			msg[snd.Net.Msg.FieldIndex(fa.Field)] = fa.Rhs.Eval(r.Sys.U, env)
+		}
+		n := r.netIdx[snd.Net]
+		if snd.TargetSet != nil {
+			// Multicast: one copy per member, routed to that member.
+			destIdx := snd.Net.Msg.FieldIndex(snd.Net.DestField)
+			mask := snd.TargetSet.Eval(r.Sys.U, env).Set()
+			for pid := 0; pid < r.Sys.U.NumCaches(); pid++ {
+				if mask&(1<<uint(pid)) == 0 {
+					continue
+				}
+				copyMsg := append(Msg(nil), msg...)
+				copyMsg[destIdx] = expr.PIDVal(pid)
+				next.Nets[n][pid] = append(next.Nets[n][pid], copyMsg)
+			}
+			continue
+		}
+		slot := 0
+		if snd.Net.Route == RouteByField {
+			slot = msg[snd.Net.Msg.FieldIndex(snd.Net.DestField)].PID()
+		}
+		next.Nets[n][slot] = append(next.Nets[n][slot], msg)
+	}
+	return next
+}
+
+// Encode renders a state as a canonical string key: control states and
+// variable payloads per instance, then network contents with unordered
+// slots sorted into canonical order.
+func (r *Runtime) Encode(st *State) string {
+	var b []byte
+	for _, p := range st.Procs {
+		b = append(b, byte(p.Ctl))
+		for _, v := range p.Vars {
+			b = v.AppendEncoding(b)
+		}
+	}
+	for n, slots := range st.Nets {
+		ordered := r.Sys.Networks[n].Kind == Ordered
+		for _, msgs := range slots {
+			b = append(b, byte(len(msgs)), '|')
+			if ordered {
+				for _, m := range msgs {
+					b = append(b, encodeMsg(m)...)
+				}
+			} else {
+				keys := make([]string, len(msgs))
+				for i, m := range msgs {
+					keys[i] = encodeMsg(m)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					b = append(b, k...)
+				}
+			}
+		}
+	}
+	return string(b)
+}
+
+func encodeMsg(m Msg) string {
+	var b []byte
+	for _, v := range m {
+		b = v.AppendEncoding(b)
+	}
+	return string(b)
+}
+
+// FormatMsg renders a message with field names.
+func (r *Runtime) FormatMsg(net *Network, msg Msg) string {
+	parts := make([]string, len(net.Msg.Fields))
+	for i, f := range net.Msg.Fields {
+		parts[i] = fmt.Sprintf("%s:%s", f.Name, msg[i])
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// FormatAction renders an action for counterexample traces.
+func (r *Runtime) FormatAction(a Action) string {
+	inst := r.Insts[a.Inst]
+	var evt string
+	if a.Net < 0 {
+		evt = a.Trans.Event.Trigger
+	} else {
+		net := r.Sys.Networks[a.Net]
+		evt = fmt.Sprintf("recv %s %s", net.Name, r.FormatMsg(net, a.Msg))
+	}
+	return fmt.Sprintf("%s: %s [%s -> %s]", inst.Name(), evt, a.Trans.From, a.Trans.To)
+}
+
+// FormatState renders a state for counterexample traces.
+func (r *Runtime) FormatState(st *State) string {
+	var sb strings.Builder
+	for i, inst := range r.Insts {
+		p := st.Procs[i]
+		fmt.Fprintf(&sb, "%s{%s", inst.Name(), inst.Def.States.Values[p.Ctl])
+		for j, v := range inst.Def.Vars {
+			fmt.Fprintf(&sb, " %s=%s", v.Name, p.Vars[j])
+		}
+		sb.WriteString("} ")
+	}
+	for n, slots := range st.Nets {
+		net := r.Sys.Networks[n]
+		for slot, msgs := range slots {
+			for _, m := range msgs {
+				fmt.Fprintf(&sb, "%s[%d]%s ", net.Name, slot, r.FormatMsg(net, m))
+			}
+		}
+	}
+	return strings.TrimSpace(sb.String())
+}
+
+// InstancesOf returns the instance indices of a definition.
+func (r *Runtime) InstancesOf(d *ProcDef) []int { return r.byDef[d] }
+
+// VarOf reads a process variable of an instance in a state.
+func (r *Runtime) VarOf(st *State, instIdx int, name string) expr.Value {
+	inst := r.Insts[instIdx]
+	i := inst.Def.VarIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("efsm: instance %s has no variable %s", inst.Name(), name))
+	}
+	return st.Procs[instIdx].Vars[i]
+}
+
+// CtlOf reads an instance's control-state name in a state.
+func (r *Runtime) CtlOf(st *State, instIdx int) string {
+	inst := r.Insts[instIdx]
+	return inst.Def.States.Values[st.Procs[instIdx].Ctl]
+}

@@ -1,0 +1,203 @@
+package efsm
+
+import (
+	"fmt"
+	"strings"
+
+	"transit/internal/expr"
+)
+
+// Prime decorates a variable or field name as its primed (post-state)
+// version, per the snippet notation of §3.2.
+func Prime(name string) string { return name + "'" }
+
+// IsPrimed reports whether a name is primed, and strips the prime.
+func IsPrimed(name string) (string, bool) {
+	if strings.HasSuffix(name, "'") {
+		return strings.TrimSuffix(name, "'"), true
+	}
+	return name, false
+}
+
+// Post is one post-condition of a snippet case: a Boolean constraint that
+// mentions exactly one primed variable — the Target — in terms of the
+// unprimed scope. A fully symbolic action is the special case
+// equals(Target', rhs).
+type Post struct {
+	// Target is the unprimed name of the constrained variable: a process
+	// variable ("Sharers") or an outbound message field ("RMsg.MType").
+	Target string
+	// Constraint is Boolean over scope ∪ {Prime(Target)}.
+	Constraint expr.Expr
+}
+
+// EqPost is the symbolic-action helper: Target' = rhs.
+func EqPost(target string, rhs expr.Expr) Post {
+	return Post{
+		Target:     target,
+		Constraint: expr.Eq(expr.V(Prime(target), rhs.Type()), rhs),
+	}
+}
+
+// SnippetCase is one guarded constraint group of a snippet (Figure 4): if
+// Pre holds in the pre-state, every Post must hold of the post-state.
+// A concrete snippet is a SnippetCase whose Pre pins variables to concrete
+// values and whose Posts pin concrete outputs.
+type SnippetCase struct {
+	// Pre is Boolean over the unprimed scope; nil means true.
+	Pre   expr.Expr
+	Posts []Post
+}
+
+// SendSpec declares an outbound message of a snippet: which network and
+// the local variable name whose dotted fields the posts may constrain.
+// A non-nil TargetSet makes the send a multicast (one copy per member of
+// the evaluated PID set); the routing field is then filled per copy and
+// must not be constrained by posts.
+type SendSpec struct {
+	Net       *Network
+	MsgVar    string
+	TargetSet expr.Expr
+}
+
+// Snippet is the unit of specification in TRANSIT (Figure 4): a transition
+// fragment from a control state on an input event to a next control state,
+// with declared outbound messages, an optional symbolic guard, and a set of
+// conditional constraint cases. Snippets with an empty Guard ask the tool
+// to infer one; constraints that are not equalities ask the tool to infer
+// update expressions.
+type Snippet struct {
+	Process string
+	From    string
+	Event   Event
+	// Guard, when non-nil, is symbolic: it is used as-is and exempted
+	// from guard inference (§3.2: "a non-empty guard is assumed to be
+	// symbolic").
+	Guard expr.Expr
+	To    string
+	Sends []SendSpec
+	Cases []SnippetCase
+	// Defer marks an explicit stall rule (blocking directories): when the
+	// guard holds, leave the message in the network. Defer snippets have
+	// no cases or sends and must carry a symbolic guard (or none,
+	// meaning stall unconditionally).
+	Defer bool
+	// Label is an optional human-readable tag used in diagnostics and
+	// case-study metrics.
+	Label string
+}
+
+// BlockKey identifies the guard-action block a snippet belongs to (§5.2):
+// snippets with the same starting state, input event, and guard-action
+// header — next state plus declared output events, per Figure 4's
+// "(NextState, Net1 Msg1, Net2 Msg2)" — merge into one block.
+func (sn *Snippet) BlockKey() string {
+	key := sn.From + "|" + sn.Event.Key() + "|" + sn.To + "|" + fmt.Sprint(sn.Defer)
+	for _, snd := range sn.Sends {
+		key += "|" + snd.Net.Name + " " + snd.MsgVar
+		if snd.TargetSet != nil {
+			key += " mcast:" + snd.TargetSet.String()
+		}
+	}
+	return key
+}
+
+// GroupKey identifies the (state, event) group whose guards must be
+// mutually exclusive.
+func (sn *Snippet) GroupKey() string {
+	return sn.From + "|" + sn.Event.Key()
+}
+
+// Validate checks a snippet against its process definition and system.
+func (sn *Snippet) Validate(s *System, d *ProcDef) error {
+	ctx := fmt.Sprintf("efsm: snippet %q (%s, %s, %s)", sn.Label, d.Name, sn.From, sn.Event)
+	if d.States.Ord(sn.From) < 0 {
+		return fmt.Errorf("%s: unknown source state", ctx)
+	}
+	if sn.Defer {
+		if len(sn.Cases) > 0 || len(sn.Sends) > 0 {
+			return fmt.Errorf("%s: defer snippets take no cases or sends", ctx)
+		}
+		return nil
+	}
+	if d.States.Ord(sn.To) < 0 {
+		return fmt.Errorf("%s: unknown target state %s", ctx, sn.To)
+	}
+	scope := s.ScopeOf(d, sn.Event)
+	outScope := make(map[string]expr.Type, len(sn.Sends)*4)
+	for _, snd := range sn.Sends {
+		if snd.TargetSet != nil {
+			if snd.TargetSet.Type() != expr.SetType {
+				return fmt.Errorf("%s: multicast target on %s is not Set-typed", ctx, snd.Net.Name)
+			}
+			if snd.Net.Route != RouteByField {
+				return fmt.Errorf("%s: multicast on statically routed network %s", ctx, snd.Net.Name)
+			}
+		}
+		for _, f := range snd.Net.Msg.Fields {
+			if snd.TargetSet != nil && f.Name == snd.Net.DestField {
+				continue // routing field is per-copy; not constrainable
+			}
+			outScope[snd.MsgVar+"."+f.Name] = f.T
+		}
+	}
+	checkUnprimed := func(e expr.Expr, what string) error {
+		for _, name := range expr.Vars(e) {
+			if _, primed := IsPrimed(name); primed {
+				return fmt.Errorf("%s: %s mentions primed variable %s", ctx, what, name)
+			}
+			if _, ok := scope[name]; !ok {
+				return fmt.Errorf("%s: %s references %s outside scope", ctx, what, name)
+			}
+		}
+		return nil
+	}
+	if sn.Guard != nil {
+		if sn.Guard.Type() != expr.BoolType {
+			return fmt.Errorf("%s: guard is not Boolean", ctx)
+		}
+		if err := checkUnprimed(sn.Guard, "guard"); err != nil {
+			return err
+		}
+	}
+	for ci, c := range sn.Cases {
+		if c.Pre != nil {
+			if c.Pre.Type() != expr.BoolType {
+				return fmt.Errorf("%s: case %d pre is not Boolean", ctx, ci)
+			}
+			if err := checkUnprimed(c.Pre, "pre"); err != nil {
+				return err
+			}
+		}
+		for _, p := range c.Posts {
+			targetType, ok := scope[p.Target]
+			if !ok {
+				targetType, ok = outScope[p.Target]
+			}
+			if !ok {
+				return fmt.Errorf("%s: post targets unknown variable %s", ctx, p.Target)
+			}
+			if p.Constraint.Type() != expr.BoolType {
+				return fmt.Errorf("%s: post on %s is not Boolean", ctx, p.Target)
+			}
+			primedSeen := false
+			for _, name := range expr.Vars(p.Constraint) {
+				base, primed := IsPrimed(name)
+				if primed {
+					if base != p.Target {
+						return fmt.Errorf("%s: post on %s mentions foreign primed variable %s",
+							ctx, p.Target, name)
+					}
+					primedSeen = true
+					continue
+				}
+				if _, okS := scope[name]; !okS {
+					return fmt.Errorf("%s: post on %s references %s outside scope", ctx, p.Target, name)
+				}
+			}
+			_ = primedSeen // a post may hold vacuously without the primed var
+			_ = targetType
+		}
+	}
+	return nil
+}

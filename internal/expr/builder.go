@@ -1,0 +1,147 @@
+package expr
+
+import "fmt"
+
+// Builder helpers for constructing expressions in Go code (snippets,
+// invariants, tests). All helpers use the canonical Func instances from
+// prims.go so the results evaluate and SMT-encode uniformly. Helpers that
+// take two operands of a common type (Eq, Ite) dispatch on the operand
+// type.
+
+// And builds the conjunction of one or more Boolean expressions,
+// left-associated. And() with no arguments is true.
+func And(es ...Expr) Expr {
+	if len(es) == 0 {
+		return True()
+	}
+	out := es[0]
+	for _, e := range es[1:] {
+		out = NewApply(FnAnd, out, e)
+	}
+	return out
+}
+
+// Or builds the disjunction of one or more Boolean expressions. Or() with
+// no arguments is false.
+func Or(es ...Expr) Expr {
+	if len(es) == 0 {
+		return False()
+	}
+	out := es[0]
+	for _, e := range es[1:] {
+		out = NewApply(FnOr, out, e)
+	}
+	return out
+}
+
+// Not negates a Boolean expression.
+func Not(e Expr) Expr { return NewApply(FnNot, e) }
+
+// Implies desugars a ⇒ b to or(not(a), b), keeping the vocabulary minimal.
+func Implies(a, b Expr) Expr { return Or(Not(a), b) }
+
+// Eq builds equals(a, b), dispatching on the operand type.
+func Eq(a, b Expr) Expr {
+	if a.Type() != b.Type() {
+		panic(fmt.Sprintf("expr: Eq on mismatched types %s and %s", a.Type(), b.Type()))
+	}
+	return NewApply(EqualsFn(a.Type()), a, b)
+}
+
+// Neq is not(equals(a, b)).
+func Neq(a, b Expr) Expr { return Not(Eq(a, b)) }
+
+// Ite builds ite(cond, then, els), dispatching on the branch type.
+func Ite(cond, then, els Expr) Expr {
+	if then.Type() != els.Type() {
+		panic(fmt.Sprintf("expr: Ite branches differ: %s vs %s", then.Type(), els.Type()))
+	}
+	return NewApply(IteFn(then.Type()), cond, then, els)
+}
+
+// Gt is signed a > b.
+func Gt(a, b Expr) Expr { return NewApply(FnGt, a, b) }
+
+// Ge is signed a >= b.
+func Ge(a, b Expr) Expr { return NewApply(FnGe, a, b) }
+
+// Lt desugars a < b to gt(b, a).
+func Lt(a, b Expr) Expr { return Gt(b, a) }
+
+// Le desugars a <= b to ge(b, a).
+func Le(a, b Expr) Expr { return Ge(b, a) }
+
+// Add is wrapping integer addition.
+func Add(a, b Expr) Expr { return NewApply(FnAdd, a, b) }
+
+// Sub is wrapping integer subtraction.
+func Sub(a, b Expr) Expr { return NewApply(FnSub, a, b) }
+
+// Inc is a + 1.
+func Inc(a Expr) Expr { return NewApply(FnInc, a) }
+
+// Dec is a - 1.
+func Dec(a Expr) Expr { return NewApply(FnDec, a) }
+
+// IsZero tests an integer for zero.
+func IsZero(a Expr) Expr { return NewApply(FnIsZero, a) }
+
+// SetAdd inserts a PID into a set.
+func SetAdd(s, p Expr) Expr { return NewApply(FnSetAdd, s, p) }
+
+// SetUnion is set union.
+func SetUnion(a, b Expr) Expr { return NewApply(FnSetUnion, a, b) }
+
+// SetInter is set intersection.
+func SetInter(a, b Expr) Expr { return NewApply(FnSetInter, a, b) }
+
+// SetMinus is set difference.
+func SetMinus(a, b Expr) Expr { return NewApply(FnSetMinus, a, b) }
+
+// Singleton is setof(p), the singleton set.
+func Singleton(p Expr) Expr { return NewApply(FnSetOf, p) }
+
+// SetContains is the membership test.
+func SetContains(s, p Expr) Expr { return NewApply(FnSetContains, s, p) }
+
+// Card is setsize(s), the cardinality of a set.
+func Card(s Expr) Expr { return NewApply(FnSetSize, s) }
+
+// SubsetEq expresses a ⊆ b as equals(setunion(a,b), b).
+func SubsetEq(a, b Expr) Expr { return Eq(SetUnion(a, b), b) }
+
+// NumCaches is the numcaches() constant.
+func NumCaches() Expr { return NewApply(FnNumCaches) }
+
+// True is the Boolean constant true.
+func True() Expr { return NewApply(FnTrue) }
+
+// False is the Boolean constant false.
+func False() Expr { return NewApply(FnFalse) }
+
+// EmptySet is the empty-set constant.
+func EmptySet() Expr { return NewApply(FnEmptySet) }
+
+// IntC builds an integer literal as a constant expression.
+func IntC(u *Universe, x int64) Expr { return NewConst(IntVal(u, x)) }
+
+// BoolC builds a Boolean literal.
+func BoolC(b bool) Expr { return NewConst(BoolVal(b)) }
+
+// PIDC builds a concrete PID literal (for concrete snippets).
+func PIDC(p int) Expr { return NewApply(PIDLitFn(p)) }
+
+// EnumC builds an enum literal by name.
+func EnumC(e *EnumType, name string) Expr {
+	ord := e.Ord(name)
+	if ord < 0 {
+		panic(fmt.Sprintf("expr: enum %s has no value %s", e.Name, name))
+	}
+	return NewApply(EnumLitFn(e, ord))
+}
+
+// SetC builds a concrete set literal containing the given PIDs.
+func SetC(pids ...int) Expr { return NewConst(SetOf(pids...)) }
+
+// V is shorthand for NewVar.
+func V(name string, t Type) *Var { return NewVar(name, t) }

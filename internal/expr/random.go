@@ -1,0 +1,175 @@
+package expr
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Random generation of values, environments, and expressions. The Figure 5
+// experiment benchmarks SolveConcrete on randomly generated target
+// expressions of exact sizes with randomly drawn consistent example sets;
+// property-based tests reuse the same generators.
+
+// RandomValue draws a uniform value of type t.
+func RandomValue(u *Universe, rng *rand.Rand, t Type) Value {
+	switch t.Kind {
+	case KindBool:
+		return BoolVal(rng.Intn(2) == 0)
+	case KindInt:
+		span := u.MaxInt() - u.MinInt() + 1
+		return IntVal(u, u.MinInt()+rng.Int63n(span))
+	case KindPID:
+		return PIDVal(rng.Intn(u.NumCaches()))
+	case KindSet:
+		return SetVal(rng.Uint64() & u.SetMask())
+	case KindEnum:
+		return EnumVal(t.Enum, rng.Intn(len(t.Enum.Values)))
+	}
+	panic("expr: RandomValue on invalid type")
+}
+
+// RandomEnv draws a uniform environment for the given variables.
+func RandomEnv(u *Universe, rng *rand.Rand, vars []*Var) Env {
+	env := make(Env, len(vars))
+	for _, v := range vars {
+		env[v.Name] = RandomValue(u, rng, v.VT)
+	}
+	return env
+}
+
+// RandomExpr generates a random expression of exactly the given size and
+// type over the vocabulary and variables. It returns an error when no
+// expression of that size and type exists (e.g. size 1 with no variable or
+// constant of the type).
+func RandomExpr(u *Universe, rng *rand.Rand, voc *Vocabulary, vars []*Var, t Type, size int) (Expr, error) {
+	g := &randGen{u: u, rng: rng, voc: voc, vars: vars, feasible: map[feasKey]bool{}}
+	if !g.canBuild(t, size) {
+		return nil, fmt.Errorf("expr: no expression of type %s and size %d exists", t, size)
+	}
+	return g.build(t, size), nil
+}
+
+type feasKey struct {
+	t    Type
+	size int
+}
+
+type randGen struct {
+	u        *Universe
+	rng      *rand.Rand
+	voc      *Vocabulary
+	vars     []*Var
+	feasible map[feasKey]bool
+}
+
+// canBuild memoizes whether any expression of (t, size) exists.
+func (g *randGen) canBuild(t Type, size int) bool {
+	if size < 1 {
+		return false
+	}
+	key := feasKey{t, size}
+	if v, ok := g.feasible[key]; ok {
+		return v
+	}
+	// Break cycles pessimistically during computation; the recursion is on
+	// strictly smaller sizes for arguments, so only the same-size key can
+	// recur, and only via arity >= 1 functions which always shrink.
+	g.feasible[key] = false
+	ok := false
+	if size == 1 {
+		for _, v := range g.vars {
+			if v.VT == t {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			for _, f := range g.voc.Funcs() {
+				if f.Arity() == 0 && f.Ret == t {
+					ok = true
+					break
+				}
+			}
+		}
+	} else {
+		for _, f := range g.voc.Funcs() {
+			if f.Ret != t || f.Arity() == 0 {
+				continue
+			}
+			if g.canPartition(f.Params, size-1) {
+				ok = true
+				break
+			}
+		}
+	}
+	g.feasible[key] = ok
+	return ok
+}
+
+// canPartition reports whether budget can be split across the parameter
+// types with every share >= 1 and each share buildable.
+func (g *randGen) canPartition(params []Type, budget int) bool {
+	if len(params) == 0 {
+		return budget == 0
+	}
+	if budget < len(params) {
+		return false
+	}
+	head, rest := params[0], params[1:]
+	maxHead := budget - len(rest)
+	for s := 1; s <= maxHead; s++ {
+		if g.canBuild(head, s) && g.canPartition(rest, budget-s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *randGen) build(t Type, size int) Expr {
+	if size == 1 {
+		var leaves []Expr
+		for _, v := range g.vars {
+			if v.VT == t {
+				leaves = append(leaves, v)
+			}
+		}
+		for _, f := range g.voc.Funcs() {
+			if f.Arity() == 0 && f.Ret == t {
+				leaves = append(leaves, NewApply(f))
+			}
+		}
+		return leaves[g.rng.Intn(len(leaves))]
+	}
+	var fns []*Func
+	for _, f := range g.voc.Funcs() {
+		if f.Ret == t && f.Arity() > 0 && g.canPartition(f.Params, size-1) {
+			fns = append(fns, f)
+		}
+	}
+	f := fns[g.rng.Intn(len(fns))]
+	shares := g.pickPartition(f.Params, size-1)
+	args := make([]Expr, len(f.Params))
+	for i, p := range f.Params {
+		args[i] = g.build(p, shares[i])
+	}
+	return NewApply(f, args...)
+}
+
+// pickPartition draws a uniform-ish feasible split of budget across params.
+func (g *randGen) pickPartition(params []Type, budget int) []int {
+	shares := make([]int, len(params))
+	for i := range params {
+		rest := params[i+1:]
+		var options []int
+		maxHere := budget - len(rest)
+		for s := 1; s <= maxHere; s++ {
+			if g.canBuild(params[i], s) && g.canPartition(rest, budget-s) {
+				options = append(options, s)
+			}
+		}
+		pick := options[g.rng.Intn(len(options))]
+		shares[i] = pick
+		budget -= pick
+	}
+	return shares
+}

@@ -1,0 +1,229 @@
+// Package expr defines the typed expression language at the heart of
+// TRANSIT: the value domains (Bool, Int, PID, Set, Enum), the expression
+// AST, the Table 1 vocabulary of function symbols used for cache-coherence
+// protocols, and evaluation semantics shared by the enumerative synthesizer,
+// the SMT encoder, and the EFSM runtime.
+//
+// The semantics are deliberately finite so that the synthesis problem is
+// decidable by the bundled finite-domain SMT solver: PIDs range over the
+// cache identifiers of a Universe, Sets are subsets of PIDs, Enums are
+// finite, and Ints are W-bit two's-complement integers with wrapping
+// arithmetic (W is per-Universe, default 8).
+package expr
+
+import "fmt"
+
+// Kind enumerates the base type constructors of the TRANSIT vocabulary.
+type Kind uint8
+
+const (
+	// KindBool is the Boolean type.
+	KindBool Kind = iota
+	// KindInt is the bounded integer type (W-bit two's complement).
+	KindInt
+	// KindPID is the process-identifier type, ranging over cache IDs.
+	KindPID
+	// KindSet is the type of sets of PIDs.
+	KindSet
+	// KindEnum is the kind of user-declared enumerated types.
+	KindEnum
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBool:
+		return "Bool"
+	case KindInt:
+		return "Int"
+	case KindPID:
+		return "PID"
+	case KindSet:
+		return "Set"
+	case KindEnum:
+		return "Enum"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// EnumType describes a user-declared enumerated type such as a message-type
+// or control-state enumeration. EnumTypes are identified by pointer; declare
+// them through Universe.DeclareEnum so each carries a stable ID used in
+// signature encoding and SMT variable layout.
+type EnumType struct {
+	Name   string
+	Values []string
+	id     int
+}
+
+// ID reports the Universe-assigned identity of the enum type.
+func (e *EnumType) ID() int { return e.id }
+
+// Ord returns the ordinal of the named value, or -1 if absent.
+func (e *EnumType) Ord(name string) int {
+	for i, v := range e.Values {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Type is a TRANSIT type: one of the base kinds, with Enum set for
+// enumerated types. Type is comparable and can be used as a map key.
+type Type struct {
+	Kind Kind
+	Enum *EnumType // non-nil iff Kind == KindEnum
+}
+
+// The four built-in types.
+var (
+	BoolType = Type{Kind: KindBool}
+	IntType  = Type{Kind: KindInt}
+	PIDType  = Type{Kind: KindPID}
+	SetType  = Type{Kind: KindSet}
+)
+
+// EnumOf returns the Type for a declared enum type.
+func EnumOf(e *EnumType) Type { return Type{Kind: KindEnum, Enum: e} }
+
+func (t Type) String() string {
+	if t.Kind == KindEnum {
+		if t.Enum == nil {
+			return "Enum(?)"
+		}
+		return t.Enum.Name
+	}
+	return t.Kind.String()
+}
+
+// Universe fixes the finite carrier sets for one protocol instance: the
+// number of caches (the PID domain and hence the Set domain), the integer
+// width, and the declared enumerated types. Every component of the system —
+// evaluator, SMT encoder, synthesizer, model checker — interprets values
+// relative to the same Universe so that concrete and symbolic semantics
+// coincide.
+type Universe struct {
+	numCaches int
+	intWidth  uint
+	enums     []*EnumType
+	enumByN   map[string]*EnumType
+}
+
+// DefaultIntWidth is the integer bit-width used by NewUniverse.
+const DefaultIntWidth = 8
+
+// NewUniverse creates a Universe with numCaches PIDs and the default
+// integer width. numCaches must be in [1, 64] (Sets are 64-bit masks).
+func NewUniverse(numCaches int) *Universe {
+	u, err := NewUniverseWidth(numCaches, DefaultIntWidth)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// NewUniverseWidth creates a Universe with an explicit integer bit-width in
+// [2, 32].
+func NewUniverseWidth(numCaches int, intWidth uint) (*Universe, error) {
+	if numCaches < 1 || numCaches > 64 {
+		return nil, fmt.Errorf("expr: numCaches %d out of range [1,64]", numCaches)
+	}
+	if intWidth < 2 || intWidth > 32 {
+		return nil, fmt.Errorf("expr: intWidth %d out of range [2,32]", intWidth)
+	}
+	return &Universe{
+		numCaches: numCaches,
+		intWidth:  intWidth,
+		enumByN:   make(map[string]*EnumType),
+	}, nil
+}
+
+// NumCaches reports the size of the PID domain.
+func (u *Universe) NumCaches() int { return u.numCaches }
+
+// IntWidth reports the integer bit-width W.
+func (u *Universe) IntWidth() uint { return u.intWidth }
+
+// MinInt is the smallest representable integer, -2^(W-1).
+func (u *Universe) MinInt() int64 { return -(int64(1) << (u.intWidth - 1)) }
+
+// MaxInt is the largest representable integer, 2^(W-1)-1.
+func (u *Universe) MaxInt() int64 { return (int64(1) << (u.intWidth - 1)) - 1 }
+
+// WrapInt reduces x to W-bit two's-complement range.
+func (u *Universe) WrapInt(x int64) int64 {
+	mask := (int64(1) << u.intWidth) - 1
+	x &= mask
+	if x > u.MaxInt() {
+		x -= int64(1) << u.intWidth
+	}
+	return x
+}
+
+// SetMask is the bitmask of the full PID set.
+func (u *Universe) SetMask() uint64 {
+	if u.numCaches == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << u.numCaches) - 1
+}
+
+// DeclareEnum registers a new enumerated type. Names must be unique within
+// the Universe and an enum must have at least one value.
+func (u *Universe) DeclareEnum(name string, values ...string) (*EnumType, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("expr: enum %s has no values", name)
+	}
+	if _, dup := u.enumByN[name]; dup {
+		return nil, fmt.Errorf("expr: enum %s already declared", name)
+	}
+	seen := make(map[string]bool, len(values))
+	for _, v := range values {
+		if seen[v] {
+			return nil, fmt.Errorf("expr: enum %s has duplicate value %s", name, v)
+		}
+		seen[v] = true
+	}
+	e := &EnumType{Name: name, Values: append([]string(nil), values...), id: len(u.enums)}
+	u.enums = append(u.enums, e)
+	u.enumByN[name] = e
+	return e, nil
+}
+
+// MustDeclareEnum is DeclareEnum that panics on error; convenient in
+// protocol constructors where enum sets are static.
+func (u *Universe) MustDeclareEnum(name string, values ...string) *EnumType {
+	e, err := u.DeclareEnum(name, values...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Enum looks up a declared enum type by name.
+func (u *Universe) Enum(name string) (*EnumType, bool) {
+	e, ok := u.enumByN[name]
+	return e, ok
+}
+
+// Enums returns the declared enum types in declaration order.
+func (u *Universe) Enums() []*EnumType { return u.enums }
+
+// DomainSize reports the number of distinct values of type t in this
+// Universe. It is the exhaustive-search bound used by the reference SMT
+// solver and by property tests.
+func (u *Universe) DomainSize(t Type) uint64 {
+	switch t.Kind {
+	case KindBool:
+		return 2
+	case KindInt:
+		return uint64(1) << u.intWidth
+	case KindPID:
+		return uint64(u.numCaches)
+	case KindSet:
+		return uint64(1) << u.numCaches
+	case KindEnum:
+		return uint64(len(t.Enum.Values))
+	}
+	return 0
+}

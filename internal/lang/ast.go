@@ -1,0 +1,169 @@
+package lang
+
+// The abstract syntax tree produced by the parser; names are unresolved
+// until Build elaborates them against the declared skeleton.
+
+// File is a parsed TRANSIT program.
+type File struct {
+	Name       string
+	Enums      []*EnumDecl
+	Messages   []*MessageDecl
+	Networks   []*NetworkDecl
+	Processes  []*ProcessDecl
+	Invariants []*InvariantDecl
+}
+
+// EnumDecl declares an enumerated type.
+type EnumDecl struct {
+	Pos    Pos
+	Name   string
+	Values []string
+}
+
+// FieldDecl is one typed message field.
+type FieldDecl struct {
+	Pos  Pos
+	Name string
+	Type TypeRef
+}
+
+// TypeRef names a type (Bool, Int, PID, Set, or an enum).
+type TypeRef struct {
+	Pos  Pos
+	Name string
+}
+
+// MessageDecl declares a message struct type.
+type MessageDecl struct {
+	Pos    Pos
+	Name   string
+	Fields []*FieldDecl
+}
+
+// NetworkDecl declares a channel.
+type NetworkDecl struct {
+	Pos      Pos
+	Name     string
+	Ordered  bool
+	MsgType  string
+	Receiver string
+	// ByField names the PID routing field; empty for static routes.
+	ByField string
+}
+
+// ProcessDecl declares an EFSM skeleton and its transitions.
+type ProcessDecl struct {
+	Pos         Pos
+	Name        string
+	Replicated  bool
+	States      []string
+	Init        string
+	Vars        []*FieldDecl
+	Triggers    []string
+	Transitions []*TransitionDecl
+}
+
+// EventDecl is a transition trigger: either "Net Var" or a bare trigger
+// name.
+type EventDecl struct {
+	Pos Pos
+	// Net is empty for external triggers.
+	Net    string
+	MsgVar string
+	// Trigger is the trigger name when Net is empty.
+	Trigger string
+}
+
+// SendDecl is one declared output event.
+type SendDecl struct {
+	Pos    Pos
+	Net    string
+	MsgVar string
+	// Target is the multicast destination-set expression (nil for
+	// unicast).
+	Target ExprNode
+}
+
+// CaseDecl is a `[pre] ==> { posts }` group.
+type CaseDecl struct {
+	Pos   Pos
+	Pre   ExprNode // nil for []
+	Posts []ExprNode
+}
+
+// TransitionDecl is one snippet.
+type TransitionDecl struct {
+	Pos   Pos
+	From  string
+	Event EventDecl
+	// Guard is nil when the guard should be inferred.
+	Guard ExprNode
+	// Stall marks a `stall;` rule (no target, no body).
+	Stall bool
+	To    string
+	Sends []*SendDecl
+	Cases []*CaseDecl
+}
+
+// InvariantDecl is a built-in invariant form.
+type InvariantDecl struct {
+	Pos  Pos
+	Kind string // "atmostone" or "swmr"
+	Proc string
+	// States used by atmostone.
+	States []string
+	// Writers/Readers used by swmr.
+	Writers []string
+	Readers []string
+}
+
+// ExprNode is an unresolved expression.
+type ExprNode interface{ Position() Pos }
+
+// IdentExpr is a possibly dotted, possibly primed name: X, Msg.Field,
+// Sharers'.
+type IdentExpr struct {
+	Pos    Pos
+	Parts  []string // 1 or 2 components
+	Primed bool
+}
+
+// IntExpr is an integer literal.
+type IntExpr struct {
+	Pos Pos
+	Val int64
+}
+
+// SetExpr is a set literal {e1, ..., ek} of PID-typed elements.
+type SetExpr struct {
+	Pos   Pos
+	Elems []ExprNode
+}
+
+// CallExpr is f(args...).
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []ExprNode
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Pos  Pos
+	Op   tokKind
+	L, R ExprNode
+}
+
+// UnExpr is unary negation (!).
+type UnExpr struct {
+	Pos Pos
+	Op  tokKind
+	E   ExprNode
+}
+
+func (e *IdentExpr) Position() Pos { return e.Pos }
+func (e *IntExpr) Position() Pos   { return e.Pos }
+func (e *SetExpr) Position() Pos   { return e.Pos }
+func (e *CallExpr) Position() Pos  { return e.Pos }
+func (e *BinExpr) Position() Pos   { return e.Pos }
+func (e *UnExpr) Position() Pos    { return e.Pos }

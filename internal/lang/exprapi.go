@@ -1,0 +1,61 @@
+package lang
+
+import (
+	"transit/internal/expr"
+)
+
+// ExprScope configures standalone expression elaboration (used by the
+// transit-infer CLI and tests): a universe, the free variables with their
+// types, and the enum types whose literals may appear.
+type ExprScope struct {
+	U     *expr.Universe
+	Vars  map[string]expr.Type
+	Enums []*expr.EnumType
+}
+
+// ParseExprString parses a single expression in TRANSIT surface syntax.
+func ParseExprString(src string) (ExprNode, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, errf(p.cur().pos, "trailing input after expression")
+	}
+	return e, nil
+}
+
+// ElabExpr resolves and type-checks a parsed expression against a bare
+// variable scope (no message fields, no primed targets).
+func ElabExpr(node ExprNode, sc ExprScope) (expr.Expr, error) {
+	b := &builder{
+		u:        sc.U,
+		enums:    map[string]*expr.EnumType{},
+		literals: map[string][]*expr.EnumType{},
+	}
+	for _, e := range sc.Enums {
+		b.enums[e.Name] = e
+		for _, v := range e.Values {
+			b.literals[v] = append(b.literals[v], e)
+		}
+	}
+	vars := make(map[string]expr.Type, len(sc.Vars))
+	for k, v := range sc.Vars {
+		vars[k] = v
+	}
+	return b.elab(node, &scope{vars: vars, primed: map[string]expr.Type{}}, false)
+}
+
+// ParseAndElabExpr is ParseExprString followed by ElabExpr.
+func ParseAndElabExpr(src string, sc ExprScope) (expr.Expr, error) {
+	node, err := ParseExprString(src)
+	if err != nil {
+		return nil, err
+	}
+	return ElabExpr(node, sc)
+}

@@ -1,0 +1,165 @@
+package lang
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer tokenizes TRANSIT source. Comments run from // to end of line.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) advance() byte {
+	b := lx.src[lx.off]
+	lx.off++
+	if b == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return b
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		b := lx.peekByte()
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			lx.advance()
+		case b == '/' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '/':
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || unicode.IsLetter(rune(b))
+}
+
+func isIdentPart(b byte) bool {
+	return b == '_' || unicode.IsLetter(rune(b)) || unicode.IsDigit(rune(b))
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	b := lx.peekByte()
+	switch {
+	case isIdentStart(b):
+		var sb strings.Builder
+		for lx.off < len(lx.src) && isIdentPart(lx.peekByte()) {
+			sb.WriteByte(lx.advance())
+		}
+		return token{kind: tokIdent, text: sb.String(), pos: pos}, nil
+	case unicode.IsDigit(rune(b)):
+		var sb strings.Builder
+		for lx.off < len(lx.src) && unicode.IsDigit(rune(lx.peekByte())) {
+			sb.WriteByte(lx.advance())
+		}
+		return token{kind: tokInt, text: sb.String(), pos: pos}, nil
+	}
+	lx.advance()
+	two := func(second byte, yes, no tokKind) token {
+		if lx.peekByte() == second {
+			lx.advance()
+			return token{kind: yes, pos: pos}
+		}
+		return token{kind: no, pos: pos}
+	}
+	switch b {
+	case '(':
+		return token{kind: tokLParen, pos: pos}, nil
+	case ')':
+		return token{kind: tokRParen, pos: pos}, nil
+	case '{':
+		return token{kind: tokLBrace, pos: pos}, nil
+	case '}':
+		return token{kind: tokRBrace, pos: pos}, nil
+	case '[':
+		return token{kind: tokLBracket, pos: pos}, nil
+	case ']':
+		return token{kind: tokRBracket, pos: pos}, nil
+	case ',':
+		return token{kind: tokComma, pos: pos}, nil
+	case ';':
+		return token{kind: tokSemi, pos: pos}, nil
+	case ':':
+		return token{kind: tokColon, pos: pos}, nil
+	case '.':
+		return token{kind: tokDot, pos: pos}, nil
+	case '\'':
+		return token{kind: tokPrime, pos: pos}, nil
+	case '+':
+		return token{kind: tokPlus, pos: pos}, nil
+	case '-':
+		return token{kind: tokMinus, pos: pos}, nil
+	case '&':
+		return token{kind: tokAnd, pos: pos}, nil
+	case '|':
+		return token{kind: tokOr, pos: pos}, nil
+	case '!':
+		return two('=', tokNeq, tokNot), nil
+	case '<':
+		return two('=', tokLe, tokLt), nil
+	case '>':
+		return two('=', tokGe, tokGt), nil
+	case '=':
+		// =, =>, ==>
+		if lx.peekByte() == '>' {
+			lx.advance()
+			return token{kind: tokArrow, pos: pos}, nil
+		}
+		if lx.peekByte() == '=' {
+			lx.advance()
+			if lx.peekByte() == '>' {
+				lx.advance()
+				return token{kind: tokImply, pos: pos}, nil
+			}
+			return token{}, errf(pos, "unexpected '==' (use = for equality, ==> for cases)")
+		}
+		return token{kind: tokEq, pos: pos}, nil
+	}
+	return token{}, errf(pos, "unexpected character %q", string(b))
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package lang implements the TRANSIT surface language: a textual notation
+// for protocol skeletons and concolic snippets in the style of the paper's
+// Figure 4 and §3, with a lexer, a recursive-descent parser, a type
+// checker, and an elaborator that lowers programs onto internal/efsm
+// skeletons and snippet sets ready for synthesis by internal/core.
+//
+// A program looks like:
+//
+//	protocol VI;
+//
+//	enum ReqType { Get, Put }
+//	message Req { MType: ReqType; Sender: PID }
+//	network ReqNet ordered Req to Dir;
+//	network RespNet ordered Resp to Cache by Dest;
+//
+//	process Cache replicated {
+//	    states { I, I_V, V, V_I } init I;
+//	    triggers { Access, Evict }
+//
+//	    transition (I, Access) => (I_V, ReqNet Out) {
+//	        [] ==> { Out.MType' = Get; Out.Sender' = Self; }
+//	    }
+//	    transition (I_V, RespNet Msg) [Msg.RType = Data] => (V) {}
+//	}
+//
+//	process Dir { ... transition (B, ReqNet Msg) stall; ... }
+//
+//	invariant atmostone Cache in { V };
+//
+// Guards in square brackets are symbolic; omitted or empty ([]) guards are
+// inferred. Cases inside a transition body are `[pre] ==> { posts }`; a
+// post is any Boolean expression mentioning exactly one primed variable,
+// with `X' = e` as the symbolic-assignment special case. An output event
+// `Net Var to <set-expr>` declares a multicast.
+package lang
+
+import "fmt"
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokSemi
+	tokColon
+	tokDot
+	tokPrime // '
+	tokArrow // =>
+	tokImply // ==>
+	tokEq    // =
+	tokNeq   // !=
+	tokNot   // !
+	tokAnd   // &
+	tokOr    // |
+	tokLt    // <
+	tokLe    // <=
+	tokGt    // >
+	tokGe    // >=
+	tokPlus  // +
+	tokMinus // -
+)
+
+var kindNames = map[tokKind]string{
+	tokEOF: "end of file", tokIdent: "identifier", tokInt: "integer",
+	tokLParen: "(", tokRParen: ")", tokLBrace: "{", tokRBrace: "}",
+	tokLBracket: "[", tokRBracket: "]", tokComma: ",", tokSemi: ";",
+	tokColon: ":", tokDot: ".", tokPrime: "'", tokArrow: "=>",
+	tokImply: "==>", tokEq: "=", tokNeq: "!=", tokNot: "!", tokAnd: "&",
+	tokOr: "|", tokLt: "<", tokLe: "<=", tokGt: ">", tokGe: ">=",
+	tokPlus: "+", tokMinus: "-",
+}
+
+func (k tokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  Pos
+}
+
+// Error is a positioned language error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

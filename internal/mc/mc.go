@@ -1,0 +1,218 @@
+// Package mc is an explicit-state model checker for efsm systems, playing
+// the role Murϕ plays in the paper's methodology: it enumerates the
+// reachable state space of a finite protocol instance by breadth-first
+// search over canonically hashed states, checks safety invariants and
+// execution-semantics rules (unexpected messages, guard determinism) at
+// every state, and reconstructs a shortest counterexample trace when a
+// violation is found.
+package mc
+
+import (
+	"fmt"
+	"strings"
+
+	"transit/internal/efsm"
+)
+
+// Invariant is a named safety property over global states.
+type Invariant struct {
+	Name string
+	// Check returns ok, or false with a human-readable detail.
+	Check func(r *efsm.Runtime, st *efsm.State) (bool, string)
+}
+
+// Options bounds the search.
+type Options struct {
+	// MaxStates caps explored states (0 = 1,000,000).
+	MaxStates int
+	// MaxDepth caps BFS depth (0 = unbounded).
+	MaxDepth int
+	// CheckDeadlock reports states with no enabled action as violations.
+	CheckDeadlock bool
+}
+
+// ViolationKind classifies a counterexample.
+type ViolationKind int
+
+const (
+	// InvariantViolation: a safety invariant failed.
+	InvariantViolation ViolationKind = iota
+	// SemanticsProblem: an unexpected message or nondeterministic guard
+	// set (the protocol is underspecified or overspecified).
+	SemanticsProblem
+	// Deadlock: a state with no enabled action.
+	Deadlock
+)
+
+func (k ViolationKind) String() string {
+	switch k {
+	case InvariantViolation:
+		return "invariant violation"
+	case SemanticsProblem:
+		return "semantics problem"
+	default:
+		return "deadlock"
+	}
+}
+
+// TraceStep is one step of a counterexample: the action taken and the
+// state reached.
+type TraceStep struct {
+	Action string // empty for the initial state
+	State  string
+}
+
+// Violation describes a counterexample.
+type Violation struct {
+	Kind   ViolationKind
+	Name   string // invariant name or problem kind
+	Detail string
+	Trace  []TraceStep
+	// actions is the structured action path, retained for the
+	// message-sequence-chart renderer (FormatMSC).
+	actions []efsm.Action
+}
+
+// Actions exposes the structured action path of the counterexample (the
+// input to FormatMSC and to replay tooling).
+func (v *Violation) Actions() []efsm.Action { return v.actions }
+
+func (v *Violation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n  %s\n", v.Kind, v.Name, v.Detail)
+	for i, step := range v.Trace {
+		if step.Action == "" {
+			fmt.Fprintf(&sb, "  [%d] (initial) %s\n", i, step.State)
+		} else {
+			fmt.Fprintf(&sb, "  [%d] %s\n      -> %s\n", i, step.Action, step.State)
+		}
+	}
+	return sb.String()
+}
+
+// Result is the outcome of a model-checking run.
+type Result struct {
+	// OK is true when the search completed (within bounds) with no
+	// violation.
+	OK bool
+	// Complete is true when the full reachable space was explored.
+	Complete    bool
+	States      int
+	Transitions int
+	Depth       int
+	Violation   *Violation
+}
+
+type edge struct {
+	parent string
+	action efsm.Action
+	init   bool
+	depth  int
+}
+
+// Check explores the reachable states of the runtime and verifies the
+// invariants. It returns the first (BFS-shortest) violation found.
+func Check(r *efsm.Runtime, invs []Invariant, opts Options) (*Result, error) {
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = 1_000_000
+	}
+	res := &Result{}
+	init := r.Initial()
+	initKey := r.Encode(init)
+	visited := map[string]edge{initKey: {init: true}}
+
+	type qent struct {
+		st  *efsm.State
+		key string
+	}
+	queue := []qent{{st: init, key: initKey}}
+	res.States = 1
+
+	check := func(st *efsm.State, key string) *Violation {
+		for _, inv := range invs {
+			if ok, detail := inv.Check(r, st); !ok {
+				steps, acts := buildTrace(r, visited, key)
+				return &Violation{Kind: InvariantViolation, Name: inv.Name, Detail: detail,
+					Trace: steps, actions: acts}
+			}
+		}
+		return nil
+	}
+	if v := check(init, initKey); v != nil {
+		res.Violation = v
+		return res, nil
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		depth := visited[cur.key].depth
+		if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
+			continue
+		}
+		acts, probs := r.Actions(cur.st)
+		if len(probs) > 0 {
+			p := probs[0]
+			steps, trActs := buildTrace(r, visited, cur.key)
+			res.Violation = &Violation{Kind: SemanticsProblem, Name: p.Kind.String(),
+				Detail: p.Detail, Trace: steps, actions: trActs}
+			return res, nil
+		}
+		if opts.CheckDeadlock && len(acts) == 0 {
+			steps, trActs := buildTrace(r, visited, cur.key)
+			res.Violation = &Violation{Kind: Deadlock, Name: "deadlock",
+				Detail: "no enabled action", Trace: steps, actions: trActs}
+			return res, nil
+		}
+		for _, a := range acts {
+			res.Transitions++
+			next := r.Apply(cur.st, a)
+			key := r.Encode(next)
+			if _, seen := visited[key]; seen {
+				continue
+			}
+			visited[key] = edge{parent: cur.key, action: a, depth: depth + 1}
+			res.States++
+			if depth+1 > res.Depth {
+				res.Depth = depth + 1
+			}
+			if v := check(next, key); v != nil {
+				res.Violation = v
+				return res, nil
+			}
+			if res.States >= maxStates {
+				return res, fmt.Errorf("mc: state budget %d exhausted (%d states)", maxStates, res.States)
+			}
+			queue = append(queue, qent{st: next, key: key})
+		}
+	}
+	res.OK = true
+	res.Complete = true
+	return res, nil
+}
+
+// buildTrace reconstructs the action path from the initial state to key and
+// replays it to render intermediate states.
+func buildTrace(r *efsm.Runtime, visited map[string]edge, key string) ([]TraceStep, []efsm.Action) {
+	var actions []efsm.Action
+	for {
+		e := visited[key]
+		if e.init {
+			break
+		}
+		actions = append(actions, e.action)
+		key = e.parent
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(actions)-1; i < j; i, j = i+1, j-1 {
+		actions[i], actions[j] = actions[j], actions[i]
+	}
+	st := r.Initial()
+	trace := []TraceStep{{State: r.FormatState(st)}}
+	for _, a := range actions {
+		st = r.Apply(st, a)
+		trace = append(trace, TraceStep{Action: r.FormatAction(a), State: r.FormatState(st)})
+	}
+	return trace, actions
+}

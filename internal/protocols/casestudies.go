@@ -1,0 +1,126 @@
+package protocols
+
+import (
+	"fmt"
+
+	"transit/internal/core"
+	"transit/internal/efsm"
+	"transit/internal/expr"
+	"transit/internal/mc"
+	"transit/internal/synth"
+)
+
+// The three case studies of §6, scripted for mechanical replay: each
+// starts from the snippets a programmer would transcribe from the source
+// description, synthesizes, model checks, and applies one corrective
+// batch per failed iteration — regenerating the Table 5 workflow metrics.
+
+// snippetsByLabel indexes a snippet list.
+func snippetsByLabel(snips []*efsm.Snippet) map[string]*efsm.Snippet {
+	m := make(map[string]*efsm.Snippet, len(snips))
+	for _, sn := range snips {
+		m[sn.Label] = sn
+	}
+	return m
+}
+
+func pick(m map[string]*efsm.Snippet, labels ...string) []*efsm.Snippet {
+	out := make([]*efsm.Snippet, 0, len(labels))
+	for _, l := range labels {
+		sn, ok := m[l]
+		if !ok {
+			panic(fmt.Sprintf("protocols: no snippet labelled %s", l))
+		}
+		out = append(out, sn)
+	}
+	return out
+}
+
+func fixedBuild(sys *efsm.System, vocab *expr.Vocabulary, invs []mc.Invariant) func() (*efsm.System, *expr.Vocabulary, []mc.Invariant, error) {
+	return func() (*efsm.System, *expr.Vocabulary, []mc.Invariant, error) {
+		return sys, vocab, invs, nil
+	}
+}
+
+// CaseStudyA is §6.1: the MSI protocol developed iteratively. The initial
+// transcription covers the request/response flows the text spells out;
+// the stale-message and race handlers that the text leaves implicit are
+// added as corrective batches when the model checker trips over them.
+func CaseStudyA(numCaches int) core.CaseStudy {
+	p := msiSkeleton(numCaches)
+	byLabel := snippetsByLabel(msiSnippets(p))
+	initial := pick(byLabel,
+		"c-load", "c-store", "c-upgrade", "c-evict-s", "c-evict-m",
+		"c-data-is", "c-data-im", "c-data-sm",
+		"c-inv-s", "c-fwdgets-m", "c-fwdgetm-m", "c-putack-mi",
+		"d-gets-i", "d-getm-i", "d-gets-s", "d-getm-s-solo", "d-getm-s-inv",
+		"d-invack-more", "d-invack-last", "d-bm-stall",
+		"d-gets-m", "d-getm-m", "d-putm-m-owner",
+		"d-downack", "d-bs-stall", "d-ownack", "d-bo-stall",
+	)
+	fixes := []core.FixBatch{
+		{Label: "invalidation during upgrade (S_M)", Snippets: pick(byLabel, "c-inv-sm")},
+		{Label: "stale invalidations after silent eviction", Snippets: pick(byLabel, "c-inv-i", "c-inv-is", "c-inv-im")},
+		{Label: "forward races with eviction (M_I)", Snippets: pick(byLabel, "c-fwdgets-mi", "c-fwdgetm-mi")},
+		{Label: "downgraded-while-evicting chains (S_I, I_I)", Snippets: pick(byLabel, "c-inv-si", "c-putack-si", "c-putack-ii")},
+		{Label: "stale PutM at the directory", Snippets: pick(byLabel, "d-putm-i", "d-putm-s", "d-putm-m-stale")},
+		{Label: "stale PutAck at an idle cache", Snippets: pick(byLabel, "c-putack-i")},
+	}
+	return core.CaseStudy{
+		Name:    "A: MSI",
+		Build:   fixedBuild(msiSystem("MSI-caseA", p), msiVocab(p), msiInvariants(p)),
+		Initial: initial,
+		Fixes:   fixes,
+		MCOpts:  mc.Options{MaxStates: 2_000_000, CheckDeadlock: true},
+		Limits:  synth.Limits{MaxSize: 12},
+	}
+}
+
+// CaseStudyB is §6.2: extending MSI to MESI. The baseline MSI snippets are
+// carried over with the idle-directory grant replaced by the exclusive
+// grant; the E-state behaviours the synthesis lectures describe as "new
+// scenarios" arrive in corrective batches.
+func CaseStudyB(numCaches int) core.CaseStudy {
+	p := msiSkeletonExt(numCaches, true)
+	base := snippetsByLabel(mesiBaseSnippets(p))
+	ext := snippetsByLabel(mesiExtensionSnippets(p))
+
+	var initial []*efsm.Snippet
+	for _, sn := range mesiBaseSnippets(p) {
+		initial = append(initial, sn)
+	}
+	_ = base
+	initial = append(initial, pick(ext, "d-gets-i-excl", "c-dataE-is", "c-silent-upgrade")...)
+
+	fixes := []core.FixBatch{
+		{Label: "directory must serve requests in E", Snippets: pick(ext, "d-gets-e", "d-getm-e")},
+		{Label: "owner-side forwards from E", Snippets: pick(ext, "c-fwdgets-e", "c-fwdgetm-e")},
+		{Label: "eviction from E", Snippets: pick(ext, "c-evict-e", "d-putm-e-owner", "d-putm-e-stale")},
+	}
+	return core.CaseStudy{
+		Name:    "B: MSI to MESI",
+		Build:   fixedBuild(msiSystem("MESI-caseB", p), msiVocab(p), mesiInvariants(p)),
+		Initial: initial,
+		Fixes:   fixes,
+		MCOpts:  mc.Options{MaxStates: 2_000_000, CheckDeadlock: true},
+		Limits:  synth.Limits{MaxSize: 12},
+	}
+}
+
+// CaseStudyC is §6.3: the Origin protocol from the Laudon–Lenoski flows,
+// with the read-to-exclusive Sharers update underspecified; the single
+// corrective batch is the §2 concrete snippet.
+func CaseStudyC(numCaches int) core.CaseStudy {
+	p := originSkeleton(numCaches)
+	return core.CaseStudy{
+		Name:    "C: SGI Origin",
+		Build:   fixedBuild(originSystem(p), originVocab(p), originInvariants(p)),
+		Initial: originSnippets(p, false),
+		Fixes: []core.FixBatch{
+			{Label: "previous owner dropped from Sharers (Figure 2)",
+				Snippets: []*efsm.Snippet{originReadToExclusiveFix(p)}},
+		},
+		MCOpts: mc.Options{MaxStates: 4_000_000, CheckDeadlock: true},
+		Limits: synth.Limits{MaxSize: 12},
+	}
+}

@@ -1,0 +1,22 @@
+package protocols
+
+import (
+	"testing"
+
+	"transit/internal/mc"
+)
+
+func TestMESISynthesizesAndVerifies(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		spec := MESI(n)
+		rep, res := synthesizeAndCheck(t, spec, mc.Options{MaxStates: 2_000_000, CheckDeadlock: true})
+		if !res.OK {
+			t.Fatalf("MESI(%d) violation:\n%v", n, res.Violation)
+		}
+		if !res.Complete {
+			t.Fatalf("MESI(%d) exploration incomplete", n)
+		}
+		t.Logf("MESI(%d): %d snippets, %d transitions, %d updates, %d guards synth, %d states",
+			n, rep.Snippets, rep.Transitions, rep.UpdatesSynthesized, rep.GuardsSynthesized, res.States)
+	}
+}

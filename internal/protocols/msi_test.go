@@ -1,0 +1,23 @@
+package protocols
+
+import (
+	"testing"
+
+	"transit/internal/mc"
+)
+
+func TestMSISynthesizesAndVerifies(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		spec := MSI(n)
+		rep, res := synthesizeAndCheck(t, spec, mc.Options{MaxStates: 2_000_000, CheckDeadlock: true})
+		if !res.OK {
+			t.Fatalf("MSI(%d) violation:\n%v", n, res.Violation)
+		}
+		if !res.Complete {
+			t.Fatalf("MSI(%d) exploration incomplete", n)
+		}
+		t.Logf("MSI(%d): %d snippets, %d transitions, %d updates, %d guards synth, %d/%d exprs tried, %d states",
+			n, rep.Snippets, rep.Transitions, rep.UpdatesSynthesized, rep.GuardsSynthesized,
+			rep.UpdateExprsTried, rep.GuardExprsTried, res.States)
+	}
+}

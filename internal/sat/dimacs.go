@@ -1,0 +1,57 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format into a fresh solver.
+// It tolerates comment lines and ignores the declared counts in the problem
+// line, sizing the solver by the literals actually seen.
+func ParseDIMACS(r io.Reader) (*Solver, error) {
+	s := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var pending []Lit
+	flush := func() {
+		if len(pending) > 0 {
+			s.AddClause(pending...)
+			pending = pending[:0]
+		}
+	}
+	ensure := func(v int) {
+		for s.NumVars() < v {
+			s.NewVar()
+		}
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") || strings.HasPrefix(line, "p") {
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad DIMACS token %q: %w", tok, err)
+			}
+			if n == 0 {
+				flush()
+				continue
+			}
+			v := n
+			if v < 0 {
+				v = -v
+			}
+			ensure(v)
+			pending = append(pending, MkLit(v-1, n < 0))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return s, nil
+}

@@ -1,0 +1,581 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver in the MiniSat tradition: two-watched-literal propagation, first-UIP
+// conflict analysis with clause learning, exponential VSIDS-style variable
+// activities with phase saving, and Luby-sequence restarts.
+//
+// It is the decision-procedure substrate underneath internal/smt, which
+// bit-blasts the finite-domain TRANSIT theory (Bool/Int/PID/Set/Enum) to
+// CNF. The paper used Z3 for these queries; on the bounded vocabulary the
+// two are interchangeable, and the SAT instances produced by protocol
+// synthesis are small (thousands of variables), so no clause-database
+// reduction is implemented.
+package sat
+
+import "fmt"
+
+// Lit is a literal: variable index v encodes to 2v (positive) or 2v+1
+// (negated).
+type Lit int32
+
+// MkLit builds a literal from a variable index and sign.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Not returns the negation of the literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("~x%d", l.Var())
+	}
+	return fmt.Sprintf("x%d", l.Var())
+}
+
+const litUndef = Lit(-2)
+
+// Status is a solver verdict.
+type Status int
+
+const (
+	// Unknown means the conflict budget was exhausted.
+	Unknown Status = iota
+	// Sat means a model was found.
+	Sat
+	// Unsat means the formula is unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+type clause struct {
+	lits   []Lit
+	learnt bool
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; construct with
+// New. Variables are created with NewVar and clauses added with AddClause
+// before calling Solve. Solvers are not safe for concurrent use.
+type Solver struct {
+	ok       bool // false once an empty clause is derived at level 0
+	clauses  []*clause
+	learnts  []*clause
+	watches  [][]*clause // indexed by Lit
+	assigns  []lbool     // indexed by var
+	phase    []bool      // saved polarity per var
+	level    []int       // decision level per var
+	reason   []*clause   // antecedent clause per var
+	trail    []Lit
+	trailLim []int // trail index per decision level
+	qhead    int
+	activity []float64
+	varInc   float64
+	order    *varHeap
+	seen     []bool // scratch for analyze
+
+	// Stats counts solver work; useful for benchmarks and debugging.
+	Stats struct {
+		Conflicts    int64
+		Decisions    int64
+		Propagations int64
+		Learnt       int64
+		Restarts     int64
+	}
+
+	// MaxConflicts bounds the search; 0 means unlimited. When exceeded,
+	// Solve returns Unknown.
+	MaxConflicts int64
+}
+
+// New creates an empty solver.
+func New() *Solver {
+	s := &Solver{ok: true, varInc: 1.0}
+	s.order = &varHeap{act: &s.activity}
+	return s
+}
+
+// NumVars reports the number of variables created.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NewVar creates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, lUndef)
+	s.phase = append(s.phase, false)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(v)
+	return v
+}
+
+func (s *Solver) value(l Lit) lbool {
+	a := s.assigns[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		if a == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return a
+}
+
+// AddClause adds a clause over existing variables. It returns false if the
+// solver is already in an unsatisfiable state (now or as a result of this
+// clause). Duplicate literals are removed and tautologies are ignored.
+// Clauses must be added at decision level 0, i.e. before Solve or after it
+// returns.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	// Incremental use: drop any model state from a previous Solve.
+	s.cancelUntil(0)
+	// Normalize: sort-free dedup and tautology/false-literal removal.
+	out := lits[:0:0]
+	for _, l := range lits {
+		if l.Var() >= s.NumVars() || l < 0 {
+			panic(fmt.Sprintf("sat: literal %v references unknown variable", l))
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // clause already satisfied at level 0
+		case lFalse:
+			continue // drop falsified literal
+		}
+		dup, taut := false, false
+		for _, m := range out {
+			if m == l {
+				dup = true
+				break
+			}
+			if m == l.Not() {
+				taut = true
+				break
+			}
+		}
+		if taut {
+			return true
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.enqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.watch(c)
+	return true
+}
+
+func (s *Solver) watch(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], c)
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) enqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns a conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[p]
+		s.watches[p] = ws[:0:0] // rebuilt below; keep surviving watchers
+		kept := s.watches[p]
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			// Ensure the falsified literal (¬p) sits at position 1.
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// If the other watch is already true, the clause is fine.
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Search for a new literal to watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, c)
+			if s.value(c.lits[0]) == lFalse {
+				// Conflict: restore remaining watchers and bail.
+				kept = append(kept, ws[i+1:]...)
+				s.watches[p] = kept
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.enqueue(c.lits[0], c)
+		}
+		s.watches[p] = kept
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt clause
+// (with the asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{litUndef}
+	counter := 0
+	p := litUndef
+	index := len(s.trail) - 1
+
+	for {
+		for _, q := range confl.lits {
+			if q == p {
+				continue
+			}
+			v := q.Var()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				s.bumpVar(v)
+				if s.level[v] >= s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Select next literal to resolve on, scanning the trail backwards.
+		for !s.seen[s.trail[index].Var()] {
+			index--
+		}
+		p = s.trail[index]
+		index--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+
+	// Compute backjump level: highest level among the non-asserting
+	// literals, and move such a literal to position 1 for watching.
+	bt := 0
+	for i := 1; i < len(learnt); i++ {
+		if lv := s.level[learnt[i].Var()]; lv > bt {
+			bt = lv
+			learnt[1], learnt[i] = learnt[i], learnt[1]
+		}
+	}
+	for _, l := range learnt[1:] {
+		s.seen[l.Var()] = false
+	}
+	return learnt, bt
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+		s.order.rebuild(s.NumVars())
+	}
+	s.order.update(v)
+}
+
+const varDecay = 0.95
+
+func (s *Solver) decayActivities() { s.varInc /= varDecay }
+
+// cancelUntil undoes assignments above the given decision level.
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	limit := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= limit; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.phase[v] = !l.Neg() // phase saving
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.order.pushIfAbsent(v)
+	}
+	s.trail = s.trail[:limit]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+// pickBranchVar selects the unassigned variable with the highest activity.
+func (s *Solver) pickBranchVar() int {
+	for {
+		v, ok := s.order.pop()
+		if !ok {
+			return -1
+		}
+		if s.assigns[v] == lUndef {
+			return v
+		}
+	}
+}
+
+// luby computes the Luby restart sequence term (1-indexed):
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+func luby(i int64) int64 {
+	x := i - 1
+	size, seq := int64(1), uint(0)
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return int64(1) << seq
+}
+
+const restartBase = 100
+
+// Solve searches for a model. It returns Sat, Unsat, or Unknown when
+// MaxConflicts is exhausted. After Sat, Model/ValueOf expose the model.
+// Solve may be called repeatedly, interleaved with AddClause, for
+// incremental use.
+func (s *Solver) Solve() Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.ok = false
+		return Unsat
+	}
+	var restartNum int64
+	conflictsAtStart := s.Stats.Conflicts
+	for {
+		restartNum++
+		budget := luby(restartNum) * restartBase
+		st := s.search(budget)
+		if st != Unknown {
+			return st
+		}
+		if s.MaxConflicts > 0 && s.Stats.Conflicts-conflictsAtStart >= s.MaxConflicts {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		s.Stats.Restarts++
+	}
+}
+
+// search runs CDCL until a verdict or until the given number of conflicts,
+// in which case it returns Unknown (restart).
+func (s *Solver) search(conflictBudget int64) Status {
+	var conflicts int64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, bt := s.analyze(confl)
+			s.cancelUntil(bt)
+			if len(learnt) == 1 {
+				s.enqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.Stats.Learnt++
+				s.watch(c)
+				s.enqueue(learnt[0], c)
+			}
+			s.decayActivities()
+			if conflictBudget > 0 && conflicts >= conflictBudget {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			if s.MaxConflicts > 0 && s.Stats.Conflicts >= s.MaxConflicts {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			continue
+		}
+		// No conflict: decide.
+		v := s.pickBranchVar()
+		if v < 0 {
+			return Sat // all variables assigned
+		}
+		s.Stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(MkLit(v, !s.phase[v]), nil)
+	}
+}
+
+// ValueOf reports the model value of a variable after Sat.
+func (s *Solver) ValueOf(v int) bool { return s.assigns[v] == lTrue }
+
+// Model returns a copy of the model after Sat.
+func (s *Solver) Model() []bool {
+	m := make([]bool, s.NumVars())
+	for v := range m {
+		m[v] = s.assigns[v] == lTrue
+	}
+	return m
+}
+
+// varHeap is a max-heap of variables ordered by activity, with lazy
+// deletion (popped variables may be stale; callers recheck assignment).
+type varHeap struct {
+	act     *[]float64
+	heap    []int
+	indices []int // position+1 per var; 0 = absent
+}
+
+func (h *varHeap) less(i, j int) bool { return (*h.act)[h.heap[i]] > (*h.act)[h.heap[j]] }
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.indices[h.heap[i]] = i + 1
+	h.indices[h.heap[j]] = j + 1
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(l, best) {
+			best = l
+		}
+		if r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *varHeap) push(v int) {
+	for v >= len(h.indices) {
+		h.indices = append(h.indices, 0)
+	}
+	if h.indices[v] != 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.indices[v] = len(h.heap)
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pushIfAbsent(v int) { h.push(v) }
+
+func (h *varHeap) pop() (int, bool) {
+	if len(h.heap) == 0 {
+		return -1, false
+	}
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.indices[v] = 0
+	if last > 0 {
+		h.down(0)
+	}
+	return v, true
+}
+
+func (h *varHeap) update(v int) {
+	if v < len(h.indices) && h.indices[v] != 0 {
+		h.up(h.indices[v] - 1)
+	}
+}
+
+func (h *varHeap) rebuild(numVars int) {
+	h.heap = h.heap[:0]
+	for i := range h.indices {
+		h.indices[i] = 0
+	}
+	for v := 0; v < numVars; v++ {
+		h.push(v)
+	}
+}

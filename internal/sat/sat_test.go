@@ -1,0 +1,312 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEmptyFormula(t *testing.T) {
+	s := New()
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("empty formula: %v", st)
+	}
+}
+
+func TestUnitClauses(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false))
+	s.AddClause(MkLit(b, true))
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	if !s.ValueOf(a) || s.ValueOf(b) {
+		t.Errorf("model a=%v b=%v, want true,false", s.ValueOf(a), s.ValueOf(b))
+	}
+}
+
+func TestContradiction(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	if ok := s.AddClause(MkLit(a, true)); ok {
+		t.Error("adding contradictory unit should report failure")
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestTautologyAndDuplicates(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	// Tautological clause is a no-op.
+	s.AddClause(MkLit(a, false), MkLit(a, true))
+	// Duplicate literals collapse.
+	s.AddClause(MkLit(b, false), MkLit(b, false))
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	if !s.ValueOf(b) {
+		t.Error("b must be true")
+	}
+}
+
+func TestEmptyClause(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if ok := s.AddClause(); ok {
+		t.Error("empty clause should report failure")
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestSimpleImplicationChain(t *testing.T) {
+	// a, a->b, b->c, c->d forces all true.
+	s := New()
+	vs := []int{s.NewVar(), s.NewVar(), s.NewVar(), s.NewVar()}
+	s.AddClause(MkLit(vs[0], false))
+	for i := 0; i < 3; i++ {
+		s.AddClause(MkLit(vs[i], true), MkLit(vs[i+1], false))
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	for i, v := range vs {
+		if !s.ValueOf(v) {
+			t.Errorf("v%d should be true", i)
+		}
+	}
+}
+
+// pigeonhole encodes PHP(n+1, n): n+1 pigeons into n holes — unsatisfiable,
+// and requires real clause learning to refute quickly.
+func pigeonhole(pigeons, holes int) *Solver {
+	s := New()
+	vars := make([][]int, pigeons)
+	for p := range vars {
+		vars[p] = make([]int, holes)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = MkLit(vars[p][h], false)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(MkLit(vars[p1][h], true), MkLit(vars[p2][h], true))
+			}
+		}
+	}
+	return s
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		s := pigeonhole(n+1, n)
+		if st := s.Solve(); st != Unsat {
+			t.Fatalf("PHP(%d,%d) = %v, want unsat", n+1, n, st)
+		}
+	}
+}
+
+func TestPigeonholeSat(t *testing.T) {
+	s := pigeonhole(4, 4)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("PHP(4,4) = %v, want sat", st)
+	}
+}
+
+func TestMaxConflictsUnknown(t *testing.T) {
+	s := pigeonhole(8, 7)
+	s.MaxConflicts = 5
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("status %v, want unknown under tiny budget", st)
+	}
+}
+
+func TestLubySequence(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestIncrementalSolving(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false))
+	if st := s.Solve(); st != Sat {
+		t.Fatal("first solve should be sat")
+	}
+	// Constrain further based on the model and re-solve.
+	s.AddClause(MkLit(a, true))
+	s.AddClause(MkLit(b, true))
+	if st := s.Solve(); st != Unsat {
+		t.Fatal("a|b, !a, !b should be unsat")
+	}
+}
+
+// brute checks satisfiability of a clause set by exhaustive enumeration.
+func brute(numVars int, clauses [][]Lit) bool {
+	for m := 0; m < 1<<uint(numVars); m++ {
+		ok := true
+		for _, c := range clauses {
+			sat := false
+			for _, l := range c {
+				val := m&(1<<uint(l.Var())) != 0
+				if val != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func modelSatisfies(s *Solver, clauses [][]Lit) bool {
+	for _, c := range clauses {
+		sat := false
+		for _, l := range c {
+			if s.ValueOf(l.Var()) != l.Neg() {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		numVars := 3 + rng.Intn(10) // 3..12
+		// Around the phase-transition ratio to get a mix of sat/unsat.
+		numClauses := int(4.2*float64(numVars)) + rng.Intn(5) - 2
+		var clauses [][]Lit
+		s := New()
+		for i := 0; i < numVars; i++ {
+			s.NewVar()
+		}
+		for i := 0; i < numClauses; i++ {
+			var c []Lit
+			for len(c) < 3 {
+				v := rng.Intn(numVars)
+				l := MkLit(v, rng.Intn(2) == 0)
+				c = append(c, l)
+			}
+			clauses = append(clauses, c)
+			s.AddClause(c...)
+		}
+		got := s.Solve()
+		want := brute(numVars, clauses)
+		if (got == Sat) != want {
+			t.Fatalf("trial %d: solver=%v brute=%v (n=%d, m=%d)", trial, got, want, numVars, numClauses)
+		}
+		if got == Sat && !modelSatisfies(s, clauses) {
+			t.Fatalf("trial %d: model does not satisfy formula", trial)
+		}
+	}
+}
+
+func TestRandomWideClausesAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		numVars := 2 + rng.Intn(9)
+		numClauses := 1 + rng.Intn(4*numVars)
+		var clauses [][]Lit
+		s := New()
+		for i := 0; i < numVars; i++ {
+			s.NewVar()
+		}
+		for i := 0; i < numClauses; i++ {
+			width := 1 + rng.Intn(4)
+			var c []Lit
+			for len(c) < width {
+				c = append(c, MkLit(rng.Intn(numVars), rng.Intn(2) == 0))
+			}
+			clauses = append(clauses, c)
+			s.AddClause(c...)
+		}
+		got := s.Solve()
+		want := brute(numVars, clauses)
+		if (got == Sat) != want {
+			t.Fatalf("trial %d: solver=%v brute=%v", trial, got, want)
+		}
+		if got == Sat && !modelSatisfies(s, clauses) {
+			t.Fatalf("trial %d: bad model", trial)
+		}
+	}
+}
+
+func TestParseDIMACS(t *testing.T) {
+	src := `c sample
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+`
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 3 {
+		t.Fatalf("NumVars = %d", s.NumVars())
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	// -1 forces x1 false; clause 1 forces -2; clause 2 forces x3.
+	if s.ValueOf(0) || s.ValueOf(1) || !s.ValueOf(2) {
+		t.Errorf("model %v %v %v", s.ValueOf(0), s.ValueOf(1), s.ValueOf(2))
+	}
+}
+
+func TestParseDIMACSBadToken(t *testing.T) {
+	if _, err := ParseDIMACS(strings.NewReader("1 x 0\n")); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	s := pigeonhole(5, 4)
+	s.Solve()
+	if s.Stats.Conflicts == 0 || s.Stats.Decisions == 0 || s.Stats.Propagations == 0 {
+		t.Errorf("stats should be non-zero: %+v", s.Stats)
+	}
+}
+
+func TestLitHelpers(t *testing.T) {
+	l := MkLit(5, true)
+	if l.Var() != 5 || !l.Neg() {
+		t.Error("MkLit/Var/Neg broken")
+	}
+	if l.Not().Neg() || l.Not().Var() != 5 {
+		t.Error("Not broken")
+	}
+	if l.String() != "~x5" || l.Not().String() != "x5" {
+		t.Error("String broken")
+	}
+}

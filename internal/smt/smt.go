@@ -1,0 +1,168 @@
+// Package smt implements a finite-domain SMT solver for the TRANSIT
+// expression theory by bit-blasting to CNF and deciding with the CDCL
+// solver in internal/sat.
+//
+// The paper dispatches its consistency queries ("is ¬C[o := e]
+// satisfiable?") to Z3. All TRANSIT types are finite in a given Universe —
+// Bool, W-bit Int, PID in [0, numcaches), Set ⊆ PIDs, finite Enums — so the
+// same queries are decidable by propositional encoding: every theory
+// variable becomes a vector of SAT variables, every Table 1 operation
+// becomes a circuit (ripple-carry adders, comparators, popcount, one-hot
+// decoders, muxes), and the formula is asserted through Tseitin
+// transformation. Models decode back to typed values.
+//
+// A brute-force reference solver (SolveBrute) enumerates the value domains
+// directly; tests cross-validate the two on random formulas.
+package smt
+
+import (
+	"fmt"
+	"sort"
+
+	"transit/internal/expr"
+	"transit/internal/sat"
+)
+
+// Status mirrors the SAT solver verdicts.
+type Status = sat.Status
+
+// Re-exported verdicts.
+const (
+	Unknown = sat.Unknown
+	Sat     = sat.Sat
+	Unsat   = sat.Unsat
+)
+
+// Result is the outcome of a satisfiability check. Model is non-nil only
+// when Status == Sat and assigns a value to every declared variable.
+type Result struct {
+	Status Status
+	Model  expr.Env
+}
+
+// Options tunes a query.
+type Options struct {
+	// MaxConflicts bounds the SAT search; 0 means unlimited. Exhausting it
+	// yields Status Unknown.
+	MaxConflicts int64
+}
+
+// Stats reports encoding and solving work for one query.
+type Stats struct {
+	SATVars    int
+	Clauses    int64
+	Conflicts  int64
+	Decisions  int64
+	Propagated int64
+}
+
+// Solve checks satisfiability of a Boolean formula over the given typed
+// variables in the universe. Every free variable of the formula must appear
+// in vars (vars may include unused variables; they receive arbitrary model
+// values).
+func Solve(u *expr.Universe, vars []*expr.Var, formula expr.Expr) (Result, error) {
+	return SolveOpt(u, vars, formula, Options{})
+}
+
+// SolveOpt is Solve with options.
+func SolveOpt(u *expr.Universe, vars []*expr.Var, formula expr.Expr, opts Options) (Result, error) {
+	r, _, err := SolveStats(u, vars, formula, opts)
+	return r, err
+}
+
+// SolveStats is SolveOpt, additionally reporting work statistics.
+func SolveStats(u *expr.Universe, vars []*expr.Var, formula expr.Expr, opts Options) (Result, Stats, error) {
+	if formula.Type() != expr.BoolType {
+		return Result{}, Stats{}, fmt.Errorf("smt: formula has type %s, want Bool", formula.Type())
+	}
+	enc, err := newEncoder(u, vars)
+	if err != nil {
+		return Result{}, Stats{}, err
+	}
+	root, err := enc.encode(formula)
+	if err != nil {
+		return Result{}, Stats{}, err
+	}
+	enc.s.AddClause(root[0])
+	enc.s.MaxConflicts = opts.MaxConflicts
+	st := enc.s.Solve()
+	stats := Stats{
+		SATVars:    enc.s.NumVars(),
+		Clauses:    enc.numClauses,
+		Conflicts:  enc.s.Stats.Conflicts,
+		Decisions:  enc.s.Stats.Decisions,
+		Propagated: enc.s.Stats.Propagations,
+	}
+	res := Result{Status: st}
+	if st == Sat {
+		res.Model = enc.decodeModel()
+	}
+	return res, stats, nil
+}
+
+// Valid reports whether the formula holds for all variable valuations: it
+// checks that the negation is unsatisfiable. When the formula is not valid,
+// the returned counterexample model falsifies it.
+func Valid(u *expr.Universe, vars []*expr.Var, formula expr.Expr) (bool, expr.Env, error) {
+	return ValidOpt(u, vars, formula, Options{})
+}
+
+// ValidOpt is Valid with options. Status Unknown from the underlying solver
+// is reported as an error, since neither verdict is established.
+func ValidOpt(u *expr.Universe, vars []*expr.Var, formula expr.Expr, opts Options) (bool, expr.Env, error) {
+	res, err := SolveOpt(u, vars, expr.Not(formula), opts)
+	if err != nil {
+		return false, nil, err
+	}
+	switch res.Status {
+	case Unsat:
+		return true, nil, nil
+	case Sat:
+		return false, res.Model, nil
+	default:
+		return false, nil, fmt.Errorf("smt: validity check exhausted conflict budget")
+	}
+}
+
+// SolveBrute is a reference satisfiability procedure that enumerates the
+// full product of variable domains. It errors when the product exceeds
+// maxAssignments. It exists to cross-validate the bit-blasting encoder.
+func SolveBrute(u *expr.Universe, vars []*expr.Var, formula expr.Expr, maxAssignments uint64) (Result, error) {
+	if formula.Type() != expr.BoolType {
+		return Result{}, fmt.Errorf("smt: formula has type %s, want Bool", formula.Type())
+	}
+	// Deterministic order.
+	sorted := append([]*expr.Var(nil), vars...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	total := uint64(1)
+	domains := make([][]expr.Value, len(sorted))
+	for i, v := range sorted {
+		domains[i] = expr.ValuesOf(u, v.VT)
+		total *= uint64(len(domains[i]))
+		if total > maxAssignments {
+			return Result{}, fmt.Errorf("smt: brute-force domain product exceeds %d", maxAssignments)
+		}
+	}
+	idx := make([]int, len(sorted))
+	env := make(expr.Env, len(sorted))
+	for {
+		for i, v := range sorted {
+			env[v.Name] = domains[i][idx[i]]
+		}
+		if formula.Eval(u, env).Bool() {
+			return Result{Status: Sat, Model: env.Clone()}, nil
+		}
+		// Next assignment (odometer).
+		i := 0
+		for ; i < len(idx); i++ {
+			idx[i]++
+			if idx[i] < len(domains[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(idx) {
+			return Result{Status: Unsat}, nil
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package synth
+
+import (
+	"fmt"
+	"time"
+
+	"transit/internal/expr"
+	"transit/internal/smt"
+)
+
+// SolveConcolic implements Algorithm 2: maintain a set of concretizations
+// of the concolic examples; propose a candidate with SolveConcrete; check
+// the candidate against every concolic example with an SMT query on
+// ¬C[o := e]; on failure, extract the witness valuation S, solve for an
+// output value k_o that satisfies the post-condition under S, add the
+// concretization (S, k_o), and iterate.
+func SolveConcolic(p Problem, examples []ConcolicExample, limits Limits) (expr.Expr, Stats, error) {
+	limits = limits.withDefaults()
+	stats := Stats{}
+	start := time.Now()
+	defer func() { stats.Elapsed = time.Since(start) }()
+
+	if err := p.validate(); err != nil {
+		return nil, stats, err
+	}
+	for i, c := range examples {
+		if c.Pre.Type() != expr.BoolType || c.Post.Type() != expr.BoolType {
+			return nil, stats, fmt.Errorf("synth: concolic example %d is not Boolean", i)
+		}
+	}
+	smtOpts := smt.Options{MaxConflicts: limits.SMTConflicts}
+
+	var concrete []ConcreteExample
+	for iter := 1; iter <= limits.MaxIters; iter++ {
+		stats.Iterations = iter
+		candidate, cstats, err := SolveConcrete(p, concrete, limits)
+		stats.Concrete.Enumerated += cstats.Enumerated
+		stats.Concrete.Kept += cstats.Kept
+		if cstats.MaxSizeSeen > stats.Concrete.MaxSizeSeen {
+			stats.Concrete.MaxSizeSeen = cstats.MaxSizeSeen
+		}
+		if err != nil {
+			return nil, stats, err
+		}
+
+		rec := IterRecord{Candidate: candidate}
+		consistent := true
+		for _, c := range examples {
+			// ¬C[o := e] is pre ∧ ¬post[o := e].
+			post := expr.Subst(c.Post, p.Output.Name, candidate)
+			query := expr.And(c.Pre, expr.Not(post))
+			stats.SMTQueries++
+			res, err := smt.SolveOpt(p.U, p.Vars, query, smtOpts)
+			if err != nil {
+				return nil, stats, fmt.Errorf("synth: consistency query: %w", err)
+			}
+			if res.Status == smt.Unknown {
+				return nil, stats, fmt.Errorf("synth: consistency query exhausted SMT budget")
+			}
+			if res.Status == smt.Unsat {
+				continue
+			}
+			// Witness S falsifies the example; concretize it.
+			consistent = false
+			S := res.Model
+			ko, err := concretizeOutput(p, examples, S, smtOpts, &stats)
+			if err != nil {
+				return nil, stats, err
+			}
+			ex := ConcreteExample{S: S, Out: ko}
+			concrete = append(concrete, ex)
+			rec.Witness = S
+			rec.NewExample = &ex
+			// One new concretization per iteration keeps the trace
+			// aligned with the paper's Table 2; remaining examples are
+			// re-checked next round against the refined candidate.
+			break
+		}
+		stats.Trace = append(stats.Trace, rec)
+		if consistent {
+			return candidate, stats, nil
+		}
+	}
+	return nil, stats, fmt.Errorf("%w: CEGIS iteration budget %d exhausted", ErrNoExpression, limits.MaxIters)
+}
+
+// concretizeOutput finds k_o for the pinned valuation S (line 9 of
+// Algorithm 2). The paper concretizes against the violated example's
+// post-condition; we concretize against the conjunction of all examples
+// (pre_i ⇒ post_i), which any consistent expression must satisfy at S —
+// this prevents two iterations from pinning contradictory outputs for the
+// same S when examples interact. If no output value exists, the example
+// set is contradictory for a reachable input valuation.
+func concretizeOutput(p Problem, examples []ConcolicExample, S expr.Env, opts smt.Options, stats *Stats) (expr.Value, error) {
+	pins := make([]expr.Expr, 0, len(p.Vars)+len(examples))
+	for _, v := range p.Vars {
+		val, ok := S[v.Name]
+		if !ok {
+			return expr.Value{}, fmt.Errorf("synth: witness lacks value for %s", v.Name)
+		}
+		pins = append(pins, expr.Eq(v, expr.NewConst(val)))
+	}
+	for _, ex := range examples {
+		pins = append(pins, ex.Formula())
+	}
+	query := expr.And(pins...)
+	vars := append(append([]*expr.Var(nil), p.Vars...), p.Output)
+	stats.SMTQueries++
+	res, err := smt.SolveOpt(p.U, vars, query, opts)
+	if err != nil {
+		return expr.Value{}, fmt.Errorf("synth: output concretization: %w", err)
+	}
+	switch res.Status {
+	case smt.Sat:
+		return res.Model[p.Output.Name], nil
+	case smt.Unsat:
+		return expr.Value{}, fmt.Errorf("%w: no output value satisfies post-condition under %v",
+			ErrInconsistent, S)
+	default:
+		return expr.Value{}, fmt.Errorf("synth: output concretization exhausted SMT budget")
+	}
+}

@@ -1,0 +1,270 @@
+package synth
+
+import (
+	"fmt"
+	"time"
+
+	"transit/internal/expr"
+)
+
+// SolveConcrete implements Algorithm 1: enumerate expressions of increasing
+// size over the vocabulary, pruning candidates whose signature (vector of
+// evaluations over the concrete examples) has been seen before, until one
+// matches the goal signature (the vector of example outputs).
+//
+// With an empty example set, every expression is indistinguishable from
+// every other of its type, so the first enumerated expression of the output
+// type is returned — exactly the seeding behaviour Algorithm 2 relies on.
+func SolveConcrete(p Problem, examples []ConcreteExample, limits Limits) (expr.Expr, ConcreteStats, error) {
+	limits = limits.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, ConcreteStats{}, err
+	}
+	for i, c := range examples {
+		if c.Out.Type() != p.Output.VT {
+			return nil, ConcreteStats{}, fmt.Errorf("synth: example %d output has type %s, want %s",
+				i, c.Out.Type(), p.Output.VT)
+		}
+	}
+	e := &enumerator{p: p, examples: examples, limits: limits, start: time.Now()}
+	res, err := e.run()
+	return res, e.stats, err
+}
+
+// entry pairs a retained expression with its signature so that parent
+// signatures compose from child signatures without re-walking trees.
+type entry struct {
+	e   expr.Expr
+	sig []expr.Value
+}
+
+type enumerator struct {
+	p        Problem
+	examples []ConcreteExample
+	limits   Limits
+	start    time.Time
+	stats    ConcreteStats
+
+	// perSize[s][t] holds retained entries of size s and type t.
+	perSize []map[expr.Type][]entry
+	sigSeen map[string]struct{}
+	goalKey string
+	sigBuf  []expr.Value
+	keyBuf  []byte
+	argBuf  []expr.Value
+}
+
+// errStop distinguishes budget exhaustion from normal exhaustion.
+type errStop struct{ reason string }
+
+func (e errStop) Error() string { return e.reason }
+
+func (en *enumerator) run() (expr.Expr, error) {
+	en.sigSeen = make(map[string]struct{})
+	en.perSize = make([]map[expr.Type][]entry, en.limits.MaxSize+1)
+	for i := range en.perSize {
+		en.perSize[i] = make(map[expr.Type][]entry)
+	}
+	en.sigBuf = make([]expr.Value, len(en.examples))
+
+	goal := make([]expr.Value, len(en.examples))
+	for i, c := range en.examples {
+		goal[i] = c.Out
+	}
+	en.goalKey = en.sigKey(en.p.Output.VT, goal)
+
+	// Size 1: variables and arity-0 function symbols.
+	en.stats.MaxSizeSeen = 1
+	for _, v := range en.p.Vars {
+		if found, err := en.consider(v); err != nil {
+			return nil, budgetErr(err)
+		} else if found != nil {
+			return found, nil
+		}
+	}
+	for _, f := range en.p.Vocab.Funcs() {
+		if f.Arity() != 0 {
+			continue
+		}
+		if found, err := en.consider(expr.NewApply(f)); err != nil {
+			return nil, budgetErr(err)
+		} else if found != nil {
+			return found, nil
+		}
+	}
+
+	// Sizes 2..MaxSize: compose from smaller retained entries.
+	for size := 2; size <= en.limits.MaxSize; size++ {
+		en.stats.MaxSizeSeen = size
+		for _, f := range en.p.Vocab.Funcs() {
+			m := f.Arity()
+			if m == 0 {
+				continue
+			}
+			found, err := en.compose(f, size)
+			if err != nil {
+				return nil, budgetErr(err)
+			}
+			if found != nil {
+				return found, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w (size <= %d, %d candidates)", ErrNoExpression, en.limits.MaxSize, en.stats.Enumerated)
+}
+
+func budgetErr(err error) error {
+	if s, ok := err.(errStop); ok {
+		return fmt.Errorf("%w (%s)", ErrNoExpression, s.reason)
+	}
+	return err
+}
+
+// compose enumerates f(e1..em) of the exact target size by splitting
+// size-1 across the arguments.
+func (en *enumerator) compose(f *expr.Func, size int) (expr.Expr, error) {
+	m := f.Arity()
+	budget := size - 1
+	if budget < m {
+		return nil, nil
+	}
+	shares := make([]int, m)
+	args := make([]entry, m)
+	var rec func(i, remaining int) (expr.Expr, error)
+	rec = func(i, remaining int) (expr.Expr, error) {
+		if i == m-1 {
+			shares[i] = remaining
+			return en.tuples(f, shares, args, 0)
+		}
+		for s := 1; s <= remaining-(m-1-i); s++ {
+			shares[i] = s
+			if found, err := rec(i+1, remaining-s); err != nil || found != nil {
+				return found, err
+			}
+		}
+		return nil, nil
+	}
+	return rec(0, budget)
+}
+
+// tuples iterates the Cartesian product of retained entries matching the
+// chosen size split.
+func (en *enumerator) tuples(f *expr.Func, shares []int, args []entry, i int) (expr.Expr, error) {
+	if i == len(shares) {
+		return en.considerApply(f, args)
+	}
+	pool := en.perSize[shares[i]][f.Params[i]]
+	for _, ent := range pool {
+		args[i] = ent
+		if found, err := en.tuples(f, shares, args, i+1); err != nil || found != nil {
+			return found, err
+		}
+	}
+	return nil, nil
+}
+
+// considerApply evaluates the candidate's signature from child signatures,
+// prunes, and on survival materializes the expression node. The hot path
+// is allocation-free until a candidate survives pruning: the signature and
+// key live in reusable buffers, and map lookups use the compiler's
+// alloc-free string([]byte) comparison.
+func (en *enumerator) considerApply(f *expr.Func, args []entry) (expr.Expr, error) {
+	if err := en.charge(); err != nil {
+		return nil, err
+	}
+	if cap(en.argBuf) < len(args) {
+		en.argBuf = make([]expr.Value, len(args))
+	}
+	argv := en.argBuf[:len(args)]
+	for k := range en.examples {
+		for j := range args {
+			argv[j] = args[j].sig[k]
+		}
+		en.sigBuf[k] = f.Apply(en.p.U, argv)
+	}
+	en.fillKeyBuf(f.Ret, en.sigBuf)
+	if !en.limits.NoPrune {
+		if _, seen := en.sigSeen[string(en.keyBuf)]; seen {
+			return nil, nil
+		}
+		en.sigSeen[string(en.keyBuf)] = struct{}{}
+	}
+	childExprs := make([]expr.Expr, len(args))
+	size := 1
+	for j, a := range args {
+		childExprs[j] = a.e
+		size += a.e.Size()
+	}
+	node := expr.NewApply(f, childExprs...)
+	return en.retain(node, size)
+}
+
+// consider handles size-1 candidates, which must be evaluated directly.
+func (en *enumerator) consider(e expr.Expr) (expr.Expr, error) {
+	if err := en.charge(); err != nil {
+		return nil, err
+	}
+	for k, c := range en.examples {
+		en.sigBuf[k] = e.Eval(en.p.U, c.S)
+	}
+	en.fillKeyBuf(e.Type(), en.sigBuf)
+	if !en.limits.NoPrune {
+		if _, seen := en.sigSeen[string(en.keyBuf)]; seen {
+			return nil, nil
+		}
+		en.sigSeen[string(en.keyBuf)] = struct{}{}
+	}
+	return en.retain(e, e.Size())
+}
+
+// retain stores a surviving candidate (whose key is in keyBuf) and reports
+// it if it hits the goal.
+func (en *enumerator) retain(e expr.Expr, size int) (expr.Expr, error) {
+	en.stats.Kept++
+	if e.Type() == en.p.Output.VT && string(en.keyBuf) == en.goalKey {
+		en.stats.Elapsed = time.Since(en.start)
+		return e, nil
+	}
+	if size < len(en.perSize) {
+		sig := append([]expr.Value(nil), en.sigBuf...)
+		en.perSize[size][e.Type()] = append(en.perSize[size][e.Type()], entry{e: e, sig: sig})
+	}
+	return nil, nil
+}
+
+// charge accounts one candidate against the budgets.
+func (en *enumerator) charge() error {
+	en.stats.Enumerated++
+	if en.stats.Enumerated >= en.limits.MaxExprs {
+		en.stats.Elapsed = time.Since(en.start)
+		return errStop{reason: fmt.Sprintf("expression budget %d exhausted", en.limits.MaxExprs)}
+	}
+	if en.limits.Timeout > 0 && en.stats.Enumerated%4096 == 0 {
+		if time.Since(en.start) > en.limits.Timeout {
+			en.stats.Elapsed = time.Since(en.start)
+			return errStop{reason: "timeout"}
+		}
+	}
+	return nil
+}
+
+// fillKeyBuf builds the map key for a signature into keyBuf: the expression
+// type tag followed by the fixed-width encodings of the example values.
+func (en *enumerator) fillKeyBuf(t expr.Type, sig []expr.Value) {
+	en.keyBuf = en.keyBuf[:0]
+	en.keyBuf = append(en.keyBuf, byte(t.Kind))
+	if t.Kind == expr.KindEnum {
+		en.keyBuf = append(en.keyBuf, byte(t.Enum.ID()))
+	} else {
+		en.keyBuf = append(en.keyBuf, 0)
+	}
+	for _, v := range sig {
+		en.keyBuf = v.AppendEncoding(en.keyBuf)
+	}
+}
+
+// sigKey is fillKeyBuf returning an owned string (used for the goal key).
+func (en *enumerator) sigKey(t expr.Type, sig []expr.Value) string {
+	en.fillKeyBuf(t, sig)
+	return string(en.keyBuf)
+}

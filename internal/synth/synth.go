@@ -1,0 +1,137 @@
+// Package synth implements the paper's expression-inference engine:
+// Algorithm 1 (SolveConcrete), the bottom-up enumerative search pruned by
+// signature indistinguishability, and Algorithm 2 (SolveConcolic), the
+// CEGIS loop that alternates enumeration over concretizations with SMT
+// consistency checks against concolic examples.
+package synth
+
+import (
+	"errors"
+	"time"
+
+	"transit/internal/expr"
+)
+
+// ConcreteExample is the paper's (S, k_o) pair: a valuation S of the input
+// variables and the concrete output value k_o the target expression must
+// produce under S.
+type ConcreteExample struct {
+	S   expr.Env
+	Out expr.Value
+}
+
+// ConcolicExample is the paper's pre ⇒ post example: Pre is a Boolean
+// expression over the input variables V, Post a Boolean expression over
+// V ∪ {o} where o is the distinguished output variable. An expression e is
+// consistent with the example iff pre ⇒ post[o := e] is valid.
+type ConcolicExample struct {
+	Pre  expr.Expr
+	Post expr.Expr
+}
+
+// Formula renders the example as the single implication pre ⇒ post.
+func (c ConcolicExample) Formula() expr.Expr { return expr.Implies(c.Pre, c.Post) }
+
+// Problem fixes the inference instance: the universe, the expression
+// vocabulary G = (T, F), the typed input variables V, and the typed output
+// variable o ∉ V.
+type Problem struct {
+	U      *expr.Universe
+	Vocab  *expr.Vocabulary
+	Vars   []*expr.Var
+	Output *expr.Var
+}
+
+// validate checks structural sanity of the problem.
+func (p Problem) validate() error {
+	if p.U == nil || p.Vocab == nil || p.Output == nil {
+		return errors.New("synth: problem requires universe, vocabulary and output variable")
+	}
+	for _, v := range p.Vars {
+		if v.Name == p.Output.Name {
+			return errors.New("synth: output variable must not appear in input variables")
+		}
+	}
+	return nil
+}
+
+// Limits bounds the search. Zero fields take the defaults below.
+type Limits struct {
+	// MaxSize is the largest expression size enumerated.
+	MaxSize int
+	// MaxExprs caps the number of candidate expressions examined
+	// (enumerated, whether or not pruned).
+	MaxExprs int64
+	// MaxIters caps CEGIS iterations in SolveConcolic.
+	MaxIters int
+	// Timeout caps wall-clock time for the whole call; 0 means none.
+	Timeout time.Duration
+	// SMTConflicts bounds each SMT query; 0 means unlimited.
+	SMTConflicts int64
+	// NoPrune disables indistinguishability pruning (the paper's
+	// "Exhaustive" variant, used as the Figure 5 baseline).
+	NoPrune bool
+}
+
+// Default limits.
+const (
+	DefaultMaxSize  = 20
+	DefaultMaxExprs = 20_000_000
+	DefaultMaxIters = 64
+)
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxSize == 0 {
+		l.MaxSize = DefaultMaxSize
+	}
+	if l.MaxExprs == 0 {
+		l.MaxExprs = DefaultMaxExprs
+	}
+	if l.MaxIters == 0 {
+		l.MaxIters = DefaultMaxIters
+	}
+	return l
+}
+
+// Sentinel errors.
+var (
+	// ErrNoExpression means the bounded space held no consistent
+	// expression (or a resource limit cut the search off).
+	ErrNoExpression = errors.New("synth: no consistent expression within limits")
+	// ErrInconsistent means the example set itself admits no output value
+	// for some reachable input valuation.
+	ErrInconsistent = errors.New("synth: example set is inconsistent")
+)
+
+// ConcreteStats reports enumeration work done by SolveConcrete.
+type ConcreteStats struct {
+	// Enumerated counts every candidate expression examined, including
+	// ones discarded as indistinguishable. This is the Figure 5 metric.
+	Enumerated int64
+	// Kept counts distinct signatures retained.
+	Kept int64
+	// MaxSizeSeen is the largest size tier the search entered.
+	MaxSizeSeen int
+	Elapsed     time.Duration
+}
+
+// IterRecord traces one CEGIS iteration; Table 2 of the paper is a
+// rendering of this trace for max(a, b).
+type IterRecord struct {
+	// Candidate is the expression proposed by SolveConcrete.
+	Candidate expr.Expr
+	// Witness is the SMT model showing inconsistency, or nil when the
+	// candidate was accepted.
+	Witness expr.Env
+	// NewExample is the concretization added, or nil when accepted.
+	NewExample *ConcreteExample
+}
+
+// Stats reports work done by SolveConcolic.
+type Stats struct {
+	Concrete   ConcreteStats
+	SMTQueries int
+	Iterations int
+	Elapsed    time.Duration
+	Trace      []IterRecord
+}
