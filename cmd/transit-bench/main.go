@@ -6,6 +6,8 @@
 //	transit-bench -fig5            pruned vs. exhaustive enumeration
 //	transit-bench -table4 [-n N]   VI and MSI synthesis + model checking
 //	transit-bench -table5 [-n N]   case-study workflow metrics
+//	transit-bench -engine [-workers N] [-out F]
+//	                               serial vs. parallel job-engine synthesis
 //	transit-bench -all             everything (short variants)
 //
 // Absolute numbers depend on the machine; the shapes to compare against
@@ -16,28 +18,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"transit/internal/bench"
 )
 
 func main() {
 	var (
-		table2 = flag.Bool("table2", false, "regenerate Table 2")
-		table3 = flag.Bool("table3", false, "regenerate Table 3")
-		fig5   = flag.Bool("fig5", false, "regenerate Figure 5")
-		table4 = flag.Bool("table4", false, "regenerate Table 4")
-		table5 = flag.Bool("table5", false, "regenerate Table 5")
-		all    = flag.Bool("all", false, "regenerate everything (short variants)")
-		long   = flag.Bool("long", false, "include long-running rows (Table 3 max-of-three; larger Figure 5 trials)")
-		n      = flag.Int("n", 3, "cache count for Tables 4 and 5")
+		table2  = flag.Bool("table2", false, "regenerate Table 2")
+		table3  = flag.Bool("table3", false, "regenerate Table 3")
+		fig5    = flag.Bool("fig5", false, "regenerate Figure 5")
+		table4  = flag.Bool("table4", false, "regenerate Table 4")
+		table5  = flag.Bool("table5", false, "regenerate Table 5")
+		eng     = flag.Bool("engine", false, "compare serial vs. parallel job-engine synthesis")
+		all     = flag.Bool("all", false, "regenerate everything (short variants)")
+		long    = flag.Bool("long", false, "include long-running rows (Table 3 max-of-three; larger Figure 5 trials)")
+		n       = flag.Int("n", 3, "cache count for Tables 4 and 5 and the engine comparison")
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel worker count for -engine")
+		out     = flag.String("out", "BENCH_engine.json", "JSON artifact path for -engine (empty = none)")
 	)
 	flag.Parse()
-	if !*table2 && !*table3 && !*fig5 && !*table4 && !*table5 && !*all {
+	if !*table2 && !*table3 && !*fig5 && !*table4 && !*table5 && !*eng && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*table2, *table3, *fig5, *table4, *table5 = true, true, true, true, true
+		*table2, *table3, *fig5, *table4, *table5, *eng = true, true, true, true, true, true
 	}
 	if *table2 {
 		rows, final, stats, err := bench.Table2()
@@ -70,6 +76,15 @@ func main() {
 		rows, err := bench.Table5(*n)
 		check(err)
 		fmt.Println(bench.FormatTable5(rows))
+	}
+	if *eng {
+		rows, err := bench.EngineBench(*n, *workers)
+		check(err)
+		fmt.Println(bench.FormatEngine(rows))
+		if *out != "" {
+			check(bench.WriteEngineArtifact(*out, *workers, rows))
+			fmt.Printf("wrote %s\n", *out)
+		}
 	}
 }
 

@@ -13,17 +13,19 @@
 //
 // Expressions use the TRANSIT surface syntax (see internal/lang).
 //
-// Usage: transit-infer [-max-size K] [-trace] file
+// Usage: transit-infer [-max-size K] [-timeout D] [-trace] [-stats] file
 // With no file the spec is read from stdin.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"transit"
 	"transit/internal/expr"
@@ -34,6 +36,8 @@ func main() {
 	var (
 		maxSize = flag.Int("max-size", 14, "expression-size bound")
 		trace   = flag.Bool("trace", false, "print the CEGIS trace (Table 2 style)")
+		timeout = flag.Duration("timeout", 0, "inference deadline, e.g. 30s (0 = none)")
+		stats   = flag.Bool("stats", false, "print inference statistics as a JSON line to stderr")
 	)
 	flag.Parse()
 	var src []byte
@@ -46,7 +50,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if err := run(string(src), *maxSize, *trace); err != nil {
+	if err := run(string(src), *maxSize, *timeout, *trace, *stats); err != nil {
 		fail(err)
 	}
 }
@@ -173,7 +177,7 @@ func typeByName(u *expr.Universe, name string) (expr.Type, error) {
 	return expr.Type{}, fmt.Errorf("unknown type %s", name)
 }
 
-func run(src string, maxSize int, trace bool) error {
+func run(src string, maxSize int, timeout time.Duration, trace, stats bool) error {
 	sp, err := parseSpec(src)
 	if err != nil {
 		return err
@@ -221,12 +225,18 @@ func run(src string, maxSize int, trace bool) error {
 		Enums: enums, WithEnumConstants: true, WithSetLiterals: true, WithoutEnumIte: true,
 	})
 	prob := transit.Problem{U: u, Vocab: voc, Vars: vars, Output: transit.NewVar(sp.output.name, outType)}
-	e, stats, err := transit.SolveConcolic(prob, examples, transit.Limits{MaxSize: maxSize})
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	e, st, err := transit.SolveConcolicCtx(ctx, prob, examples, transit.Limits{MaxSize: maxSize})
 	if err != nil {
 		return err
 	}
 	if trace {
-		for i, rec := range stats.Trace {
+		for i, rec := range st.Trace {
 			if rec.Witness == nil {
 				fmt.Printf("iter %d: %-30s accepted\n", i+1, rec.Candidate)
 			} else {
@@ -235,10 +245,16 @@ func run(src string, maxSize int, trace bool) error {
 			}
 		}
 	}
+	if stats {
+		fmt.Fprintf(os.Stderr,
+			`{"type":"infer_end","size":%d,"cegis_iterations":%d,"smt_queries":%d,"candidates":%d,"duration_ms":%.3f}`+"\n",
+			e.Size(), st.Iterations, st.SMTQueries, st.Concrete.Enumerated,
+			float64(st.Elapsed)/float64(time.Millisecond))
+	}
 	fmt.Printf("%s\n", e)
 	fmt.Printf("  pretty: %s\n", transit.Pretty(e))
 	fmt.Printf("  size %d; %d CEGIS iterations, %d SMT queries, %d candidates enumerated, %s\n",
-		e.Size(), stats.Iterations, stats.SMTQueries, stats.Concrete.Enumerated,
-		stats.Elapsed.Round(1000*1000))
+		e.Size(), st.Iterations, st.SMTQueries, st.Concrete.Enumerated,
+		st.Elapsed.Round(1000*1000))
 	return nil
 }

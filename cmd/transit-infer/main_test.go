@@ -54,7 +54,7 @@ var a: Int;
 var b: Int;
 output o: Int;
 example true ==> (o >= a) & (o >= b) & ((o = a) | (o = b));
-`, 8, false)
+`, 8, 0, false, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ var p: PID;
 output o: Set;
 example k = Red ==> o = setadd(s, p);
 example k != Red ==> o = setminus(s, setof(p));
-`, 12, false)
+`, 12, 0, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}

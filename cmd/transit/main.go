@@ -15,12 +15,16 @@
 //	-states N     model-checking state budget (default 2,000,000)
 //	-deadlock     also report deadlocks (default true)
 //	-dump         print every completed transition
+//	-workers N    inference worker pool size (default 1 = sequential)
+//	-timeout D    overall synthesis deadline, e.g. 30s (default none)
+//	-stats        stream engine telemetry as JSON lines to stderr
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"transit"
 	"transit/internal/export"
@@ -28,47 +32,66 @@ import (
 )
 
 func main() {
-	var (
-		numCaches = flag.Int("n", 3, "number of caches")
-		maxSize   = flag.Int("max-size", 12, "expression-size bound for inference")
-		maxStates = flag.Int("states", 2_000_000, "model-checking state budget")
-		deadlock  = flag.Bool("deadlock", true, "check for deadlocks")
-		dump      = flag.Bool("dump", false, "print the completed transitions")
-		msc       = flag.Bool("msc", false, "render violations as a message-sequence chart")
-		murphi    = flag.String("murphi", "", "write the completed protocol as a Murphi model to this file")
-		builtin   = flag.String("builtin", "", "run a built-in protocol: vi, msi, mesi, origin, origin-buggy")
-	)
+	var opts options
+	flag.IntVar(&opts.numCaches, "n", 3, "number of caches")
+	flag.IntVar(&opts.maxSize, "max-size", 12, "expression-size bound for inference")
+	flag.IntVar(&opts.maxStates, "states", 2_000_000, "model-checking state budget")
+	flag.BoolVar(&opts.deadlock, "deadlock", true, "check for deadlocks")
+	flag.BoolVar(&opts.dump, "dump", false, "print the completed transitions")
+	flag.BoolVar(&opts.msc, "msc", false, "render violations as a message-sequence chart")
+	flag.StringVar(&opts.murphiOut, "murphi", "", "write the completed protocol as a Murphi model to this file")
+	flag.StringVar(&opts.builtin, "builtin", "", "run a built-in protocol: vi, msi, mesi, origin, origin-buggy")
+	flag.IntVar(&opts.workers, "workers", 1, "inference worker pool size (1 = sequential)")
+	flag.DurationVar(&opts.timeout, "timeout", 0, "overall synthesis deadline (0 = none)")
+	flag.BoolVar(&opts.stats, "stats", false, "stream engine telemetry as JSON lines to stderr")
 	flag.Parse()
-	if err := run(*numCaches, *maxSize, *maxStates, *deadlock, *dump, *msc, *builtin, *murphi, flag.Args()); err != nil {
+	opts.args = flag.Args()
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "transit:", err)
 		os.Exit(1)
 	}
 }
 
-func run(numCaches, maxSize, maxStates int, deadlock, dump, msc bool, builtin, murphiOut string, args []string) error {
+// options collects the CLI configuration for one run.
+type options struct {
+	numCaches int
+	maxSize   int
+	maxStates int
+	deadlock  bool
+	dump      bool
+	msc       bool
+	builtin   string
+	murphiOut string
+	workers   int
+	timeout   time.Duration
+	stats     bool
+	args      []string
+}
+
+func run(opts options) error {
 	var proto *transit.Protocol
 	switch {
-	case builtin != "":
-		switch builtin {
+	case opts.builtin != "":
+		switch opts.builtin {
 		case "vi":
-			proto = transit.VI(numCaches)
+			proto = transit.VI(opts.numCaches)
 		case "msi":
-			proto = transit.MSI(numCaches)
+			proto = transit.MSI(opts.numCaches)
 		case "mesi":
-			proto = transit.MESI(numCaches)
+			proto = transit.MESI(opts.numCaches)
 		case "origin":
-			proto = transit.Origin(numCaches, true)
+			proto = transit.Origin(opts.numCaches, true)
 		case "origin-buggy":
-			proto = transit.Origin(numCaches, false)
+			proto = transit.Origin(opts.numCaches, false)
 		default:
-			return fmt.Errorf("unknown builtin %q", builtin)
+			return fmt.Errorf("unknown builtin %q", opts.builtin)
 		}
-	case len(args) == 1:
-		src, err := os.ReadFile(args[0])
+	case len(opts.args) == 1:
+		src, err := os.ReadFile(opts.args[0])
 		if err != nil {
 			return err
 		}
-		proto, err = transit.LoadProtocol(string(src), numCaches)
+		proto, err = transit.LoadProtocol(string(src), opts.numCaches)
 		if err != nil {
 			return err
 		}
@@ -76,10 +99,17 @@ func run(numCaches, maxSize, maxStates int, deadlock, dump, msc bool, builtin, m
 		return fmt.Errorf("expected one .tr file or -builtin (see -h)")
 	}
 
-	fmt.Printf("protocol %s with %d caches: %d snippets\n", proto.Name, numCaches, len(proto.Snippets))
-	rep, err := transit.Synthesize(proto, transit.SynthesisOptions{
-		Limits: transit.Limits{MaxSize: maxSize},
-	})
+	sopts := transit.SynthesisOptions{
+		Limits:  transit.Limits{MaxSize: opts.maxSize},
+		Workers: opts.workers,
+		Timeout: opts.timeout,
+	}
+	if opts.stats {
+		sopts.Telemetry = transit.NewJSONTelemetry(os.Stderr)
+	}
+
+	fmt.Printf("protocol %s with %d caches: %d snippets\n", proto.Name, opts.numCaches, len(proto.Snippets))
+	rep, err := transit.Synthesize(proto, sopts)
 	if err != nil {
 		return fmt.Errorf("synthesis: %w", err)
 	}
@@ -87,8 +117,12 @@ func run(numCaches, maxSize, maxStates int, deadlock, dump, msc bool, builtin, m
 		rep.Transitions, rep.Elapsed.Round(1000*1000),
 		rep.UpdatesSynthesized, rep.UpdateExprsTried,
 		rep.GuardsSynthesized, rep.GuardExprsTried, rep.SMTQueries)
+	if opts.stats {
+		fmt.Printf("engine: %d workers, %d jobs, %d cache hits / %d misses, utilization %.2f\n",
+			rep.Workers, rep.Jobs, rep.CacheHits, rep.CacheMisses, rep.Utilization)
+	}
 
-	if dump {
+	if opts.dump {
 		for _, d := range proto.Sys.Defs {
 			fmt.Printf("\nprocess %s:\n", d.Name)
 			for _, t := range d.Transitions {
@@ -114,20 +148,20 @@ func run(numCaches, maxSize, maxStates int, deadlock, dump, msc bool, builtin, m
 		}
 	}
 
-	if murphiOut != "" {
+	if opts.murphiOut != "" {
 		src, err := export.Murphi(proto.Sys)
 		if err != nil {
 			return fmt.Errorf("murphi export: %w", err)
 		}
-		if err := os.WriteFile(murphiOut, []byte(src), 0o644); err != nil {
+		if err := os.WriteFile(opts.murphiOut, []byte(src), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote Murphi model to %s (%d bytes)\n", murphiOut, len(src))
+		fmt.Printf("wrote Murphi model to %s (%d bytes)\n", opts.murphiOut, len(src))
 	}
 
 	res, chart, err := transit.VerifyWithChart(proto, transit.VerifyOptions{
-		MaxStates:     maxStates,
-		CheckDeadlock: deadlock,
+		MaxStates:     opts.maxStates,
+		CheckDeadlock: opts.deadlock,
 	})
 	if err != nil {
 		return fmt.Errorf("model checking: %w", err)
@@ -138,7 +172,7 @@ func run(numCaches, maxSize, maxStates int, deadlock, dump, msc bool, builtin, m
 		return nil
 	}
 	fmt.Printf("model check FAILED after %d states:\n%v\n", res.States, res.Violation)
-	if msc {
+	if opts.msc {
 		fmt.Printf("\nmessage-sequence chart:\n%s", chart)
 	}
 	os.Exit(2)

@@ -7,7 +7,16 @@ import (
 )
 
 func TestRunBuiltinVI(t *testing.T) {
-	if err := run(2, 10, 100_000, true, true, false, "vi", "", nil); err != nil {
+	opts := options{numCaches: 2, maxSize: 10, maxStates: 100_000, deadlock: true, dump: true, builtin: "vi"}
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBuiltinVIParallelStats(t *testing.T) {
+	opts := options{numCaches: 2, maxSize: 10, maxStates: 100_000, deadlock: true, builtin: "vi",
+		workers: 4, stats: true}
+	if err := run(opts); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -41,7 +50,9 @@ process Client replicated {
 		t.Fatal(err)
 	}
 	murphiOut := filepath.Join(dir, "mini.m")
-	if err := run(2, 8, 100_000, true, false, false, "", murphiOut, []string{file}); err != nil {
+	opts := options{numCaches: 2, maxSize: 8, maxStates: 100_000, deadlock: true,
+		murphiOut: murphiOut, args: []string{file}}
+	if err := run(opts); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(murphiOut); err != nil || fi.Size() == 0 {
@@ -50,13 +61,18 @@ process Client replicated {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(2, 8, 1000, false, false, false, "nope", "", nil); err == nil {
+	base := options{numCaches: 2, maxSize: 8, maxStates: 1000}
+	bad := base
+	bad.builtin = "nope"
+	if err := run(bad); err == nil {
 		t.Error("unknown builtin should error")
 	}
-	if err := run(2, 8, 1000, false, false, false, "", "", nil); err == nil {
+	if err := run(base); err == nil {
 		t.Error("no input should error")
 	}
-	if err := run(2, 8, 1000, false, false, false, "", "", []string{"/does/not/exist.tr"}); err == nil {
+	missing := base
+	missing.args = []string{"/does/not/exist.tr"}
+	if err := run(missing); err == nil {
 		t.Error("missing file should error")
 	}
 }

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"transit/internal/core"
+	"transit/internal/engine"
+	"transit/internal/protocols"
+	"transit/internal/synth"
+)
+
+// EngineRow compares serial (one worker) against parallel synthesis of one
+// protocol through the job engine, plus the effect of the cross-job memo
+// cache on a warm rerun.
+type EngineRow struct {
+	Protocol    string        `json:"protocol"`
+	NumCaches   int           `json:"num_caches"`
+	Jobs        int           `json:"jobs"`
+	Workers     int           `json:"workers"`
+	SerialTime  time.Duration `json:"-"`
+	Parallel    time.Duration `json:"-"`
+	WarmTime    time.Duration `json:"-"`
+	SerialMS    float64       `json:"serial_ms"`
+	ParallelMS  float64       `json:"parallel_ms"`
+	WarmMS      float64       `json:"warm_cache_ms"`
+	Speedup     float64       `json:"speedup"`
+	Utilization float64       `json:"utilization"`
+	CacheHits   int           `json:"cache_hits"`
+	CacheMisses int           `json:"cache_misses"`
+	HitRate     float64       `json:"cache_hit_rate"`
+}
+
+// engineSpecs builds fresh copies of the four case-study protocols; each
+// run must synthesize into a pristine System because Complete installs the
+// completed transitions in place.
+func engineSpecs(numCaches int) []func() *protocols.Spec {
+	return []func() *protocols.Spec{
+		func() *protocols.Spec { return protocols.VI(numCaches) },
+		func() *protocols.Spec { return protocols.MSI(numCaches) },
+		func() *protocols.Spec { return protocols.MESI(numCaches) },
+		func() *protocols.Spec { return protocols.Origin(numCaches, true) },
+	}
+}
+
+// EngineBench synthesizes VI, MSI, MESI, and Origin three ways — one
+// worker (the historical sequential order), `workers` workers, and one
+// more parallel run against the warm memo cache of the second — and
+// reports wall-clock plus cache statistics for each protocol. Serial and
+// parallel runs produce identical EFSMs (the engine guarantees worker-
+// count invariance); only the wall clock may differ.
+func EngineBench(numCaches, workers int) ([]EngineRow, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	limits := synth.Limits{MaxSize: 12}
+	var rows []EngineRow
+	for _, mk := range engineSpecs(numCaches) {
+		run := func(w int, cache *engine.Cache) (*core.Report, time.Duration, error) {
+			spec := mk()
+			t0 := time.Now()
+			rep, err := core.CompleteCtx(context.Background(), spec.Sys, spec.Vocab, spec.Snippets,
+				core.Options{Limits: limits, Workers: w, Cache: cache})
+			if err != nil {
+				return nil, 0, fmt.Errorf("bench: %s (workers=%d): %w", spec.Name, w, err)
+			}
+			return rep, time.Since(t0), nil
+		}
+
+		_, serial, err := run(1, engine.NewCache())
+		if err != nil {
+			return nil, err
+		}
+		warmCache := engine.NewCache()
+		rep, par, err := run(workers, warmCache)
+		if err != nil {
+			return nil, err
+		}
+		repWarm, warm, err := run(workers, warmCache)
+		if err != nil {
+			return nil, err
+		}
+
+		name := mk().Name
+		row := EngineRow{
+			Protocol:    name,
+			NumCaches:   numCaches,
+			Jobs:        rep.Jobs,
+			Workers:     workers,
+			SerialTime:  serial,
+			Parallel:    par,
+			WarmTime:    warm,
+			SerialMS:    ms(serial),
+			ParallelMS:  ms(par),
+			WarmMS:      ms(warm),
+			Utilization: rep.Utilization,
+			CacheHits:   repWarm.CacheHits,
+			CacheMisses: repWarm.CacheMisses,
+		}
+		if par > 0 {
+			row.Speedup = float64(serial) / float64(par)
+		}
+		if lookups := repWarm.CacheHits + repWarm.CacheMisses; lookups > 0 {
+			row.HitRate = float64(repWarm.CacheHits) / float64(lookups)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// FormatEngine renders the serial-vs-parallel comparison.
+func FormatEngine(rows []EngineRow) string {
+	var sb strings.Builder
+	sb.WriteString("Engine: serial vs. parallel synthesis (identical EFSMs, wall-clock only)\n")
+	fmt.Fprintf(&sb, "%-9s %7s %5s %8s | %9s %9s %8s %5s | %9s %6s %6s %8s\n",
+		"Protocol", "Caches", "Jobs", "Workers",
+		"Serial", "Parallel", "Speedup", "Util",
+		"WarmCache", "Hits", "Miss", "HitRate")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-9s %7d %5d %8d | %9s %9s %7.2fx %5.2f | %9s %6d %6d %7.0f%%\n",
+			r.Protocol, r.NumCaches, r.Jobs, r.Workers,
+			r.SerialTime.Round(time.Millisecond), r.Parallel.Round(time.Millisecond),
+			r.Speedup, r.Utilization,
+			r.WarmTime.Round(time.Millisecond), r.CacheHits, r.CacheMisses, 100*r.HitRate)
+	}
+	sb.WriteString("(speedup is serial/parallel; warm-cache reruns the parallel run against the\n populated memo cache, so its hit rate shows sub-problem reuse)\n")
+	return sb.String()
+}
+
+// WriteEngineArtifact writes the comparison as a JSON artifact
+// (BENCH_engine.json by convention) for machine consumption.
+func WriteEngineArtifact(path string, workers int, rows []EngineRow) error {
+	art := struct {
+		Benchmark string      `json:"benchmark"`
+		Workers   int         `json:"workers"`
+		Rows      []EngineRow `json:"rows"`
+	}{Benchmark: "engine_serial_vs_parallel", Workers: workers, Rows: rows}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

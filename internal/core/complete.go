@@ -2,17 +2,28 @@
 // completes an EFSM protocol skeleton from concolic snippets. Update
 // expressions for each primed variable are inferred directly with
 // SolveConcolic (§5.1); guards for each (control state, input event) group
-// are inferred sequentially under mutual-exclusion side conditions (§5.2);
-// the completed transitions are installed into the efsm.System, ready for
-// the model checker. The iterative specify → synthesize → model-check →
+// are inferred under the §5.2 mutual-exclusion side conditions; the
+// completed transitions are installed into the efsm.System, ready for the
+// model checker. The iterative specify → synthesize → model-check →
 // fix-with-snippets workflow of the case studies is driven by RunCaseStudy.
+//
+// Completion is executed by internal/engine as a DAG of inference jobs:
+// guard inference within a (state, event) group stays sequential (later
+// guards are constrained by earlier ones), but distinct groups, the
+// per-group mutual-exclusion checks, and every update-expression job run
+// in parallel on a bounded worker pool, with cross-job memoization and
+// cooperative cancellation. With Options.Workers <= 1 the jobs execute in
+// exactly the historical sequential order, so single-worker output is
+// byte-identical to the pre-engine implementation.
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"transit/internal/efsm"
+	"transit/internal/engine"
 	"transit/internal/expr"
 	"transit/internal/smt"
 	"transit/internal/synth"
@@ -25,6 +36,29 @@ type Options struct {
 	// SkipGuardCheck disables the static pairwise mutual-exclusion
 	// verification of each group's guards.
 	SkipGuardCheck bool
+	// Workers sizes the inference worker pool. Values <= 1 execute jobs
+	// strictly in plan order, reproducing the sequential implementation
+	// byte for byte; larger values run independent jobs concurrently
+	// (the inferred expressions are identical at every worker count).
+	Workers int
+	// Timeout bounds the whole completion run; 0 means none.
+	Timeout time.Duration
+	// JobTimeout bounds each individual inference job; 0 means none.
+	JobTimeout time.Duration
+	// Retry is the engine's retry-with-larger-limits policy for jobs
+	// whose bounded search came up empty. The zero value disables it.
+	Retry engine.RetryPolicy
+	// DisableCache turns off cross-job memoization. Memoization never
+	// changes results (identical sub-problems have identical answers and
+	// their original work stats are replayed into the Report), it only
+	// skips redundant solving.
+	DisableCache bool
+	// Cache, when non-nil, is consulted and populated instead of a fresh
+	// per-run cache — share one across CEGIS iterations or across
+	// protocols to exploit repeated sub-problems.
+	Cache *engine.Cache
+	// Telemetry receives the engine's structured event stream.
+	Telemetry engine.Sink
 }
 
 // Report summarizes one completion run; its counters feed Table 4.
@@ -46,6 +80,17 @@ type Report struct {
 	Elapsed    time.Duration
 	// Transitions is the number of completed transitions installed.
 	Transitions int
+	// Workers is the pool size the run used; Jobs the number of engine
+	// jobs planned.
+	Workers int
+	Jobs    int
+	// CacheHits / CacheMisses count memoization lookups by inference
+	// jobs during this run.
+	CacheHits   int
+	CacheMisses int
+	// Utilization is busy-time / (wall-time × workers) for the engine
+	// phase of the run.
+	Utilization float64
 }
 
 // guardVar is the fresh output variable name used for guard inference; the
@@ -58,6 +103,13 @@ const guardVar = "guard$"
 // guards and updates (snippet expressions themselves may use constants
 // outside it).
 func Complete(sys *efsm.System, vocab *expr.Vocabulary, snippets []*efsm.Snippet, opts Options) (*Report, error) {
+	return CompleteCtx(context.Background(), sys, vocab, snippets, opts)
+}
+
+// CompleteCtx is Complete under a context: cancellation or deadline
+// expiry stops in-flight inference jobs and fails the run with the
+// context's error.
+func CompleteCtx(ctx context.Context, sys *efsm.System, vocab *expr.Vocabulary, snippets []*efsm.Snippet, opts Options) (*Report, error) {
 	start := time.Now()
 	rep := &Report{Snippets: len(snippets)}
 	defByName := map[string]*efsm.ProcDef{}
@@ -80,9 +132,41 @@ func Complete(sys *efsm.System, vocab *expr.Vocabulary, snippets []*efsm.Snippet
 		}
 		perDef[sn.Process] = append(perDef[sn.Process], sn)
 	}
+
+	cache := opts.Cache
+	if cache == nil && !opts.DisableCache {
+		cache = engine.NewCache()
+	}
+	eng := engine.New(engine.Config{
+		Workers:    opts.Workers,
+		Timeout:    opts.Timeout,
+		JobTimeout: opts.JobTimeout,
+		Retry:      opts.Retry,
+		Cache:      cache,
+		Sink:       opts.Telemetry,
+	})
+	p := &planner{sys: sys, vocab: vocab, opts: opts, eng: eng}
 	for _, name := range defOrder {
-		if err := completeDef(sys, defByName[name], vocab, perDef[name], opts, rep); err != nil {
+		if err := p.planDef(defByName[name], perDef[name]); err != nil {
 			return rep, err
+		}
+	}
+
+	stats, err := eng.Run(ctx, p.jobs)
+	aggregate(rep, p, stats)
+	if err != nil {
+		rep.Elapsed = time.Since(start)
+		return rep, err
+	}
+
+	// Deterministic assembly: install transitions in snippet/group/block
+	// order regardless of the order jobs completed in.
+	for _, dp := range p.defs {
+		for _, gp := range dp.groups {
+			if err := gp.assemble(p, dp.d, rep); err != nil {
+				rep.Elapsed = time.Since(start)
+				return rep, err
+			}
 		}
 	}
 	rep.Elapsed = time.Since(start)
@@ -90,6 +174,39 @@ func Complete(sys *efsm.System, vocab *expr.Vocabulary, snippets []*efsm.Snippet
 		return rep, fmt.Errorf("core: completed system is malformed: %w", err)
 	}
 	return rep, nil
+}
+
+// aggregate folds per-job telemetry into the Report in plan order, so the
+// counters are independent of scheduling.
+func aggregate(rep *Report, p *planner, stats engine.RunStats) {
+	rep.Workers = stats.Workers
+	rep.Jobs = stats.Jobs
+	rep.Utilization = stats.Utilization
+	for _, j := range p.jobs {
+		switch j.Kind {
+		case "guard":
+			rep.GuardExprsTried += j.Candidates
+			rep.SMTQueries += j.SMTQueries
+			rep.GuardTime += j.Duration
+			if j.Err == nil {
+				rep.GuardsSynthesized++
+			}
+		case "update":
+			rep.UpdateExprsTried += j.Candidates
+			rep.SMTQueries += j.SMTQueries
+			rep.UpdateTime += j.Duration
+			if j.Err == nil {
+				rep.UpdatesSynthesized++
+			}
+		}
+		if j.Kind == "guard" || j.Kind == "update" {
+			if j.CacheHit {
+				rep.CacheHits++
+			} else if j.Err == nil {
+				rep.CacheMisses++
+			}
+		}
+	}
 }
 
 // block is one guard-action block: the snippets sharing (from, event, to).
@@ -110,9 +227,48 @@ type group struct {
 	blocks []*block
 }
 
-func completeDef(sys *efsm.System, d *efsm.ProcDef, vocab *expr.Vocabulary,
-	snips []*efsm.Snippet, opts Options, rep *Report) error {
+// planner accumulates the job DAG and the assembly schedule.
+type planner struct {
+	sys   *efsm.System
+	vocab *expr.Vocabulary
+	opts  Options
+	eng   *engine.Engine
+	jobs  []*engine.Job
+	defs  []*defPlan
+}
 
+type defPlan struct {
+	d      *efsm.ProcDef
+	groups []*groupPlan
+}
+
+// groupPlan is one group's share of the DAG plus everything assembly
+// needs afterwards.
+type groupPlan struct {
+	g         *group
+	ctx       string // error-message prefix, e.g. "core: Dir (EXCLUSIVE, ReqNet)"
+	scopeVars []*expr.Var
+	blocks    []*blockPlan // aligned with g.blocks
+}
+
+// blockPlan carries one block's planned update jobs and their result
+// slots (each job writes its own index; the engine's completion barrier
+// orders those writes before assembly reads them).
+type blockPlan struct {
+	b       *block
+	sends   []efsm.SendSpec
+	targets []string
+	vts     []expr.Type
+	rhs     []expr.Expr
+}
+
+func (p *planner) add(j *engine.Job) { p.jobs = append(p.jobs, j) }
+
+// planDef groups a process's snippets into (state, event) families and
+// plans each group. The grouping mirrors §5.2: snippets sharing
+// (from, event, to, defer) form a block; blocks sharing (from, event)
+// form a group.
+func (p *planner) planDef(d *efsm.ProcDef, snips []*efsm.Snippet) error {
 	groups := map[string]*group{}
 	var order []string
 	for _, sn := range snips {
@@ -148,19 +304,28 @@ func completeDef(sys *efsm.System, d *efsm.ProcDef, vocab *expr.Vocabulary,
 		}
 	}
 
+	dp := &defPlan{d: d}
+	p.defs = append(p.defs, dp)
 	for _, gk := range order {
-		if err := completeGroup(sys, d, vocab, groups[gk], opts, rep); err != nil {
+		gp, err := p.planGroup(d, groups[gk])
+		if err != nil {
 			return err
 		}
+		dp.groups = append(dp.groups, gp)
 	}
 	return nil
 }
 
-func completeGroup(sys *efsm.System, d *efsm.ProcDef, vocab *expr.Vocabulary,
-	g *group, opts Options, rep *Report) error {
-
-	ctx := fmt.Sprintf("core: %s (%s, %s)", d.Name, g.from, g.event)
-	scopeVars := sys.ScopeVars(d, g.event)
+// planGroup plans one group: a sequential chain of guard-inference jobs
+// (§5.2 — each guard is constrained by the guards before it), a
+// mutual-exclusion check job depending on the chain, and fully parallel
+// update-inference jobs per block output.
+func (p *planner) planGroup(d *efsm.ProcDef, g *group) (*groupPlan, error) {
+	gp := &groupPlan{
+		g:         g,
+		ctx:       fmt.Sprintf("core: %s (%s, %s)", d.Name, g.from, g.event),
+		scopeVars: p.sys.ScopeVars(d, g.event),
+	}
 
 	// Guard inference needs symbolic blocks first (§5.2 processes blocks
 	// sequentially; known guards constrain later ones).
@@ -189,49 +354,190 @@ func completeGroup(sys *efsm.System, d *efsm.ProcDef, vocab *expr.Vocabulary,
 		inferable = append(inferable, b)
 	}
 
-	// Sequentially infer missing guards.
-	guardStart := time.Now()
+	// The sequential guard chain.
+	var prev *engine.Job
 	for j, b := range inferable {
-		if b.symbolic {
-			continue
+		if b.symbolic || b.defer_ {
+			continue // symbolic: given; catch-all defer: runtime fallback
 		}
-		if b.defer_ {
-			continue // catch-all defer among other blocks: runtime fallback
+		j, b := j, b
+		job := &engine.Job{
+			Label: fmt.Sprintf("guard %s(%s,%s)[%s]", d.Name, g.from, g.event, b.key),
+			Kind:  "guard",
 		}
-		guard, err := inferGuard(sys, d, vocab, g, inferable, j, scopeVars, opts, rep)
-		if err != nil {
-			return fmt.Errorf("%s: block %s: %w", ctx, b.key, err)
+		if prev != nil {
+			job.Deps = []*engine.Job{prev}
 		}
-		b.guard = guard
-		rep.GuardsSynthesized++
+		job.Run = func(jctx context.Context) error {
+			guard, err := p.inferGuard(jctx, job, g, inferable, j, gp.scopeVars)
+			if err != nil {
+				return fmt.Errorf("%s: block %s: %w", gp.ctx, b.key, err)
+			}
+			b.guard = guard
+			return nil
+		}
+		p.add(job)
+		prev = job
 	}
-	rep.GuardTime += time.Since(guardStart)
 
-	if !opts.SkipGuardCheck {
-		if err := checkMutualExclusion(sys, g, inferable, scopeVars); err != nil {
-			return fmt.Errorf("%s: %w", ctx, err)
+	if !p.opts.SkipGuardCheck {
+		job := &engine.Job{
+			Label: fmt.Sprintf("mutex %s(%s,%s)", d.Name, g.from, g.event),
+			Kind:  "check",
 		}
+		if prev != nil {
+			job.Deps = []*engine.Job{prev}
+		}
+		job.Run = func(jctx context.Context) error {
+			if err := p.checkMutualExclusion(jctx, g, inferable, gp.scopeVars); err != nil {
+				return fmt.Errorf("%s: %w", gp.ctx, err)
+			}
+			return nil
+		}
+		p.add(job)
 	}
 
-	// Build transitions: updates and send fields per block.
+	// Update-expression jobs per block: independent of everything.
 	for _, b := range g.blocks {
-		t, err := buildTransition(sys, d, vocab, g, b, scopeVars, opts, rep)
+		bp, err := p.planBlock(d, g, gp, b)
 		if err != nil {
-			return fmt.Errorf("%s: block %s: %w", ctx, b.key, err)
+			return nil, err
 		}
-		d.Transitions = append(d.Transitions, t)
-		rep.Transitions++
+		gp.blocks = append(gp.blocks, bp)
 	}
+	return gp, nil
+}
+
+// planBlock validates a block's outbound-message agreement, collects the
+// obligations per output target (§5.1), and plans one inference job per
+// target. Validation problems become immediately-failing jobs rather than
+// plan-time errors so that, at Workers == 1, they surface in exactly the
+// order the sequential implementation reported them.
+func (p *planner) planBlock(d *efsm.ProcDef, g *group, gp *groupPlan, b *block) (*blockPlan, error) {
+	bp := &blockPlan{b: b}
+	if b.defer_ {
+		return bp, nil
+	}
+	first := b.snips[0]
+
+	// All snippets of a block must declare the same outbound messages.
+	bp.sends = first.Sends
+	for _, sn := range b.snips[1:] {
+		if !sameSends(bp.sends, sn.Sends) {
+			return bp, p.planFailure(gp, b, fmt.Errorf("snippets %q and %q disagree on outbound messages",
+				first.Label, sn.Label))
+		}
+	}
+
+	// Collect posts per target across the block's cases.
+	exsByTarget := map[string][]synth.ConcolicExample{}
+	vtByTarget := map[string]expr.Type{}
+	addPost := func(target string, vt expr.Type, pre expr.Expr, constraint expr.Expr) {
+		if _, ok := vtByTarget[target]; !ok {
+			vtByTarget[target] = vt
+			bp.targets = append(bp.targets, target)
+		}
+		if pre == nil {
+			pre = expr.True()
+		}
+		exsByTarget[target] = append(exsByTarget[target], synth.ConcolicExample{Pre: pre, Post: constraint})
+	}
+	scope := p.sys.ScopeOf(d, g.event)
+	outType := func(target string) (expr.Type, bool) {
+		if ty, ok := scope[target]; ok {
+			return ty, true
+		}
+		for _, snd := range bp.sends {
+			for _, f := range snd.Net.Msg.Fields {
+				if snd.MsgVar+"."+f.Name == target {
+					return f.T, true
+				}
+			}
+		}
+		return expr.Type{}, false
+	}
+	for _, sn := range b.snips {
+		for _, c := range sn.Cases {
+			for _, post := range c.Posts {
+				vt, ok := outType(post.Target)
+				if !ok {
+					return bp, p.planFailure(gp, b, fmt.Errorf("post targets %s, which is neither a process variable nor a declared outbound field", post.Target))
+				}
+				addPost(post.Target, vt, c.Pre, post.Constraint)
+			}
+		}
+	}
+
+	// Every declared outbound field must be produced, constrained or not;
+	// unconstrained fields are synthesized from an empty example set (the
+	// first enumerated expression — deliberately arbitrary, per the
+	// paper's underspecification-then-model-check dynamic). Multicast
+	// routing fields are filled per copy by the runtime instead.
+	for _, snd := range bp.sends {
+		for _, f := range snd.Net.Msg.Fields {
+			if snd.TargetSet != nil && f.Name == snd.Net.DestField {
+				continue
+			}
+			target := snd.MsgVar + "." + f.Name
+			if _, ok := vtByTarget[target]; !ok {
+				vtByTarget[target] = f.T
+				bp.targets = append(bp.targets, target)
+			}
+		}
+	}
+
+	bp.rhs = make([]expr.Expr, len(bp.targets))
+	bp.vts = make([]expr.Type, len(bp.targets))
+	for i, target := range bp.targets {
+		i, target := i, target
+		vt := vtByTarget[target]
+		bp.vts[i] = vt
+		exs := exsByTarget[target]
+		job := &engine.Job{
+			Label: fmt.Sprintf("update %s(%s,%s)[%s] %s", d.Name, g.from, g.event, b.key, target),
+			Kind:  "update",
+		}
+		job.Run = func(jctx context.Context) error {
+			o := expr.V(efsm.Prime(target), vt)
+			prob := synth.Problem{U: p.sys.U, Vocab: p.vocab, Vars: gp.scopeVars, Output: o}
+			rhs, stats, hit, retries, err := p.eng.SolveConcolic(jctx, engine.SolveSpec{
+				Problem: prob, Examples: exs, Limits: p.opts.Limits,
+			})
+			job.CacheHit = hit
+			job.Candidates = stats.Concrete.Enumerated
+			job.SMTQueries = stats.SMTQueries
+			job.Iterations = stats.Iterations
+			job.Retries = retries
+			if err != nil {
+				return fmt.Errorf("%s: block %s: update inference for %s: %w", gp.ctx, b.key, target, err)
+			}
+			bp.rhs[i] = rhs
+			return nil
+		}
+		p.add(job)
+	}
+	return bp, nil
+}
+
+// planFailure records a static validation error as an immediately-failing
+// job at the current plan position (returning nil so planning continues;
+// the failure is reported by the run, in plan order).
+func (p *planner) planFailure(gp *groupPlan, b *block, err error) error {
+	wrapped := fmt.Errorf("%s: block %s: %w", gp.ctx, b.key, err)
+	p.add(&engine.Job{
+		Label: fmt.Sprintf("validate %s", b.key),
+		Kind:  "update",
+		Run:   func(context.Context) error { return wrapped },
+	})
 	return nil
 }
 
 // inferGuard implements §5.2: the guard ϕj must be false whenever an
 // earlier guard holds (ConcolicExs1), true whenever one of its own
 // preconditions holds (ConcolicExs2), and false whenever a later block's
-// precondition holds (ConcolicExs3).
-func inferGuard(sys *efsm.System, d *efsm.ProcDef, vocab *expr.Vocabulary,
-	g *group, blocks []*block, j int, scopeVars []*expr.Var, opts Options, rep *Report) (expr.Expr, error) {
-
+// precondition holds (ConcolicExs3). Earlier blocks' guards are read at
+// job-execution time — the chain dependency guarantees they are solved.
+func (p *planner) inferGuard(ctx context.Context, job *engine.Job, g *group, blocks []*block, j int, scopeVars []*expr.Var) (expr.Expr, error) {
 	o := expr.V(guardVar, expr.BoolType)
 	var exs []synth.ConcolicExample
 	for i := 0; i < j; i++ {
@@ -258,10 +564,15 @@ func inferGuard(sys *efsm.System, d *efsm.ProcDef, vocab *expr.Vocabulary,
 			exs = append(exs, synth.ConcolicExample{Pre: expr.True(), Post: expr.Implies(pre, expr.Not(o))})
 		}
 	}
-	prob := synth.Problem{U: sys.U, Vocab: vocab, Vars: scopeVars, Output: o}
-	guard, stats, err := synth.SolveConcolic(prob, exs, opts.Limits)
-	rep.GuardExprsTried += stats.Concrete.Enumerated
-	rep.SMTQueries += stats.SMTQueries
+	prob := synth.Problem{U: p.sys.U, Vocab: p.vocab, Vars: scopeVars, Output: o}
+	guard, stats, hit, retries, err := p.eng.SolveConcolic(ctx, engine.SolveSpec{
+		Problem: prob, Examples: exs, Limits: p.opts.Limits,
+	})
+	job.CacheHit = hit
+	job.Candidates = stats.Concrete.Enumerated
+	job.SMTQueries = stats.SMTQueries
+	job.Iterations = stats.Iterations
+	job.Retries = retries
 	if err != nil {
 		return nil, fmt.Errorf("guard inference: %w", err)
 	}
@@ -288,14 +599,14 @@ func blockPre(b *block) expr.Expr {
 
 // checkMutualExclusion statically verifies pairwise guard disjointness
 // within a group via SMT validity.
-func checkMutualExclusion(sys *efsm.System, g *group, blocks []*block, scopeVars []*expr.Var) error {
+func (p *planner) checkMutualExclusion(ctx context.Context, g *group, blocks []*block, scopeVars []*expr.Var) error {
 	for i := 0; i < len(blocks); i++ {
 		for j := i + 1; j < len(blocks); j++ {
 			gi, gj := blocks[i].guard, blocks[j].guard
 			if gi == nil || gj == nil {
 				continue
 			}
-			ok, cex, err := smt.Valid(sys.U, scopeVars, expr.Not(expr.And(gi, gj)))
+			ok, cex, err := smt.ValidOptCtx(ctx, p.sys.U, scopeVars, expr.Not(expr.And(gi, gj)), smt.Options{})
 			if err != nil {
 				return fmt.Errorf("guard exclusivity check: %w", err)
 			}
@@ -308,139 +619,57 @@ func checkMutualExclusion(sys *efsm.System, g *group, blocks []*block, scopeVars
 	return nil
 }
 
-// buildTransition synthesizes the block's updates and outbound message
-// fields (§5.1) and assembles the completed transition.
-func buildTransition(sys *efsm.System, d *efsm.ProcDef, vocab *expr.Vocabulary,
-	g *group, b *block, scopeVars []*expr.Var, opts Options, rep *Report) (*efsm.Transition, error) {
-
-	first := b.snips[0]
-	t := &efsm.Transition{
-		From:  g.from,
-		Event: g.event,
-		Guard: b.guard,
-		To:    first.To,
-		Defer: b.defer_,
-	}
-	if b.defer_ {
-		return t, nil
-	}
-
-	// All snippets of a block must declare the same outbound messages.
-	sends := first.Sends
-	for _, sn := range b.snips[1:] {
-		if !sameSends(sends, sn.Sends) {
-			return nil, fmt.Errorf("snippets %q and %q disagree on outbound messages",
-				first.Label, sn.Label)
+// assemble installs the group's completed transitions (§5.1 assembly):
+// guards from the chain, update expressions from the job result slots,
+// identity updates dropped, outbound message fields wired. Pure
+// bookkeeping — every solver call already happened inside the engine.
+func (gp *groupPlan) assemble(p *planner, d *efsm.ProcDef, rep *Report) error {
+	scope := p.sys.ScopeOf(d, gp.g.event)
+	for _, bp := range gp.blocks {
+		b := bp.b
+		first := b.snips[0]
+		t := &efsm.Transition{
+			From:  gp.g.from,
+			Event: gp.g.event,
+			Guard: b.guard,
+			To:    first.To,
+			Defer: b.defer_,
 		}
-	}
-
-	// Collect posts per target across the block's cases.
-	type obligations struct {
-		target string
-		vt     expr.Type
-		exs    []synth.ConcolicExample
-	}
-	var targets []string
-	byTarget := map[string]*obligations{}
-	addPost := func(target string, vt expr.Type, pre expr.Expr, constraint expr.Expr) {
-		ob, ok := byTarget[target]
-		if !ok {
-			ob = &obligations{target: target, vt: vt}
-			byTarget[target] = ob
-			targets = append(targets, target)
-		}
-		if pre == nil {
-			pre = expr.True()
-		}
-		ob.exs = append(ob.exs, synth.ConcolicExample{Pre: pre, Post: constraint})
-	}
-	scope := sys.ScopeOf(d, g.event)
-	outType := func(target string) (expr.Type, bool) {
-		if ty, ok := scope[target]; ok {
-			return ty, true
-		}
-		for _, snd := range sends {
-			for _, f := range snd.Net.Msg.Fields {
-				if snd.MsgVar+"."+f.Name == target {
-					return f.T, true
+		if !b.defer_ {
+			rhsByTarget := map[string]expr.Expr{}
+			for i, target := range bp.targets {
+				rhsByTarget[target] = bp.rhs[i]
+			}
+			// Process-variable updates (dropping identities) ...
+			for _, target := range bp.targets {
+				if _, isVar := scope[target]; !isVar || d.VarIndex(target) < 0 {
+					continue
 				}
-			}
-		}
-		return expr.Type{}, false
-	}
-	for _, sn := range b.snips {
-		for _, c := range sn.Cases {
-			for _, p := range c.Posts {
-				vt, ok := outType(p.Target)
-				if !ok {
-					return nil, fmt.Errorf("post targets %s, which is neither a process variable nor a declared outbound field", p.Target)
+				rhs := rhsByTarget[target]
+				if v, ok := rhs.(*expr.Var); ok && v.Name == target {
+					continue // identity update: the variable is held anyway
 				}
-				addPost(p.Target, vt, c.Pre, p.Constraint)
+				t.Updates = append(t.Updates, efsm.Update{Var: target, Rhs: rhs})
+			}
+			// ... and outbound messages.
+			for _, snd := range bp.sends {
+				out := efsm.Send{Net: snd.Net, MsgVar: snd.MsgVar, TargetSet: snd.TargetSet}
+				for _, f := range snd.Net.Msg.Fields {
+					if snd.TargetSet != nil && f.Name == snd.Net.DestField {
+						continue
+					}
+					out.Fields = append(out.Fields, efsm.SendField{
+						Field: f.Name,
+						Rhs:   rhsByTarget[snd.MsgVar+"."+f.Name],
+					})
+				}
+				t.Sends = append(t.Sends, out)
 			}
 		}
+		d.Transitions = append(d.Transitions, t)
+		rep.Transitions++
 	}
-
-	// Every declared outbound field must be produced, constrained or not;
-	// unconstrained fields are synthesized from an empty example set (the
-	// first enumerated expression — deliberately arbitrary, per the
-	// paper's underspecification-then-model-check dynamic). Multicast
-	// routing fields are filled per copy by the runtime instead.
-	for _, snd := range sends {
-		for _, f := range snd.Net.Msg.Fields {
-			if snd.TargetSet != nil && f.Name == snd.Net.DestField {
-				continue
-			}
-			target := snd.MsgVar + "." + f.Name
-			if _, ok := byTarget[target]; !ok {
-				byTarget[target] = &obligations{target: target, vt: f.T}
-				targets = append(targets, target)
-			}
-		}
-	}
-
-	updateStart := time.Now()
-	rhsByTarget := map[string]expr.Expr{}
-	for _, target := range targets {
-		ob := byTarget[target]
-		o := expr.V(efsm.Prime(target), ob.vt)
-		prob := synth.Problem{U: sys.U, Vocab: vocab, Vars: scopeVars, Output: o}
-		rhs, stats, err := synth.SolveConcolic(prob, ob.exs, opts.Limits)
-		rep.UpdateExprsTried += stats.Concrete.Enumerated
-		rep.SMTQueries += stats.SMTQueries
-		if err != nil {
-			return nil, fmt.Errorf("update inference for %s: %w", target, err)
-		}
-		rep.UpdatesSynthesized++
-		rhsByTarget[target] = rhs
-	}
-	rep.UpdateTime += time.Since(updateStart)
-
-	// Assemble: process-variable updates (dropping identities) ...
-	for _, target := range targets {
-		if _, isVar := scope[target]; !isVar || d.VarIndex(target) < 0 {
-			continue
-		}
-		rhs := rhsByTarget[target]
-		if v, ok := rhs.(*expr.Var); ok && v.Name == target {
-			continue // identity update: the variable is held anyway
-		}
-		t.Updates = append(t.Updates, efsm.Update{Var: target, Rhs: rhs})
-	}
-	// ... and outbound messages.
-	for _, snd := range sends {
-		out := efsm.Send{Net: snd.Net, MsgVar: snd.MsgVar, TargetSet: snd.TargetSet}
-		for _, f := range snd.Net.Msg.Fields {
-			if snd.TargetSet != nil && f.Name == snd.Net.DestField {
-				continue
-			}
-			out.Fields = append(out.Fields, efsm.SendField{
-				Field: f.Name,
-				Rhs:   rhsByTarget[snd.MsgVar+"."+f.Name],
-			})
-		}
-		t.Sends = append(t.Sends, out)
-	}
-	return t, nil
+	return nil
 }
 
 func sameSends(a, b []efsm.SendSpec) bool {

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+
+	"transit/internal/expr"
+	"transit/internal/synth"
+)
+
+// SolveSpec is the canonical description of one SolveConcolic sub-problem:
+// everything that determines the solver's answer. Two specs with equal
+// Keys produce identical expressions (the solver is deterministic), which
+// is what makes cross-job memoization sound.
+type SolveSpec struct {
+	Problem  synth.Problem
+	Examples []synth.ConcolicExample
+	Limits   synth.Limits
+}
+
+// Key derives the canonical cache key: a SHA-256 over the universe
+// parameters (cache count, integer width, declared enums), the vocabulary
+// (every function symbol signature in insertion order — order matters, it
+// is the enumeration order), the input variables in order, the output
+// variable, the concolic examples (pre ⇒ post in canonical String form),
+// and the limits after default resolution (so Limits{} and the explicit
+// defaults share an entry).
+func (s SolveSpec) Key() string {
+	var b strings.Builder
+	u := s.Problem.U
+	fmt.Fprintf(&b, "u:%d/%d;", u.NumCaches(), u.IntWidth())
+	for _, e := range u.Enums() {
+		fmt.Fprintf(&b, "enum:%s=%s;", e.Name, strings.Join(e.Values, ","))
+	}
+	b.WriteString("vocab:")
+	for _, f := range s.Problem.Vocab.Funcs() {
+		b.WriteString(f.String())
+		b.WriteByte(';')
+	}
+	b.WriteString("vars:")
+	for _, v := range s.Problem.Vars {
+		fmt.Fprintf(&b, "%s:%s;", v.Name, v.VT)
+	}
+	fmt.Fprintf(&b, "out:%s:%s;", s.Problem.Output.Name, s.Problem.Output.VT)
+	b.WriteString("exs:")
+	for _, ex := range s.Examples {
+		fmt.Fprintf(&b, "%s==>%s;", ex.Pre, ex.Post)
+	}
+	lim := s.Limits.WithDefaults()
+	fmt.Fprintf(&b, "lim:%d/%d/%d/%d/%d/%v", lim.MaxSize, lim.MaxExprs, lim.MaxIters,
+		int64(lim.Timeout), lim.SMTConflicts, lim.NoPrune)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// CacheEntry is a memoized solve result: the inferred expression plus the
+// work stats of the original (cache-missing) solve. Replaying the stored
+// stats on a hit keeps aggregate reports (expressions tried, SMT queries)
+// identical whether or not the cache intervened, so cached and uncached
+// runs are distinguishable only by wall-clock time.
+type CacheEntry struct {
+	Expr  expr.Expr
+	Stats synth.Stats
+}
+
+// Cache is a concurrency-safe memoization table for solved sub-problems.
+// Only successful solves are stored. A Cache may be shared across engine
+// runs (e.g. across CEGIS iterations of a case study, or across the four
+// case-study protocols) to exploit repeated sub-problems.
+type Cache struct {
+	mu           sync.Mutex
+	m            map[string]CacheEntry
+	hits, misses int64
+}
+
+// NewCache creates an empty cache.
+func NewCache() *Cache { return &Cache{m: make(map[string]CacheEntry)} }
+
+// Get looks up a key, counting a hit or miss.
+func (c *Cache) Get(key string) (CacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return ent, ok
+}
+
+// Put stores a successful solve. Concurrent writers racing on one key
+// store identical entries (the solver is deterministic), so last-write-
+// wins is safe.
+func (c *Cache) Put(key string, ent CacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = ent
+}
+
+// Len reports the number of memoized problems.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Counters reports lookup hits and misses so far.
+func (c *Cache) Counters() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// HitRate is hits / lookups, or 0 before any lookup.
+func (c *Cache) HitRate() float64 {
+	hits, misses := c.Counters()
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}

@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"context"
+	"errors"
+
+	"transit/internal/expr"
+	"transit/internal/synth"
+)
+
+// growLimits is the retry-with-larger-limits schedule: each retry deepens
+// the enumeration (larger expressions), widens the budgets, and doubles
+// the CEGIS iteration allowance, so transient "no consistent expression
+// within limits" failures caused by tight bounds get a second chance
+// without the caller hand-tuning anything.
+func growLimits(l synth.Limits) synth.Limits {
+	l = l.WithDefaults()
+	l.MaxSize += 4
+	if l.MaxExprs < 1<<62/4 {
+		l.MaxExprs *= 4
+	}
+	l.MaxIters *= 2
+	if l.Timeout > 0 {
+		l.Timeout *= 2
+	}
+	return l
+}
+
+// SolveConcolic is the engine's memoized, retrying front door to
+// synth.SolveConcolicCtx. It consults the cache (replaying the original
+// solve's stats on a hit, so aggregated reports are cache-invariant),
+// solves on a miss, retries with grown limits when the search space was
+// exhausted and the retry policy allows, and stores successes.
+//
+// The returned Stats are the cumulative work of all attempts (or the
+// replayed stats on a hit); cached reports whether the cache supplied the
+// answer; retries is the number of extra attempts spent.
+func (e *Engine) SolveConcolic(ctx context.Context, spec SolveSpec) (res expr.Expr, stats synth.Stats, cached bool, retries int, err error) {
+	var key string
+	if e.cfg.Cache != nil {
+		key = spec.Key()
+		if ent, ok := e.cfg.Cache.Get(key); ok {
+			// The entry may have been recorded against another Universe
+			// instance; re-bind its symbols to this spec's world first.
+			if re, ok := spec.rehydrate(ent.Expr); ok {
+				return re, ent.Stats, true, 0, nil
+			}
+		}
+	}
+	attempts := e.cfg.Retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	limits := spec.Limits
+	for a := 0; ; a++ {
+		var st synth.Stats
+		res, st, err = synth.SolveConcolicCtx(ctx, spec.Problem, spec.Examples, limits)
+		stats.Concrete.Enumerated += st.Concrete.Enumerated
+		stats.Concrete.Kept += st.Concrete.Kept
+		if st.Concrete.MaxSizeSeen > stats.Concrete.MaxSizeSeen {
+			stats.Concrete.MaxSizeSeen = st.Concrete.MaxSizeSeen
+		}
+		stats.SMTQueries += st.SMTQueries
+		stats.Iterations += st.Iterations
+		stats.Elapsed += st.Elapsed
+		stats.Trace = append(stats.Trace, st.Trace...)
+		if err == nil {
+			if e.cfg.Cache != nil {
+				e.cfg.Cache.Put(key, CacheEntry{Expr: res, Stats: stats})
+			}
+			return res, stats, false, a, nil
+		}
+		// Retry only makes sense when the bounded search came up empty;
+		// inconsistent example sets and cancellations are final.
+		if a+1 >= attempts || !errors.Is(err, synth.ErrNoExpression) || ctx.Err() != nil {
+			return nil, stats, false, a, err
+		}
+		limits = growLimits(limits)
+	}
+}

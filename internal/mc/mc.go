@@ -8,6 +8,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -113,11 +114,23 @@ type edge struct {
 // Check explores the reachable states of the runtime and verifies the
 // invariants. It returns the first (BFS-shortest) violation found.
 func Check(r *efsm.Runtime, invs []Invariant, opts Options) (*Result, error) {
+	return CheckCtx(context.Background(), r, invs, opts)
+}
+
+// CheckCtx is Check under a context: the BFS loop polls the context every
+// batch of expansions, so long-running searches are cancellable and honor
+// deadlines the same way the Options.MaxStates budget bounds them. On
+// cancellation the partial Result (states explored so far) is returned
+// alongside the context's error.
+func CheckCtx(ctx context.Context, r *efsm.Runtime, invs []Invariant, opts Options) (*Result, error) {
 	maxStates := opts.MaxStates
 	if maxStates == 0 {
 		maxStates = 1_000_000
 	}
 	res := &Result{}
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("mc: search aborted after %d states: %w", res.States, err)
+	}
 	init := r.Initial()
 	initKey := r.Encode(init)
 	visited := map[string]edge{initKey: {init: true}}
@@ -144,9 +157,16 @@ func Check(r *efsm.Runtime, invs []Invariant, opts Options) (*Result, error) {
 		return res, nil
 	}
 
+	var dequeued int
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
+		dequeued++
+		if dequeued&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return res, fmt.Errorf("mc: search aborted after %d states: %w", res.States, err)
+			}
+		}
 		depth := visited[cur.key].depth
 		if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
 			continue

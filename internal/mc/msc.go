@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -139,7 +140,12 @@ func center(s string, width int) string {
 // CheckWithMSC is Check, additionally rendering the violation (when any)
 // as a message-sequence chart.
 func CheckWithMSC(r *efsm.Runtime, invs []Invariant, opts Options) (*Result, string, error) {
-	res, err := Check(r, invs, opts)
+	return CheckWithMSCCtx(context.Background(), r, invs, opts)
+}
+
+// CheckWithMSCCtx is CheckWithMSC under a context (see CheckCtx).
+func CheckWithMSCCtx(ctx context.Context, r *efsm.Runtime, invs []Invariant, opts Options) (*Result, string, error) {
+	res, err := CheckCtx(ctx, r, invs, opts)
 	if err != nil || res.Violation == nil {
 		return res, "", err
 	}

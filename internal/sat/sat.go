@@ -112,6 +112,11 @@ type Solver struct {
 	// MaxConflicts bounds the search; 0 means unlimited. When exceeded,
 	// Solve returns Unknown.
 	MaxConflicts int64
+
+	// Interrupt, when non-nil, is polled periodically during search; once
+	// it is closed, Solve returns Unknown at the next poll. It is the
+	// cancellation hook used by internal/smt to honor context deadlines.
+	Interrupt <-chan struct{}
 }
 
 // New creates an empty solver.
@@ -423,6 +428,10 @@ func (s *Solver) Solve() Status {
 		if st != Unknown {
 			return st
 		}
+		if s.interrupted() {
+			s.cancelUntil(0)
+			return Unknown
+		}
 		if s.MaxConflicts > 0 && s.Stats.Conflicts-conflictsAtStart >= s.MaxConflicts {
 			s.cancelUntil(0)
 			return Unknown
@@ -431,11 +440,29 @@ func (s *Solver) Solve() Status {
 	}
 }
 
+// interrupted reports whether the Interrupt channel has fired.
+func (s *Solver) interrupted() bool {
+	if s.Interrupt == nil {
+		return false
+	}
+	select {
+	case <-s.Interrupt:
+		return true
+	default:
+		return false
+	}
+}
+
 // search runs CDCL until a verdict or until the given number of conflicts,
 // in which case it returns Unknown (restart).
 func (s *Solver) search(conflictBudget int64) Status {
-	var conflicts int64
+	var conflicts, steps int64
 	for {
+		steps++
+		if steps&1023 == 0 && s.interrupted() {
+			s.cancelUntil(0)
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.Stats.Conflicts++

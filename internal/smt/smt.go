@@ -16,6 +16,7 @@
 package smt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -70,8 +71,24 @@ func SolveOpt(u *expr.Universe, vars []*expr.Var, formula expr.Expr, opts Option
 	return r, err
 }
 
+// SolveOptCtx is SolveOpt under a context: the SAT search polls the
+// context and the call fails with the context's error once it is
+// cancelled or its deadline passes.
+func SolveOptCtx(ctx context.Context, u *expr.Universe, vars []*expr.Var, formula expr.Expr, opts Options) (Result, error) {
+	r, _, err := SolveStatsCtx(ctx, u, vars, formula, opts)
+	return r, err
+}
+
 // SolveStats is SolveOpt, additionally reporting work statistics.
 func SolveStats(u *expr.Universe, vars []*expr.Var, formula expr.Expr, opts Options) (Result, Stats, error) {
+	return SolveStatsCtx(context.Background(), u, vars, formula, opts)
+}
+
+// SolveStatsCtx is SolveStats under a context (see SolveOptCtx).
+func SolveStatsCtx(ctx context.Context, u *expr.Universe, vars []*expr.Var, formula expr.Expr, opts Options) (Result, Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, Stats{}, fmt.Errorf("smt: %w", err)
+	}
 	if formula.Type() != expr.BoolType {
 		return Result{}, Stats{}, fmt.Errorf("smt: formula has type %s, want Bool", formula.Type())
 	}
@@ -85,7 +102,11 @@ func SolveStats(u *expr.Universe, vars []*expr.Var, formula expr.Expr, opts Opti
 	}
 	enc.s.AddClause(root[0])
 	enc.s.MaxConflicts = opts.MaxConflicts
+	enc.s.Interrupt = ctx.Done()
 	st := enc.s.Solve()
+	if st == sat.Unknown && ctx.Err() != nil {
+		return Result{}, Stats{}, fmt.Errorf("smt: %w", ctx.Err())
+	}
 	stats := Stats{
 		SATVars:    enc.s.NumVars(),
 		Clauses:    enc.numClauses,
@@ -110,7 +131,12 @@ func Valid(u *expr.Universe, vars []*expr.Var, formula expr.Expr) (bool, expr.En
 // ValidOpt is Valid with options. Status Unknown from the underlying solver
 // is reported as an error, since neither verdict is established.
 func ValidOpt(u *expr.Universe, vars []*expr.Var, formula expr.Expr, opts Options) (bool, expr.Env, error) {
-	res, err := SolveOpt(u, vars, expr.Not(formula), opts)
+	return ValidOptCtx(context.Background(), u, vars, formula, opts)
+}
+
+// ValidOptCtx is ValidOpt under a context (see SolveOptCtx).
+func ValidOptCtx(ctx context.Context, u *expr.Universe, vars []*expr.Var, formula expr.Expr, opts Options) (bool, expr.Env, error) {
+	res, err := SolveOptCtx(ctx, u, vars, expr.Not(formula), opts)
 	if err != nil {
 		return false, nil, err
 	}

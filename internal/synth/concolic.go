@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,6 +16,14 @@ import (
 // output value k_o that satisfies the post-condition under S, add the
 // concretization (S, k_o), and iterate.
 func SolveConcolic(p Problem, examples []ConcolicExample, limits Limits) (expr.Expr, Stats, error) {
+	return SolveConcolicCtx(context.Background(), p, examples, limits)
+}
+
+// SolveConcolicCtx is SolveConcolic under a context: cancellation is
+// honored between CEGIS iterations, inside the enumerative search, and
+// inside every SMT query, so an in-flight inference stops promptly when
+// the context is cancelled or times out.
+func SolveConcolicCtx(ctx context.Context, p Problem, examples []ConcolicExample, limits Limits) (expr.Expr, Stats, error) {
 	limits = limits.withDefaults()
 	stats := Stats{}
 	start := time.Now()
@@ -32,8 +41,11 @@ func SolveConcolic(p Problem, examples []ConcolicExample, limits Limits) (expr.E
 
 	var concrete []ConcreteExample
 	for iter := 1; iter <= limits.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, fmt.Errorf("synth: CEGIS aborted: %w", err)
+		}
 		stats.Iterations = iter
-		candidate, cstats, err := SolveConcrete(p, concrete, limits)
+		candidate, cstats, err := SolveConcreteCtx(ctx, p, concrete, limits)
 		stats.Concrete.Enumerated += cstats.Enumerated
 		stats.Concrete.Kept += cstats.Kept
 		if cstats.MaxSizeSeen > stats.Concrete.MaxSizeSeen {
@@ -50,7 +62,7 @@ func SolveConcolic(p Problem, examples []ConcolicExample, limits Limits) (expr.E
 			post := expr.Subst(c.Post, p.Output.Name, candidate)
 			query := expr.And(c.Pre, expr.Not(post))
 			stats.SMTQueries++
-			res, err := smt.SolveOpt(p.U, p.Vars, query, smtOpts)
+			res, err := smt.SolveOptCtx(ctx, p.U, p.Vars, query, smtOpts)
 			if err != nil {
 				return nil, stats, fmt.Errorf("synth: consistency query: %w", err)
 			}
@@ -63,7 +75,7 @@ func SolveConcolic(p Problem, examples []ConcolicExample, limits Limits) (expr.E
 			// Witness S falsifies the example; concretize it.
 			consistent = false
 			S := res.Model
-			ko, err := concretizeOutput(p, examples, S, smtOpts, &stats)
+			ko, err := concretizeOutput(ctx, p, examples, S, smtOpts, &stats)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -91,7 +103,7 @@ func SolveConcolic(p Problem, examples []ConcolicExample, limits Limits) (expr.E
 // this prevents two iterations from pinning contradictory outputs for the
 // same S when examples interact. If no output value exists, the example
 // set is contradictory for a reachable input valuation.
-func concretizeOutput(p Problem, examples []ConcolicExample, S expr.Env, opts smt.Options, stats *Stats) (expr.Value, error) {
+func concretizeOutput(ctx context.Context, p Problem, examples []ConcolicExample, S expr.Env, opts smt.Options, stats *Stats) (expr.Value, error) {
 	pins := make([]expr.Expr, 0, len(p.Vars)+len(examples))
 	for _, v := range p.Vars {
 		val, ok := S[v.Name]
@@ -106,7 +118,7 @@ func concretizeOutput(p Problem, examples []ConcolicExample, S expr.Env, opts sm
 	query := expr.And(pins...)
 	vars := append(append([]*expr.Var(nil), p.Vars...), p.Output)
 	stats.SMTQueries++
-	res, err := smt.SolveOpt(p.U, vars, query, opts)
+	res, err := smt.SolveOptCtx(ctx, p.U, vars, query, opts)
 	if err != nil {
 		return expr.Value{}, fmt.Errorf("synth: output concretization: %w", err)
 	}

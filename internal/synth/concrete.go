@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,9 +17,19 @@ import (
 // every other of its type, so the first enumerated expression of the output
 // type is returned — exactly the seeding behaviour Algorithm 2 relies on.
 func SolveConcrete(p Problem, examples []ConcreteExample, limits Limits) (expr.Expr, ConcreteStats, error) {
+	return SolveConcreteCtx(context.Background(), p, examples, limits)
+}
+
+// SolveConcreteCtx is SolveConcrete under a context: the enumeration loop
+// polls the context and aborts with its error once it is cancelled or its
+// deadline passes.
+func SolveConcreteCtx(ctx context.Context, p Problem, examples []ConcreteExample, limits Limits) (expr.Expr, ConcreteStats, error) {
 	limits = limits.withDefaults()
 	if err := p.validate(); err != nil {
 		return nil, ConcreteStats{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ConcreteStats{}, fmt.Errorf("synth: enumeration aborted: %w", err)
 	}
 	for i, c := range examples {
 		if c.Out.Type() != p.Output.VT {
@@ -26,7 +37,7 @@ func SolveConcrete(p Problem, examples []ConcreteExample, limits Limits) (expr.E
 				i, c.Out.Type(), p.Output.VT)
 		}
 	}
-	e := &enumerator{p: p, examples: examples, limits: limits, start: time.Now()}
+	e := &enumerator{ctx: ctx, p: p, examples: examples, limits: limits, start: time.Now()}
 	res, err := e.run()
 	return res, e.stats, err
 }
@@ -39,6 +50,7 @@ type entry struct {
 }
 
 type enumerator struct {
+	ctx      context.Context
 	p        Problem
 	examples []ConcreteExample
 	limits   Limits
@@ -232,15 +244,20 @@ func (en *enumerator) retain(e expr.Expr, size int) (expr.Expr, error) {
 	return nil, nil
 }
 
-// charge accounts one candidate against the budgets.
+// charge accounts one candidate against the budgets and polls the
+// cancellation context.
 func (en *enumerator) charge() error {
 	en.stats.Enumerated++
 	if en.stats.Enumerated >= en.limits.MaxExprs {
 		en.stats.Elapsed = time.Since(en.start)
 		return errStop{reason: fmt.Sprintf("expression budget %d exhausted", en.limits.MaxExprs)}
 	}
-	if en.limits.Timeout > 0 && en.stats.Enumerated%4096 == 0 {
-		if time.Since(en.start) > en.limits.Timeout {
+	if en.stats.Enumerated%4096 == 0 {
+		if err := en.ctx.Err(); err != nil {
+			en.stats.Elapsed = time.Since(en.start)
+			return fmt.Errorf("synth: enumeration aborted: %w", err)
+		}
+		if en.limits.Timeout > 0 && time.Since(en.start) > en.limits.Timeout {
 			en.stats.Elapsed = time.Since(en.start)
 			return errStop{reason: "timeout"}
 		}

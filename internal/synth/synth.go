@@ -55,14 +55,25 @@ func (p Problem) validate() error {
 	return nil
 }
 
-// Limits bounds the search. Zero fields take the defaults below.
+// Limits bounds the search.
+//
+// The zero value is valid and means "use the documented defaults": a zero
+// MaxSize, MaxExprs, or MaxIters resolves to DefaultMaxSize,
+// DefaultMaxExprs, or DefaultMaxIters respectively, while a zero Timeout
+// means no wall-clock bound and a zero SMTConflicts means unbounded SMT
+// queries. WithDefaults is the single place this resolution happens; both
+// SolveConcrete and SolveConcolic apply it on entry, so callers passing
+// Limits{} and callers passing the explicit defaults get identical
+// behavior.
 type Limits struct {
 	// MaxSize is the largest expression size enumerated.
+	// 0 means DefaultMaxSize.
 	MaxSize int
 	// MaxExprs caps the number of candidate expressions examined
-	// (enumerated, whether or not pruned).
+	// (enumerated, whether or not pruned). 0 means DefaultMaxExprs.
 	MaxExprs int64
 	// MaxIters caps CEGIS iterations in SolveConcolic.
+	// 0 means DefaultMaxIters.
 	MaxIters int
 	// Timeout caps wall-clock time for the whole call; 0 means none.
 	Timeout time.Duration
@@ -73,14 +84,19 @@ type Limits struct {
 	NoPrune bool
 }
 
-// Default limits.
+// Default limits, applied by Limits.WithDefaults.
 const (
 	DefaultMaxSize  = 20
 	DefaultMaxExprs = 20_000_000
 	DefaultMaxIters = 64
 )
 
-func (l Limits) withDefaults() Limits {
+// WithDefaults resolves zero fields to the package defaults. It is
+// idempotent, and it is the only place zero-value Limits semantics are
+// defined: every solver entry point normalizes its Limits through it, and
+// external consumers (e.g. the engine's memoization key) use it so that
+// Limits{} and the spelled-out defaults are interchangeable.
+func (l Limits) WithDefaults() Limits {
 	if l.MaxSize == 0 {
 		l.MaxSize = DefaultMaxSize
 	}
@@ -92,6 +108,8 @@ func (l Limits) withDefaults() Limits {
 	}
 	return l
 }
+
+func (l Limits) withDefaults() Limits { return l.WithDefaults() }
 
 // Sentinel errors.
 var (

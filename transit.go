@@ -51,8 +51,13 @@
 package transit
 
 import (
+	"context"
+	"io"
+	"time"
+
 	"transit/internal/core"
 	"transit/internal/efsm"
+	"transit/internal/engine"
 	"transit/internal/expr"
 	"transit/internal/lang"
 	"transit/internal/mc"
@@ -212,6 +217,12 @@ func SolveConcolic(p Problem, examples []ConcolicExample, limits Limits) (Expr, 
 	return synth.SolveConcolic(p, examples, limits)
 }
 
+// SolveConcolicCtx is SolveConcolic under a context: cancellation and
+// deadlines abort the enumeration, the SMT checks, and the CEGIS loop.
+func SolveConcolicCtx(ctx context.Context, p Problem, examples []ConcolicExample, limits Limits) (Expr, SynthStats, error) {
+	return synth.SolveConcolicCtx(ctx, p, examples, limits)
+}
+
 // CheckSat decides satisfiability of a Boolean expression over typed
 // variables using the bundled finite-domain SMT solver.
 func CheckSat(u *Universe, vars []*Var, formula Expr) (sat bool, model Env, err error) {
@@ -233,20 +244,61 @@ func LoadProtocol(src string, numCaches int) (*Protocol, error) {
 	return lang.Build(src, numCaches)
 }
 
+// Telemetry types of the synthesis engine (re-exported from
+// internal/engine).
+type (
+	// EngineEvent is one structured telemetry record emitted by the
+	// synthesis-job engine.
+	EngineEvent = engine.Event
+	// TelemetrySink consumes engine events; it must be safe for
+	// concurrent calls.
+	TelemetrySink = engine.Sink
+	// SynthCache is the engine's cross-job memoization cache; share one
+	// across Synthesize calls to reuse solved sub-problems.
+	SynthCache = engine.Cache
+)
+
+// NewJSONTelemetry returns a sink writing one JSON event per line to w.
+func NewJSONTelemetry(w io.Writer) TelemetrySink { return engine.NewJSONSink(w) }
+
+// NewSynthCache creates an empty memoization cache.
+func NewSynthCache() *SynthCache { return engine.NewCache() }
+
 // SynthesisOptions configures Synthesize.
 type SynthesisOptions struct {
 	// Limits bounds each inference call; zero fields take defaults.
 	Limits Limits
 	// SkipGuardCheck disables the static guard mutual-exclusion check.
 	SkipGuardCheck bool
+	// Workers sizes the inference worker pool; <= 1 runs jobs in exactly
+	// the sequential order (byte-identical output to the historical
+	// implementation; larger pools infer identical expressions faster).
+	Workers int
+	// Timeout bounds the whole synthesis run; 0 means none.
+	Timeout time.Duration
+	// Telemetry, when non-nil, receives the engine's structured events.
+	Telemetry TelemetrySink
+	// Cache, when non-nil, is used instead of a fresh per-run
+	// memoization cache.
+	Cache *SynthCache
 }
 
 // Synthesize completes the protocol's skeleton from its snippets (§5),
 // installing full transitions into proto.Sys.
 func Synthesize(proto *Protocol, opts SynthesisOptions) (*SynthesisReport, error) {
-	return core.Complete(proto.Sys, proto.Vocab, proto.Snippets, core.Options{
+	return SynthesizeCtx(context.Background(), proto, opts)
+}
+
+// SynthesizeCtx is Synthesize under a context: cancellation and deadlines
+// stop in-flight inference jobs.
+func SynthesizeCtx(ctx context.Context, proto *Protocol, opts SynthesisOptions) (*SynthesisReport, error) {
+	return core.CompleteCtx(ctx, proto.Sys, proto.Vocab, proto.Snippets, core.Options{
 		Limits:         opts.Limits,
 		SkipGuardCheck: opts.SkipGuardCheck,
+		Workers:        opts.Workers,
+		Timeout:        opts.Timeout,
+		Telemetry:      opts.Telemetry,
+		Cache:          opts.Cache,
 	})
 }
 
@@ -266,6 +318,19 @@ func Verify(proto *Protocol, opts VerifyOptions) (*CheckResult, error) {
 		return nil, err
 	}
 	return mc.Check(rt, proto.Invariants, mc.Options{
+		MaxStates:     opts.MaxStates,
+		CheckDeadlock: opts.CheckDeadlock,
+	})
+}
+
+// VerifyCtx is Verify under a context: cancellation and deadlines abort
+// the breadth-first exploration, returning the partial result so far.
+func VerifyCtx(ctx context.Context, proto *Protocol, opts VerifyOptions) (*CheckResult, error) {
+	rt, err := efsm.NewRuntime(proto.Sys)
+	if err != nil {
+		return nil, err
+	}
+	return mc.CheckCtx(ctx, rt, proto.Invariants, mc.Options{
 		MaxStates:     opts.MaxStates,
 		CheckDeadlock: opts.CheckDeadlock,
 	})
