@@ -10,17 +10,25 @@
 //	                               serial vs. parallel job-engine synthesis
 //	transit-bench -all             everything (short variants)
 //
+// Observability flags apply to whichever benchmarks run: -trace out.json
+// writes a Chrome trace-event file (open at ui.perfetto.dev),
+// -stats-summary prints the end-of-run span tree, and
+// -cpuprofile/-memprofile/-pprof enable the Go profilers.
+//
 // Absolute numbers depend on the machine; the shapes to compare against
 // the paper are described in EXPERIMENTS.md.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
 	"transit/internal/bench"
+	"transit/internal/obs"
 )
 
 func main() {
@@ -36,7 +44,14 @@ func main() {
 		n       = flag.Int("n", 3, "cache count for Tables 4 and 5 and the engine comparison")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel worker count for -engine")
 		out     = flag.String("out", "BENCH_engine.json", "JSON artifact path for -engine (empty = none)")
+
+		tracePath    = flag.String("trace", "", "write a Chrome trace-event JSON file (view at ui.perfetto.dev)")
+		statsSummary = flag.Bool("stats-summary", false, "print an end-of-run span tree and metrics table to stderr")
+		profiling    obs.Profiling
 	)
+	flag.StringVar(&profiling.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&profiling.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	flag.StringVar(&profiling.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if !*table2 && !*table3 && !*fig5 && !*table4 && !*table5 && !*eng && !*all {
 		flag.Usage()
@@ -45,16 +60,38 @@ func main() {
 	if *all {
 		*table2, *table3, *fig5, *table4, *table5, *eng = true, true, true, true, true, true
 	}
+
+	var summary io.Writer
+	if *statsSummary {
+		summary = os.Stderr
+	}
+	sess, err := obs.NewSession(obs.Options{
+		TracePath: *tracePath,
+		Summary:   summary,
+		Profiling: profiling,
+	})
+	check(err)
+	// Exit through fail() so the session flushes even on benchmark errors.
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		_ = sess.Close()
+		fmt.Fprintln(os.Stderr, "transit-bench:", err)
+		os.Exit(1)
+	}
+	ctx := sess.Context(context.Background())
+
 	if *table2 {
-		rows, final, stats, err := bench.Table2()
-		check(err)
+		rows, final, stats, err := bench.Table2Ctx(ctx)
+		fail(err)
 		fmt.Println(bench.FormatTable2(rows, final))
 		fmt.Printf("(%d iterations, %d SMT queries, %s)\n\n", stats.Iterations, stats.SMTQueries,
 			stats.Elapsed.Round(1000*1000))
 	}
 	if *table3 {
-		rows, err := bench.Table3(bench.Table3Options{IncludeLong: *long})
-		check(err)
+		rows, err := bench.Table3Ctx(ctx, bench.Table3Options{IncludeLong: *long})
+		fail(err)
 		fmt.Println(bench.FormatTable3(rows))
 	}
 	if *fig5 {
@@ -63,29 +100,30 @@ func main() {
 			opts.Trials = 5
 			opts.ExhaustiveCap = 30_000_000
 		}
-		pts, err := bench.Fig5(opts)
-		check(err)
+		pts, err := bench.Fig5Ctx(ctx, opts)
+		fail(err)
 		fmt.Println(bench.FormatFig5(pts))
 	}
 	if *table4 {
-		rows, err := bench.Table4(*n)
-		check(err)
+		rows, err := bench.Table4Ctx(ctx, *n)
+		fail(err)
 		fmt.Println(bench.FormatTable4(rows))
 	}
 	if *table5 {
-		rows, err := bench.Table5(*n)
-		check(err)
+		rows, err := bench.Table5Ctx(ctx, *n)
+		fail(err)
 		fmt.Println(bench.FormatTable5(rows))
 	}
 	if *eng {
-		rows, err := bench.EngineBench(*n, *workers)
-		check(err)
+		rows, err := bench.EngineBenchCtx(ctx, *n, *workers)
+		fail(err)
 		fmt.Println(bench.FormatEngine(rows))
 		if *out != "" {
-			check(bench.WriteEngineArtifact(*out, *workers, rows))
+			fail(bench.WriteEngineArtifact(*out, *workers, rows))
 			fmt.Printf("wrote %s\n", *out)
 		}
 	}
+	check(sess.Close())
 }
 
 func check(err error) {

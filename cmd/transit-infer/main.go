@@ -13,8 +13,15 @@
 //
 // Expressions use the TRANSIT surface syntax (see internal/lang).
 //
-// Usage: transit-infer [-max-size K] [-timeout D] [-trace] [-stats] file
-// With no file the spec is read from stdin.
+// Usage:
+//
+//	transit-infer [-max-size K] [-timeout D] [-cegis-trace] [-stats]
+//	              [-trace out.json] [-stats-summary]
+//	              [-cpuprofile F] [-memprofile F] [-pprof ADDR] file
+//
+// With no file the spec is read from stdin. -cegis-trace prints the
+// Table 2 style iteration log; -trace writes a Chrome trace-event JSON
+// file of the CEGIS/SMT/SAT span tree (open it at ui.perfetto.dev).
 package main
 
 import (
@@ -30,15 +37,31 @@ import (
 	"transit"
 	"transit/internal/expr"
 	"transit/internal/lang"
+	"transit/internal/obs"
 )
 
+// inferOptions is the CLI configuration for one inference run.
+type inferOptions struct {
+	maxSize      int
+	timeout      time.Duration
+	cegisTrace   bool
+	stats        bool
+	tracePath    string
+	statsSummary bool
+	profiling    obs.Profiling
+}
+
 func main() {
-	var (
-		maxSize = flag.Int("max-size", 14, "expression-size bound")
-		trace   = flag.Bool("trace", false, "print the CEGIS trace (Table 2 style)")
-		timeout = flag.Duration("timeout", 0, "inference deadline, e.g. 30s (0 = none)")
-		stats   = flag.Bool("stats", false, "print inference statistics as a JSON line to stderr")
-	)
+	var opts inferOptions
+	flag.IntVar(&opts.maxSize, "max-size", 14, "expression-size bound")
+	flag.BoolVar(&opts.cegisTrace, "cegis-trace", false, "print the CEGIS trace (Table 2 style)")
+	flag.DurationVar(&opts.timeout, "timeout", 0, "inference deadline, e.g. 30s (0 = none)")
+	flag.BoolVar(&opts.stats, "stats", false, "stream statistics and trace spans as JSON lines to stderr")
+	flag.StringVar(&opts.tracePath, "trace", "", "write a Chrome trace-event JSON file (view at ui.perfetto.dev)")
+	flag.BoolVar(&opts.statsSummary, "stats-summary", false, "print an end-of-run span tree and metrics table to stderr")
+	flag.StringVar(&opts.profiling.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&opts.profiling.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	flag.StringVar(&opts.profiling.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	var src []byte
 	var err error
@@ -50,7 +73,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if err := run(string(src), *maxSize, *timeout, *trace, *stats); err != nil {
+	if err := run(string(src), opts); err != nil {
 		fail(err)
 	}
 }
@@ -177,7 +200,7 @@ func typeByName(u *expr.Universe, name string) (expr.Type, error) {
 	return expr.Type{}, fmt.Errorf("unknown type %s", name)
 }
 
-func run(src string, maxSize int, timeout time.Duration, trace, stats bool) error {
+func run(src string, opts inferOptions) error {
 	sp, err := parseSpec(src)
 	if err != nil {
 		return err
@@ -225,17 +248,39 @@ func run(src string, maxSize int, timeout time.Duration, trace, stats bool) erro
 		Enums: enums, WithEnumConstants: true, WithSetLiterals: true, WithoutEnumIte: true,
 	})
 	prob := transit.Problem{U: u, Vocab: voc, Vars: vars, Output: transit.NewVar(sp.output.name, outType)}
-	ctx := context.Background()
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
+
+	var ndjson, summary io.Writer
+	var statsWriter io.Writer = os.Stderr
+	if opts.stats {
+		sw := obs.NewSyncWriter(os.Stderr)
+		ndjson = sw
+		statsWriter = sw
 	}
-	e, st, err := transit.SolveConcolicCtx(ctx, prob, examples, transit.Limits{MaxSize: maxSize})
+	if opts.statsSummary {
+		summary = os.Stderr
+	}
+	sess, err := obs.NewSession(obs.Options{
+		NDJSON:    ndjson,
+		TracePath: opts.tracePath,
+		Summary:   summary,
+		Profiling: opts.profiling,
+	})
 	if err != nil {
 		return err
 	}
-	if trace {
+	defer sess.Close()
+
+	ctx := sess.Context(context.Background())
+	if opts.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.timeout)
+		defer cancel()
+	}
+	e, st, err := transit.SolveConcolicCtx(ctx, prob, examples, transit.Limits{MaxSize: opts.maxSize})
+	if err != nil {
+		return err
+	}
+	if opts.cegisTrace {
 		for i, rec := range st.Trace {
 			if rec.Witness == nil {
 				fmt.Printf("iter %d: %-30s accepted\n", i+1, rec.Candidate)
@@ -245,8 +290,8 @@ func run(src string, maxSize int, timeout time.Duration, trace, stats bool) erro
 			}
 		}
 	}
-	if stats {
-		fmt.Fprintf(os.Stderr,
+	if opts.stats {
+		fmt.Fprintf(statsWriter,
 			`{"type":"infer_end","size":%d,"cegis_iterations":%d,"smt_queries":%d,"candidates":%d,"duration_ms":%.3f}`+"\n",
 			e.Size(), st.Iterations, st.SMTQueries, st.Concrete.Enumerated,
 			float64(st.Elapsed)/float64(time.Millisecond))

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseSpec(t *testing.T) {
 	sp, err := parseSpec(`
@@ -54,7 +59,7 @@ var a: Int;
 var b: Int;
 output o: Int;
 example true ==> (o >= a) & (o >= b) & ((o = a) | (o = b));
-`, 8, 0, false, true)
+`, inferOptions{maxSize: 8, stats: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,8 +74,28 @@ var p: PID;
 output o: Set;
 example k = Red ==> o = setadd(s, p);
 example k != Red ==> o = setminus(s, setof(p));
-`, 12, 0, false, false)
+`, inferOptions{maxSize: 12})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	err := run(`
+var a: Int;
+var b: Int;
+output o: Int;
+example true ==> (o >= a) & (o >= b) & ((o = a) | (o = b));
+`, inferOptions{maxSize: 8, cegisTrace: true, tracePath: tracePath, statsSummary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw) {
+		t.Fatal("trace is not valid JSON")
 	}
 }

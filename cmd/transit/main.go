@@ -10,25 +10,35 @@
 //
 // Flags:
 //
-//	-n N          number of caches (default 3)
-//	-max-size K   expression-size bound for inference (default 12)
-//	-states N     model-checking state budget (default 2,000,000)
-//	-deadlock     also report deadlocks (default true)
-//	-dump         print every completed transition
-//	-workers N    inference worker pool size (default 1 = sequential)
-//	-timeout D    overall synthesis deadline, e.g. 30s (default none)
-//	-stats        stream engine telemetry as JSON lines to stderr
+//	-n N            number of caches (default 3)
+//	-max-size K     expression-size bound for inference (default 12)
+//	-states N       model-checking state budget (default 2,000,000)
+//	-deadlock       also report deadlocks (default true)
+//	-dump           print every completed transition
+//	-workers N      inference worker pool size (default 1 = sequential)
+//	-timeout D      overall synthesis deadline, e.g. 30s (default none)
+//	-stats          stream engine telemetry and trace spans as JSON lines
+//	                to stderr
+//	-trace F        write a Chrome trace-event JSON file to F (open it at
+//	                https://ui.perfetto.dev)
+//	-stats-summary  print an end-of-run span tree and metrics table
+//	-cpuprofile F   write a CPU profile to F
+//	-memprofile F   write a heap profile to F at exit
+//	-pprof ADDR     serve net/http/pprof on ADDR (e.g. localhost:6060)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"transit"
 	"transit/internal/export"
 	"transit/internal/expr"
+	"transit/internal/obs"
 )
 
 func main() {
@@ -43,78 +53,130 @@ func main() {
 	flag.StringVar(&opts.builtin, "builtin", "", "run a built-in protocol: vi, msi, mesi, origin, origin-buggy")
 	flag.IntVar(&opts.workers, "workers", 1, "inference worker pool size (1 = sequential)")
 	flag.DurationVar(&opts.timeout, "timeout", 0, "overall synthesis deadline (0 = none)")
-	flag.BoolVar(&opts.stats, "stats", false, "stream engine telemetry as JSON lines to stderr")
+	flag.BoolVar(&opts.stats, "stats", false, "stream engine telemetry and trace spans as JSON lines to stderr")
+	flag.StringVar(&opts.tracePath, "trace", "", "write a Chrome trace-event JSON file (view at ui.perfetto.dev)")
+	flag.BoolVar(&opts.statsSummary, "stats-summary", false, "print an end-of-run span tree and metrics table to stderr")
+	flag.StringVar(&opts.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&opts.memProfile, "memprofile", "", "write a heap profile to this file at exit")
+	flag.StringVar(&opts.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	opts.args = flag.Args()
-	if err := run(opts); err != nil {
+	code, err := run(opts)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "transit:", err)
 		os.Exit(1)
+	}
+	if code != 0 {
+		os.Exit(code)
 	}
 }
 
 // options collects the CLI configuration for one run.
 type options struct {
-	numCaches int
-	maxSize   int
-	maxStates int
-	deadlock  bool
-	dump      bool
-	msc       bool
-	builtin   string
-	murphiOut string
-	workers   int
-	timeout   time.Duration
-	stats     bool
-	args      []string
+	numCaches    int
+	maxSize      int
+	maxStates    int
+	deadlock     bool
+	dump         bool
+	msc          bool
+	builtin      string
+	murphiOut    string
+	workers      int
+	timeout      time.Duration
+	stats        bool
+	tracePath    string
+	statsSummary bool
+	cpuProfile   string
+	memProfile   string
+	pprofAddr    string
+	args         []string
 }
 
-func run(opts options) error {
-	var proto *transit.Protocol
-	switch {
-	case opts.builtin != "":
-		switch opts.builtin {
-		case "vi":
-			proto = transit.VI(opts.numCaches)
-		case "msi":
-			proto = transit.MSI(opts.numCaches)
-		case "mesi":
-			proto = transit.MESI(opts.numCaches)
-		case "origin":
-			proto = transit.Origin(opts.numCaches, true)
-		case "origin-buggy":
-			proto = transit.Origin(opts.numCaches, false)
-		default:
-			return fmt.Errorf("unknown builtin %q", opts.builtin)
-		}
-	case len(opts.args) == 1:
-		src, err := os.ReadFile(opts.args[0])
-		if err != nil {
-			return err
-		}
-		proto, err = transit.LoadProtocol(string(src), opts.numCaches)
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("expected one .tr file or -builtin (see -h)")
+// run executes the pipeline and returns the process exit code (0 ok, 2
+// model-check violation). Returning instead of calling os.Exit directly
+// lets the observability session flush trace files and profiles first.
+func run(opts options) (int, error) {
+	proto, err := loadProtocol(opts)
+	if err != nil {
+		return 0, err
 	}
 
+	var ndjson io.Writer
+	var summary io.Writer
 	sopts := transit.SynthesisOptions{
 		Limits:  transit.Limits{MaxSize: opts.maxSize},
 		Workers: opts.workers,
 		Timeout: opts.timeout,
 	}
 	if opts.stats {
-		sopts.Telemetry = transit.NewJSONTelemetry(os.Stderr)
+		// One SyncWriter keeps engine telemetry lines and span lines
+		// from interleaving bytes within a line on stderr.
+		sw := obs.NewSyncWriter(os.Stderr)
+		ndjson = sw
+		sopts.Telemetry = transit.NewJSONTelemetry(sw)
 	}
-
-	fmt.Printf("protocol %s with %d caches: %d snippets\n", proto.Name, opts.numCaches, len(proto.Snippets))
-	rep, err := transit.Synthesize(proto, sopts)
+	if opts.statsSummary {
+		summary = os.Stderr
+	}
+	sess, err := obs.NewSession(obs.Options{
+		NDJSON:    ndjson,
+		TracePath: opts.tracePath,
+		Summary:   summary,
+		Profiling: obs.Profiling{
+			CPUProfile: opts.cpuProfile,
+			MemProfile: opts.memProfile,
+			PprofAddr:  opts.pprofAddr,
+		},
+	})
 	if err != nil {
-		return fmt.Errorf("synthesis: %w", err)
+		return 0, err
+	}
+	code, err := pipeline(sess.Context(context.Background()), proto, sopts, opts)
+	if cerr := sess.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return code, err
+}
+
+// loadProtocol resolves the -builtin flag or the .tr file argument.
+func loadProtocol(opts options) (*transit.Protocol, error) {
+	switch {
+	case opts.builtin != "":
+		switch opts.builtin {
+		case "vi":
+			return transit.VI(opts.numCaches), nil
+		case "msi":
+			return transit.MSI(opts.numCaches), nil
+		case "mesi":
+			return transit.MESI(opts.numCaches), nil
+		case "origin":
+			return transit.Origin(opts.numCaches, true), nil
+		case "origin-buggy":
+			return transit.Origin(opts.numCaches, false), nil
+		default:
+			return nil, fmt.Errorf("unknown builtin %q", opts.builtin)
+		}
+	case len(opts.args) == 1:
+		src, err := os.ReadFile(opts.args[0])
+		if err != nil {
+			return nil, err
+		}
+		return transit.LoadProtocol(string(src), opts.numCaches)
+	default:
+		return nil, fmt.Errorf("expected one .tr file or -builtin (see -h)")
+	}
+}
+
+// pipeline runs synthesize → dump → export → model check under the
+// observability context.
+func pipeline(ctx context.Context, proto *transit.Protocol, sopts transit.SynthesisOptions, opts options) (int, error) {
+	fmt.Printf("protocol %s with %d caches: %d snippets\n", proto.Name, opts.numCaches, len(proto.Snippets))
+	rep, err := transit.SynthesizeCtx(ctx, proto, sopts)
+	if err != nil {
+		return 0, fmt.Errorf("synthesis: %w", err)
 	}
 	fmt.Printf("synthesized %d transitions in %s: %d updates (%d exprs tried), %d guards (%d exprs tried), %d SMT queries\n",
-		rep.Transitions, rep.Elapsed.Round(1000*1000),
+		rep.Transitions, rep.Elapsed.Round(time.Millisecond),
 		rep.UpdatesSynthesized, rep.UpdateExprsTried,
 		rep.GuardsSynthesized, rep.GuardExprsTried, rep.SMTQueries)
 	if opts.stats {
@@ -123,58 +185,63 @@ func run(opts options) error {
 	}
 
 	if opts.dump {
-		for _, d := range proto.Sys.Defs {
-			fmt.Printf("\nprocess %s:\n", d.Name)
-			for _, t := range d.Transitions {
-				if t.Defer {
-					fmt.Printf("  (%s, %s) [%s] stall\n", t.From, t.Event, t.GuardString())
-					continue
-				}
-				fmt.Printf("  (%s, %s) [%s] -> %s\n", t.From, t.Event, t.GuardString(), t.To)
-				for _, u := range t.Updates {
-					fmt.Printf("      %s := %s\n", u.Var, expr.Pretty(u.Rhs))
-				}
-				for _, s := range t.Sends {
-					if s.TargetSet != nil {
-						fmt.Printf("      send %s to each of %s:\n", s.Net.Name, expr.Pretty(s.TargetSet))
-					} else {
-						fmt.Printf("      send %s:\n", s.Net.Name)
-					}
-					for _, f := range s.Fields {
-						fmt.Printf("        %s = %s\n", f.Field, expr.Pretty(f.Rhs))
-					}
-				}
-			}
-		}
+		dumpTransitions(proto)
 	}
 
 	if opts.murphiOut != "" {
 		src, err := export.Murphi(proto.Sys)
 		if err != nil {
-			return fmt.Errorf("murphi export: %w", err)
+			return 0, fmt.Errorf("murphi export: %w", err)
 		}
 		if err := os.WriteFile(opts.murphiOut, []byte(src), 0o644); err != nil {
-			return err
+			return 0, err
 		}
 		fmt.Printf("wrote Murphi model to %s (%d bytes)\n", opts.murphiOut, len(src))
 	}
 
-	res, chart, err := transit.VerifyWithChart(proto, transit.VerifyOptions{
+	res, chart, err := transit.VerifyWithChartCtx(ctx, proto, transit.VerifyOptions{
 		MaxStates:     opts.maxStates,
 		CheckDeadlock: opts.deadlock,
 	})
 	if err != nil {
-		return fmt.Errorf("model checking: %w", err)
+		return 0, fmt.Errorf("model checking: %w", err)
 	}
 	if res.OK {
-		fmt.Printf("model check PASSED: %d states, %d transitions explored, depth %d\n",
-			res.States, res.Transitions, res.Depth)
-		return nil
+		fmt.Printf("model check PASSED: %d states, %d transitions explored, depth %d in %s (%.0f states/sec)\n",
+			res.States, res.Transitions, res.Depth,
+			res.Elapsed.Round(time.Millisecond), res.StatesPerSec)
+		return 0, nil
 	}
-	fmt.Printf("model check FAILED after %d states:\n%v\n", res.States, res.Violation)
+	fmt.Printf("model check FAILED after %d states in %s:\n%v\n",
+		res.States, res.Elapsed.Round(time.Millisecond), res.Violation)
 	if opts.msc {
 		fmt.Printf("\nmessage-sequence chart:\n%s", chart)
 	}
-	os.Exit(2)
-	return nil
+	return 2, nil
+}
+
+func dumpTransitions(proto *transit.Protocol) {
+	for _, d := range proto.Sys.Defs {
+		fmt.Printf("\nprocess %s:\n", d.Name)
+		for _, t := range d.Transitions {
+			if t.Defer {
+				fmt.Printf("  (%s, %s) [%s] stall\n", t.From, t.Event, t.GuardString())
+				continue
+			}
+			fmt.Printf("  (%s, %s) [%s] -> %s\n", t.From, t.Event, t.GuardString(), t.To)
+			for _, u := range t.Updates {
+				fmt.Printf("      %s := %s\n", u.Var, expr.Pretty(u.Rhs))
+			}
+			for _, s := range t.Sends {
+				if s.TargetSet != nil {
+					fmt.Printf("      send %s to each of %s:\n", s.Net.Name, expr.Pretty(s.TargetSet))
+				} else {
+					fmt.Printf("      send %s:\n", s.Net.Name)
+				}
+				for _, f := range s.Fields {
+					fmt.Printf("        %s = %s\n", f.Field, expr.Pretty(f.Rhs))
+				}
+			}
+		}
+	}
 }

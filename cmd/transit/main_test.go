@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -8,16 +9,79 @@ import (
 
 func TestRunBuiltinVI(t *testing.T) {
 	opts := options{numCaches: 2, maxSize: 10, maxStates: 100_000, deadlock: true, dump: true, builtin: "vi"}
-	if err := run(opts); err != nil {
+	code, err := run(opts)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
 	}
 }
 
 func TestRunBuiltinVIParallelStats(t *testing.T) {
 	opts := options{numCaches: 2, maxSize: 10, maxStates: 100_000, deadlock: true, builtin: "vi",
 		workers: 4, stats: true}
-	if err := run(opts); err != nil {
+	if _, err := run(opts); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunTraceAndProfiles exercises the observability flags end-to-end:
+// the Chrome trace must be a valid JSON document with a populated
+// traceEvents array, and the profile files must be non-empty.
+func TestRunTraceAndProfiles(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+	opts := options{numCaches: 2, maxSize: 10, maxStates: 100_000, deadlock: true, builtin: "vi",
+		workers: 2, tracePath: tracePath, statsSummary: true,
+		cpuProfile: cpuPath, memProfile: memPath}
+	code, err := run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if n, ok := ev["name"].(string); ok {
+			names[n] = true
+		}
+	}
+	for _, want := range []string{"engine.run", "engine.job", "synth.cegis", "smt.solve", "sat.search", "mc.bfs"} {
+		if !names[want] {
+			t.Errorf("trace lacks %q events", want)
+		}
+	}
+	for _, p := range []string{cpuPath, memPath} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty: %v", p, err)
+		}
+	}
+}
+
+func TestRunBuggyOriginExitCode(t *testing.T) {
+	// origin-buggy must FAIL the model check: run reports exit code 2
+	// with no error, so trace files still flush before exit.
+	opts := options{numCaches: 2, maxSize: 10, maxStates: 500_000, builtin: "origin-buggy"}
+	code, err := run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
 	}
 }
 
@@ -52,7 +116,7 @@ process Client replicated {
 	murphiOut := filepath.Join(dir, "mini.m")
 	opts := options{numCaches: 2, maxSize: 8, maxStates: 100_000, deadlock: true,
 		murphiOut: murphiOut, args: []string{file}}
-	if err := run(opts); err != nil {
+	if _, err := run(opts); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(murphiOut); err != nil || fi.Size() == 0 {
@@ -64,15 +128,15 @@ func TestRunErrors(t *testing.T) {
 	base := options{numCaches: 2, maxSize: 8, maxStates: 1000}
 	bad := base
 	bad.builtin = "nope"
-	if err := run(bad); err == nil {
+	if _, err := run(bad); err == nil {
 		t.Error("unknown builtin should error")
 	}
-	if err := run(base); err == nil {
+	if _, err := run(base); err == nil {
 		t.Error("no input should error")
 	}
 	missing := base
 	missing.args = []string{"/does/not/exist.tr"}
-	if err := run(missing); err == nil {
+	if _, err := run(missing); err == nil {
 		t.Error("missing file should error")
 	}
 }

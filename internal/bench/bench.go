@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -30,6 +31,12 @@ type Table2Row struct {
 // true ⇒ (o ≥ a ∧ o ≥ b ∧ (o = a ∨ o = b)) with the coherence vocabulary,
 // returning the per-iteration trace and the final expression.
 func Table2() ([]Table2Row, string, synth.Stats, error) {
+	return Table2Ctx(context.Background())
+}
+
+// Table2Ctx is Table2 under a context (cancellation plus observability
+// threading; see the obs package).
+func Table2Ctx(ctx context.Context) ([]Table2Row, string, synth.Stats, error) {
 	u := expr.NewUniverse(3)
 	voc := expr.CoherenceVocabulary(u, expr.CoherenceOptions{})
 	a, b := expr.V("a", expr.IntType), expr.V("b", expr.IntType)
@@ -40,7 +47,7 @@ func Table2() ([]Table2Row, string, synth.Stats, error) {
 		Post: expr.And(expr.Ge(o, a), expr.Ge(o, b),
 			expr.Or(expr.Eq(o, a), expr.Eq(o, b))),
 	}}
-	e, stats, err := synth.SolveConcolic(prob, spec, synth.Limits{MaxSize: 8})
+	e, stats, err := synth.SolveConcolicCtx(ctx, prob, spec, synth.Limits{MaxSize: 8})
 	if err != nil {
 		return nil, "", stats, err
 	}
@@ -76,10 +83,16 @@ type Table4Row struct {
 // synthesizes them, and model checks the result, reporting the paper's
 // throughput metrics.
 func Table4(numCaches int) ([]Table4Row, error) {
+	return Table4Ctx(context.Background(), numCaches)
+}
+
+// Table4Ctx is Table4 under a context (cancellation plus observability
+// threading).
+func Table4Ctx(ctx context.Context, numCaches int) ([]Table4Row, error) {
 	specs := []*protocols.Spec{protocols.VI(numCaches), protocols.MSI(numCaches)}
 	var rows []Table4Row
 	for _, spec := range specs {
-		rep, err := core.Complete(spec.Sys, spec.Vocab, spec.Snippets,
+		rep, err := core.CompleteCtx(ctx, spec.Sys, spec.Vocab, spec.Snippets,
 			core.Options{Limits: synth.Limits{MaxSize: 12}})
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s synthesis: %w", spec.Name, err)
@@ -89,7 +102,7 @@ func Table4(numCaches int) ([]Table4Row, error) {
 			return nil, err
 		}
 		t0 := time.Now()
-		res, err := mc.Check(rt, spec.Invariants, mc.Options{MaxStates: 8_000_000, CheckDeadlock: true})
+		res, err := mc.CheckCtx(ctx, rt, spec.Invariants, mc.Options{MaxStates: 8_000_000, CheckDeadlock: true})
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s model check: %w", spec.Name, err)
 		}
@@ -129,6 +142,12 @@ type Table5Row struct {
 // Table5 replays the three case studies and reports the effectiveness
 // metrics of the iterative methodology.
 func Table5(numCaches int) ([]Table5Row, error) {
+	return Table5Ctx(context.Background(), numCaches)
+}
+
+// Table5Ctx is Table5 under a context (cancellation plus observability
+// threading).
+func Table5Ctx(ctx context.Context, numCaches int) ([]Table5Row, error) {
 	studies := []core.CaseStudy{
 		protocols.CaseStudyA(numCaches),
 		protocols.CaseStudyB(numCaches),
@@ -136,7 +155,7 @@ func Table5(numCaches int) ([]Table5Row, error) {
 	}
 	var rows []Table5Row
 	for _, cs := range studies {
-		res, err := core.RunCaseStudy(cs)
+		res, err := core.RunCaseStudyCtx(ctx, cs)
 		if err != nil {
 			return nil, fmt.Errorf("bench: case study %s: %w", cs.Name, err)
 		}

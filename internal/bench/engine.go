@@ -10,6 +10,7 @@ import (
 
 	"transit/internal/core"
 	"transit/internal/engine"
+	"transit/internal/obs"
 	"transit/internal/protocols"
 	"transit/internal/synth"
 )
@@ -33,6 +34,12 @@ type EngineRow struct {
 	CacheHits   int           `json:"cache_hits"`
 	CacheMisses int           `json:"cache_misses"`
 	HitRate     float64       `json:"cache_hit_rate"`
+	// Work counters from the parallel run's obs metrics registry (the
+	// same counters -stats-summary reports), not re-derived from
+	// telemetry events.
+	SMTQueries   int64 `json:"smt_queries"`
+	SATConflicts int64 `json:"sat_conflicts"`
+	Candidates   int64 `json:"candidates"`
 }
 
 // engineSpecs builds fresh copies of the four case-study protocols; each
@@ -54,33 +61,44 @@ func engineSpecs(numCaches int) []func() *protocols.Spec {
 // parallel runs produce identical EFSMs (the engine guarantees worker-
 // count invariance); only the wall clock may differ.
 func EngineBench(numCaches, workers int) ([]EngineRow, error) {
+	return EngineBenchCtx(context.Background(), numCaches, workers)
+}
+
+// EngineBenchCtx is EngineBench under a context. Any tracer on the
+// context is kept, so engine runs show up in -trace output; the metrics
+// registry is replaced per run so each row's counters stay isolated.
+func EngineBenchCtx(ctx context.Context, numCaches, workers int) ([]EngineRow, error) {
 	if workers < 1 {
 		workers = 1
 	}
 	limits := synth.Limits{MaxSize: 12}
 	var rows []EngineRow
 	for _, mk := range engineSpecs(numCaches) {
-		run := func(w int, cache *engine.Cache) (*core.Report, time.Duration, error) {
+		run := func(w int, cache *engine.Cache) (*core.Report, *obs.Registry, time.Duration, error) {
 			spec := mk()
+			// Each run gets a fresh metrics registry threaded through the
+			// context; the row's work counters read it back directly.
+			reg := obs.NewRegistry()
+			rctx := obs.WithMetrics(ctx, reg)
 			t0 := time.Now()
-			rep, err := core.CompleteCtx(context.Background(), spec.Sys, spec.Vocab, spec.Snippets,
+			rep, err := core.CompleteCtx(rctx, spec.Sys, spec.Vocab, spec.Snippets,
 				core.Options{Limits: limits, Workers: w, Cache: cache})
 			if err != nil {
-				return nil, 0, fmt.Errorf("bench: %s (workers=%d): %w", spec.Name, w, err)
+				return nil, nil, 0, fmt.Errorf("bench: %s (workers=%d): %w", spec.Name, w, err)
 			}
-			return rep, time.Since(t0), nil
+			return rep, reg, time.Since(t0), nil
 		}
 
-		_, serial, err := run(1, engine.NewCache())
+		_, _, serial, err := run(1, engine.NewCache())
 		if err != nil {
 			return nil, err
 		}
 		warmCache := engine.NewCache()
-		rep, par, err := run(workers, warmCache)
+		rep, reg, par, err := run(workers, warmCache)
 		if err != nil {
 			return nil, err
 		}
-		repWarm, warm, err := run(workers, warmCache)
+		repWarm, _, warm, err := run(workers, warmCache)
 		if err != nil {
 			return nil, err
 		}
@@ -100,6 +118,10 @@ func EngineBench(numCaches, workers int) ([]EngineRow, error) {
 			Utilization: rep.Utilization,
 			CacheHits:   repWarm.CacheHits,
 			CacheMisses: repWarm.CacheMisses,
+
+			SMTQueries:   reg.Get("smt.queries"),
+			SATConflicts: reg.Get("sat.conflicts"),
+			Candidates:   reg.Get("synth.candidates"),
 		}
 		if par > 0 {
 			row.Speedup = float64(serial) / float64(par)
@@ -118,18 +140,20 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 func FormatEngine(rows []EngineRow) string {
 	var sb strings.Builder
 	sb.WriteString("Engine: serial vs. parallel synthesis (identical EFSMs, wall-clock only)\n")
-	fmt.Fprintf(&sb, "%-9s %7s %5s %8s | %9s %9s %8s %5s | %9s %6s %6s %8s\n",
+	fmt.Fprintf(&sb, "%-9s %7s %5s %8s | %9s %9s %8s %5s | %9s %6s %6s %8s | %8s %9s %10s\n",
 		"Protocol", "Caches", "Jobs", "Workers",
 		"Serial", "Parallel", "Speedup", "Util",
-		"WarmCache", "Hits", "Miss", "HitRate")
+		"WarmCache", "Hits", "Miss", "HitRate",
+		"SMT", "Conflicts", "Candidates")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-9s %7d %5d %8d | %9s %9s %7.2fx %5.2f | %9s %6d %6d %7.0f%%\n",
+		fmt.Fprintf(&sb, "%-9s %7d %5d %8d | %9s %9s %7.2fx %5.2f | %9s %6d %6d %7.0f%% | %8d %9d %10d\n",
 			r.Protocol, r.NumCaches, r.Jobs, r.Workers,
 			r.SerialTime.Round(time.Millisecond), r.Parallel.Round(time.Millisecond),
 			r.Speedup, r.Utilization,
-			r.WarmTime.Round(time.Millisecond), r.CacheHits, r.CacheMisses, 100*r.HitRate)
+			r.WarmTime.Round(time.Millisecond), r.CacheHits, r.CacheMisses, 100*r.HitRate,
+			r.SMTQueries, r.SATConflicts, r.Candidates)
 	}
-	sb.WriteString("(speedup is serial/parallel; warm-cache reruns the parallel run against the\n populated memo cache, so its hit rate shows sub-problem reuse)\n")
+	sb.WriteString("(speedup is serial/parallel; warm-cache reruns the parallel run against the\n populated memo cache, so its hit rate shows sub-problem reuse; SMT/Conflicts/\n Candidates come from the parallel run's metrics registry)\n")
 	return sb.String()
 }
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -67,6 +68,12 @@ func DefaultFig5Options() Fig5Options {
 // indistinguishability pruning, counting candidates enumerated until a
 // consistent expression is found.
 func Fig5(opts Fig5Options) ([]Fig5Point, error) {
+	return Fig5Ctx(context.Background(), opts)
+}
+
+// Fig5Ctx is Fig5 under a context (cancellation plus observability
+// threading).
+func Fig5Ctx(ctx context.Context, opts Fig5Options) ([]Fig5Point, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	// Full 8-bit integers: with narrow domains, ten random examples are
 	// frequently satisfied by small coincidental expressions, which would
@@ -99,7 +106,7 @@ func Fig5(opts Fig5Options) ([]Fig5Point, error) {
 				exs[i] = synth.ConcreteExample{S: env, Out: target.Eval(u, env)}
 			}
 			prob := synth.Problem{U: u, Vocab: voc, Vars: vars, Output: expr.V("o", outType)}
-			_, pstats, err := synth.SolveConcrete(prob, exs, synth.Limits{
+			_, pstats, err := synth.SolveConcreteCtx(ctx, prob, exs, synth.Limits{
 				MaxSize: size + 2, MaxExprs: opts.PrunedCap,
 			})
 			if err != nil {
@@ -107,7 +114,7 @@ func Fig5(opts Fig5Options) ([]Fig5Point, error) {
 			}
 			prunedSum += float64(pstats.Enumerated)
 			if pt.ExhaustiveRan {
-				_, estats, err := synth.SolveConcrete(prob, exs, synth.Limits{
+				_, estats, err := synth.SolveConcreteCtx(ctx, prob, exs, synth.Limits{
 					MaxSize: size + 2, MaxExprs: opts.ExhaustiveCap, NoPrune: true,
 				})
 				if err != nil {

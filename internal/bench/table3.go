@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -241,6 +242,12 @@ type Table3Options struct {
 // against its constraints by brute force over a reduced universe before
 // being reported.
 func Table3(opts Table3Options) ([]Table3Row, error) {
+	return Table3Ctx(context.Background(), opts)
+}
+
+// Table3Ctx is Table3 under a context (cancellation plus observability
+// threading).
+func Table3Ctx(ctx context.Context, opts Table3Options) ([]Table3Row, error) {
 	var rows []Table3Row
 	for _, b := range Table3Benchmarks() {
 		row := Table3Row{
@@ -267,7 +274,7 @@ func Table3(opts Table3Options) ([]Table3Row, error) {
 		row.Constraints = len(exs)
 		limits := synth.Limits{MaxSize: b.ExpectedSize + 2, Timeout: timeout, MaxExprs: opts.MaxExprs}
 		start := time.Now()
-		e, stats, err := synth.SolveConcolic(prob, exs, limits)
+		e, stats, err := synth.SolveConcolicCtx(ctx, prob, exs, limits)
 		row.Time = time.Since(start)
 		row.Iterations = stats.Iterations
 		row.SMTQueries = stats.SMTQueries

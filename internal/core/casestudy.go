@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -74,6 +75,13 @@ type CaseStudyResult struct {
 // runs out while the model checker still finds violations — a regression in
 // either the protocol snippets or the toolchain.
 func RunCaseStudy(cs CaseStudy) (*CaseStudyResult, error) {
+	return RunCaseStudyCtx(context.Background(), cs)
+}
+
+// RunCaseStudyCtx is RunCaseStudy under a context: cancellation stops the
+// in-flight synthesis or model-checking round, and the context's
+// observability state (tracer, metrics) is threaded through both.
+func RunCaseStudyCtx(ctx context.Context, cs CaseStudy) (*CaseStudyResult, error) {
 	start := time.Now()
 	res := &CaseStudyResult{Name: cs.Name}
 	snippets := append([]*efsm.Snippet(nil), cs.Initial...)
@@ -86,7 +94,7 @@ func RunCaseStudy(cs CaseStudy) (*CaseStudyResult, error) {
 		if err != nil {
 			return res, fmt.Errorf("core: case study %s: build: %w", cs.Name, err)
 		}
-		rep, err := Complete(sys, vocab, snippets, Options{Limits: cs.Limits})
+		rep, err := CompleteCtx(ctx, sys, vocab, snippets, Options{Limits: cs.Limits})
 		if err != nil {
 			return res, fmt.Errorf("core: case study %s iteration %d: synthesis: %w", cs.Name, iter, err)
 		}
@@ -94,7 +102,7 @@ func RunCaseStudy(cs CaseStudy) (*CaseStudyResult, error) {
 		if err != nil {
 			return res, fmt.Errorf("core: case study %s iteration %d: %w", cs.Name, iter, err)
 		}
-		check, err := mc.Check(rt, invs, cs.MCOpts)
+		check, err := mc.CheckCtx(ctx, rt, invs, cs.MCOpts)
 		if err != nil {
 			return res, fmt.Errorf("core: case study %s iteration %d: model check: %w", cs.Name, iter, err)
 		}

@@ -25,6 +25,7 @@ import (
 	"transit/internal/efsm"
 	"transit/internal/engine"
 	"transit/internal/expr"
+	"transit/internal/obs"
 	"transit/internal/smt"
 	"transit/internal/synth"
 )
@@ -600,6 +601,10 @@ func blockPre(b *block) expr.Expr {
 // checkMutualExclusion statically verifies pairwise guard disjointness
 // within a group via SMT validity.
 func (p *planner) checkMutualExclusion(ctx context.Context, g *group, blocks []*block, scopeVars []*expr.Var) error {
+	// Own span so the validity queries below don't read as CEGIS work in
+	// the trace.
+	ctx, span := obs.Start(ctx, "core.guard_check", obs.Int("blocks", len(blocks)))
+	defer span.End()
 	for i := 0; i < len(blocks); i++ {
 		for j := i + 1; j < len(blocks); j++ {
 			gi, gj := blocks[i].guard, blocks[j].guard

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"transit/internal/obs"
 )
 
 // Job is one schedulable unit of work: typically a single SolveConcolic
@@ -182,6 +184,8 @@ func (e *Engine) Run(ctx context.Context, jobs []*Job) (RunStats, error) {
 	e.mu.Unlock()
 
 	e.emit(Event{Type: "engine_start", Workers: e.cfg.Workers, Jobs: len(jobs)})
+	ctx, runSpan := obs.Start(ctx, "engine.run",
+		obs.Int("workers", e.cfg.Workers), obs.Int("jobs", len(jobs)))
 
 	var wg sync.WaitGroup
 	for w := 0; w < e.cfg.Workers; w++ {
@@ -234,6 +238,16 @@ func (e *Engine) Run(ctx context.Context, jobs []*Job) (RunStats, error) {
 		ev.Error = err.Error()
 	}
 	e.emit(ev)
+	runSpan.SetAttr(obs.Int("failed", stats.Failed), obs.Int("skipped", stats.Skipped),
+		obs.Int("cache_hits", stats.CacheHits), obs.Float("utilization", stats.Utilization))
+	if err != nil {
+		runSpan.SetAttr(obs.Str("error", err.Error()))
+	}
+	runSpan.End()
+	if reg := obs.MetricsFrom(ctx); reg != nil {
+		reg.Counter("engine.jobs").Add(int64(stats.Jobs))
+		reg.Counter("engine.cache_hits").Add(int64(stats.CacheHits))
+	}
 	return stats, err
 }
 
@@ -284,17 +298,29 @@ func (e *Engine) execute(ctx context.Context, j *Job, worker int) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	e.emit(Event{Type: "job_start", Job: j.Label, Kind: j.Kind, Worker: worker})
+	e.emit(Event{Type: "job_start", Job: j.Label, Kind: j.Kind, Worker: worker + 1})
 	jctx := ctx
 	if e.cfg.JobTimeout > 0 {
 		var jcancel context.CancelFunc
 		jctx, jcancel = context.WithTimeout(ctx, e.cfg.JobTimeout)
 		defer jcancel()
 	}
+	// Each worker gets its own display track, so concurrent jobs render
+	// as parallel rows in Perfetto and never overlap within a row.
+	jctx = obs.WithTrack(jctx, worker+1)
+	jctx, span := obs.Start(jctx, "engine.job",
+		obs.Str("job", j.Label), obs.Str("kind", j.Kind), obs.Int("worker", worker+1))
 	start := time.Now()
 	err := j.Run(jctx)
 	j.Duration = time.Since(start)
-	ev := Event{Type: "job_end", Job: j.Label, Kind: j.Kind, Worker: worker,
+	span.SetAttr(obs.Bool("cache_hit", j.CacheHit), obs.Int64("candidates", j.Candidates),
+		obs.Int("smt_queries", j.SMTQueries), obs.Int("cegis_iterations", j.Iterations),
+		obs.Int("retries", j.Retries))
+	if err != nil {
+		span.SetAttr(obs.Str("error", err.Error()))
+	}
+	span.End()
+	ev := Event{Type: "job_end", Job: j.Label, Kind: j.Kind, Worker: worker + 1,
 		DurationMS: float64(j.Duration) / float64(time.Millisecond),
 		CacheHit:   j.CacheHit, Candidates: j.Candidates,
 		SMTQueries: j.SMTQueries, Iterations: j.Iterations, Retries: j.Retries}

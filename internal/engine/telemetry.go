@@ -16,12 +16,16 @@ import (
 //	{"type":"engine_end","workers":N,"jobs":M,"failed":F,"skipped":S,
 //	 "cache_hits":H,"cache_misses":Mi,"duration_ms":D,"utilization":U}
 //
-// Zero-valued optional fields are omitted from the JSON encoding.
+// Zero-valued optional fields are omitted from the JSON encoding. The
+// worker field is 1-based (workers 1..N) so that it, too, can be
+// omitted when absent: engine_start/engine_end carry no worker, and a
+// 0-based numbering would have dropped the field from worker 0's job
+// events as well.
 type Event struct {
 	Type        string  `json:"type"`
 	Job         string  `json:"job,omitempty"`
 	Kind        string  `json:"kind,omitempty"`
-	Worker      int     `json:"worker"`
+	Worker      int     `json:"worker,omitempty"`
 	DurationMS  float64 `json:"duration_ms,omitempty"`
 	CacheHit    bool    `json:"cache_hit,omitempty"`
 	Candidates  int64   `json:"candidates,omitempty"`

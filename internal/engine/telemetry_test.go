@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMultiSinkConcurrent drives a MultiSink fanning out to a JSON sink
+// and a CollectSink from many goroutines at once — the engine's actual
+// write topology under -stats — and checks no event is lost or torn.
+// Run with -race, this is the regression test for sink thread safety.
+func TestMultiSinkConcurrent(t *testing.T) {
+	var sb lockedBuilder
+	var collected []Event
+	sink := MultiSink(NewJSONSink(&sb), CollectSink(&collected), nil)
+
+	const workers, perWorker = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sink(Event{Type: "job_end", Job: "j", Worker: w + 1, Candidates: int64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if len(collected) != workers*perWorker {
+		t.Errorf("collected %d events, want %d", len(collected), workers*perWorker)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != workers*perWorker {
+		t.Fatalf("got %d JSON lines, want %d", len(lines), workers*perWorker)
+	}
+	for _, ln := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("torn line %q: %v", ln, err)
+		}
+		if ev.Worker < 1 || ev.Worker > workers {
+			t.Fatalf("worker = %d out of range", ev.Worker)
+		}
+	}
+}
+
+// TestEventWorkerOmitEmpty locks in the 1-based worker numbering:
+// engine-level events carry no worker field at all, while every job
+// event carries a positive one (a 0-based scheme would silently drop
+// worker 0's field too).
+func TestEventWorkerOmitEmpty(t *testing.T) {
+	raw, err := json.Marshal(Event{Type: "engine_start", Workers: 2, Jobs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"worker"`) {
+		t.Errorf("engine_start should omit worker: %s", raw)
+	}
+	raw, err = json.Marshal(Event{Type: "job_start", Job: "j", Worker: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"worker":1`) {
+		t.Errorf("job_start should carry worker: %s", raw)
+	}
+}
+
+// TestRunJobEventWorkersOneBased runs real jobs and asserts every
+// job_start/job_end reports a worker in 1..N.
+func TestRunJobEventWorkersOneBased(t *testing.T) {
+	var events []Event
+	logs := map[string]*[]string{"a": {}, "b": {}, "c": {}}
+	jobs := chainJobs(logs)
+	if _, err := New(Config{Workers: 2, Sink: CollectSink(&events)}).Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		switch ev.Type {
+		case "job_start", "job_end":
+			if ev.Worker < 1 || ev.Worker > 2 {
+				t.Errorf("%s worker = %d, want 1..2", ev.Type, ev.Worker)
+			}
+		case "engine_start", "engine_end":
+			if ev.Worker != 0 {
+				t.Errorf("%s worker = %d, want 0 (absent)", ev.Type, ev.Worker)
+			}
+		}
+	}
+}

@@ -11,8 +11,10 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"transit/internal/efsm"
+	"transit/internal/obs"
 )
 
 // Invariant is a named safety property over global states.
@@ -102,6 +104,10 @@ type Result struct {
 	Transitions int
 	Depth       int
 	Violation   *Violation
+	// Elapsed is the wall-clock duration of the search; StatesPerSec is
+	// the exploration rate States/Elapsed (0 for instantaneous runs).
+	Elapsed      time.Duration
+	StatesPerSec float64
 }
 
 type edge struct {
@@ -128,6 +134,28 @@ func CheckCtx(ctx context.Context, r *efsm.Runtime, invs []Invariant, opts Optio
 		maxStates = 1_000_000
 	}
 	res := &Result{}
+	ctx, span := obs.Start(ctx, "mc.bfs",
+		obs.Int("max_states", maxStates), obs.Int("max_depth", opts.MaxDepth))
+	start := time.Now()
+	defer func() {
+		res.Elapsed = time.Since(start)
+		if secs := res.Elapsed.Seconds(); secs > 0 {
+			res.StatesPerSec = float64(res.States) / secs
+		}
+		span.SetAttr(obs.Int("states", res.States),
+			obs.Int("transitions", res.Transitions),
+			obs.Int("depth", res.Depth),
+			obs.Bool("ok", res.OK),
+			obs.Bool("complete", res.Complete),
+			obs.Float("states_per_sec", res.StatesPerSec))
+		span.End()
+		if reg := obs.MetricsFrom(ctx); reg != nil {
+			reg.Counter("mc.runs").Inc()
+			reg.Counter("mc.states").Add(int64(res.States))
+			reg.Counter("mc.transitions").Add(int64(res.Transitions))
+			reg.Histogram("mc.check_ms").Observe(res.Elapsed)
+		}
+	}()
 	if err := ctx.Err(); err != nil {
 		return res, fmt.Errorf("mc: search aborted after %d states: %w", res.States, err)
 	}
@@ -158,6 +186,7 @@ func CheckCtx(ctx context.Context, r *efsm.Runtime, invs []Invariant, opts Optio
 	}
 
 	var dequeued int
+	lastProgress := start
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
@@ -165,6 +194,17 @@ func CheckCtx(ctx context.Context, r *efsm.Runtime, invs []Invariant, opts Optio
 		if dequeued&1023 == 0 {
 			if err := ctx.Err(); err != nil {
 				return res, fmt.Errorf("mc: search aborted after %d states: %w", res.States, err)
+			}
+			// Heartbeat roughly once a second so long searches show
+			// their exploration rate live in the trace.
+			if span != nil {
+				if now := time.Now(); now.Sub(lastProgress) >= time.Second {
+					lastProgress = now
+					span.Mark("mc.progress",
+						obs.Int("states", res.States),
+						obs.Int("transitions", res.Transitions),
+						obs.Float("states_per_sec", float64(res.States)/now.Sub(start).Seconds()))
+				}
 			}
 		}
 		depth := visited[cur.key].depth

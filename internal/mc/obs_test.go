@@ -1,0 +1,59 @@
+package mc
+
+import (
+	"context"
+	"testing"
+
+	"transit/internal/obs"
+)
+
+// TestCheckTiming covers the Result timing fields: any real BFS takes
+// measurable time and reports a positive exploration rate.
+func TestCheckTiming(t *testing.T) {
+	sys, client, _ := tokenSystem(t, tokenOpts{})
+	res, err := Check(mustRuntime(t, sys), []Invariant{AtMostOne(client, "Holding")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Errorf("Elapsed = %s, want > 0", res.Elapsed)
+	}
+	if res.StatesPerSec <= 0 {
+		t.Errorf("StatesPerSec = %f, want > 0", res.StatesPerSec)
+	}
+}
+
+// TestCheckCtxSpan asserts the checker emits an mc.bfs span carrying the
+// exploration counters as attributes.
+func TestCheckCtxSpan(t *testing.T) {
+	sys, client, _ := tokenSystem(t, tokenOpts{})
+	col := obs.NewCollect()
+	ctx := obs.WithTracer(context.Background(), obs.NewTracer(col))
+	reg := obs.NewRegistry()
+	ctx = obs.WithMetrics(ctx, reg)
+
+	res, err := CheckCtx(ctx, mustRuntime(t, sys), []Invariant{AtMostOne(client, "Holding")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := col.Spans()
+	if len(spans) != 1 || spans[0].Name != "mc.bfs" {
+		t.Fatalf("spans = %+v, want one mc.bfs", spans)
+	}
+	attrs := map[string]any{}
+	for _, a := range spans[0].Attrs {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["states"] != int64(res.States) {
+		t.Errorf("states attr = %v, want %d", attrs["states"], res.States)
+	}
+	if attrs["ok"] != true || attrs["complete"] != true {
+		t.Errorf("ok/complete attrs = %v/%v", attrs["ok"], attrs["complete"])
+	}
+	if got := reg.Get("mc.states"); got != int64(res.States) {
+		t.Errorf("mc.states counter = %d, want %d", got, res.States)
+	}
+	if got := reg.Get("mc.runs"); got != 1 {
+		t.Errorf("mc.runs counter = %d, want 1", got)
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// chromeEvent is one Chrome trace-event record (the Trace Event Format
+// consumed by Perfetto and chrome://tracing). Spans are complete events
+// (ph "X"), marks are thread-scoped instants (ph "i"), and track names
+// are metadata events (ph "M").
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"` // microseconds since epoch
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeExporter buffers finished spans and writes a Chrome trace-event
+// JSON document ({"traceEvents":[...]}) to its writer at Flush. Open the
+// file at https://ui.perfetto.dev (or chrome://tracing): each engine
+// worker renders as one named track, with the span hierarchy — engine
+// jobs → CEGIS iterations → SMT queries → SAT searches — nested by time.
+type ChromeExporter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	epoch  time.Time
+	events []chromeEvent
+	tracks map[int]bool
+}
+
+// NewChrome builds an exporter buffering into memory and writing the
+// JSON document to w at Flush. Epoch defaults to now.
+func NewChrome(w io.Writer) *ChromeExporter {
+	return &ChromeExporter{w: w, epoch: time.Now(), tracks: map[int]bool{}}
+}
+
+// SetEpoch overrides the timestamp zero point (alignment + test
+// determinism).
+func (c *ChromeExporter) SetEpoch(t time.Time) { c.epoch = t }
+
+// cat derives the event category from the span name's package prefix
+// ("smt.solve" → "smt"), enabling per-subsystem filtering in Perfetto.
+func cat(name string) string {
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func (c *ChromeExporter) add(ev chromeEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracks[ev.TID] = true
+	c.events = append(c.events, ev)
+}
+
+// Span implements Exporter.
+func (c *ChromeExporter) Span(d SpanData) {
+	dur := d.Duration.Microseconds()
+	if dur < 1 {
+		dur = 1 // Perfetto drops zero-width complete events
+	}
+	c.add(chromeEvent{
+		Name: d.Name, Cat: cat(d.Name), Ph: "X",
+		TS: d.Start.Sub(c.epoch).Microseconds(), Dur: dur,
+		PID: 1, TID: d.Track, Args: attrMap(d.Attrs),
+	})
+}
+
+// Mark implements Exporter.
+func (c *ChromeExporter) Mark(d SpanData) {
+	c.add(chromeEvent{
+		Name: d.Name, Cat: cat(d.Name), Ph: "i",
+		TS:  d.Start.Sub(c.epoch).Microseconds(),
+		PID: 1, TID: d.Track, S: "t", Args: attrMap(d.Attrs),
+	})
+}
+
+// Flush writes the buffered document. Events are sorted by timestamp
+// (stable, so completion order breaks ties deterministically) and
+// prefixed with process/track-name metadata.
+func (c *ChromeExporter) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sort.SliceStable(c.events, func(i, j int) bool { return c.events[i].TS < c.events[j].TS })
+	var tids []int
+	for tid := range c.tracks {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	meta := []chromeEvent{{
+		Name: "process_name", Ph: "M", PID: 1, Args: map[string]any{"name": "transit"},
+	}}
+	for _, tid := range tids {
+		name := "main"
+		if tid > 0 {
+			name = fmt.Sprintf("worker %d", tid)
+		}
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid, Args: map[string]any{"name": name},
+		})
+	}
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: append(meta, c.events...)}
+	enc := json.NewEncoder(c.w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a low-overhead metrics registry: named monotonic counters
+// and latency histograms. The hot path (Counter.Add, Histogram.Observe)
+// is a handful of atomic operations; registration (Counter, Histogram)
+// takes a mutex and should be hoisted out of loops. A nil *Registry is a
+// valid no-op receiver everywhere — Counter and Histogram return nil
+// recorders whose methods are no-ops, so disabled metrics compile down
+// to a nil check per recording site.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]*Counter{}, hists: map[string]*Histogram{}}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a no-op recorder) when r is nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named latency histogram, creating it on first
+// use. Returns nil (a no-op recorder) when r is nil.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonic atomic counter. The nil receiver is a no-op.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// histBounds are the histogram's exponential upper bounds; observations
+// above the last bound land in the overflow bucket.
+var histBounds = [...]time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// numBuckets is len(histBounds) plus the overflow bucket.
+const numBuckets = len(histBounds) + 1
+
+// Histogram is a fixed-bucket latency histogram with atomic hot-path
+// recording. The nil receiver is a no-op.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(histBounds) && d > histBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// CounterSnapshot is one counter's point-in-time value.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's point-in-time state.
+type HistogramSnapshot struct {
+	Name    string            `json:"name"`
+	Count   int64             `json:"count"`
+	Sum     time.Duration     `json:"-"`
+	Max     time.Duration     `json:"-"`
+	SumMS   float64           `json:"sum_ms"`
+	MaxMS   float64           `json:"max_ms"`
+	Buckets [numBuckets]int64 `json:"buckets"`
+}
+
+// Mean is the average observed duration (0 with no observations).
+func (h HistogramSnapshot) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// Snapshot is a consistent-enough point-in-time copy of a registry
+// (individual values are read atomically; the set is read under the
+// registration lock).
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values, sorted by name. A nil
+// registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: c.Value()})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{Name: name, Count: h.count.Load(),
+			Sum: time.Duration(h.sum.Load()), Max: time.Duration(h.max.Load())}
+		hs.SumMS = float64(hs.Sum) / float64(time.Millisecond)
+		hs.MaxMS = float64(hs.Max) / float64(time.Millisecond)
+		for i := range hs.Buckets {
+			hs.Buckets[i] = h.buckets[i].Load()
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Get is a convenience lookup of a counter value by name without
+// creating it (0 when absent or r is nil).
+func (r *Registry) Get(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	c := r.counters[name]
+	r.mu.Unlock()
+	return c.Value()
+}
+
+// Format renders the snapshot as an aligned human-readable table:
+// counters first, then histograms with count/mean/max.
+func (s Snapshot) Format() string {
+	var sb strings.Builder
+	if len(s.Counters) > 0 {
+		sb.WriteString("counters:\n")
+		width := 0
+		for _, c := range s.Counters {
+			if len(c.Name) > width {
+				width = len(c.Name)
+			}
+		}
+		for _, c := range s.Counters {
+			fmt.Fprintf(&sb, "  %-*s %12d\n", width, c.Name, c.Value)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		sb.WriteString("histograms (count / mean / max):\n")
+		width := 0
+		for _, h := range s.Histograms {
+			if len(h.Name) > width {
+				width = len(h.Name)
+			}
+		}
+		for _, h := range s.Histograms {
+			fmt.Fprintf(&sb, "  %-*s %9d %12s %12s\n", width, h.Name, h.Count,
+				h.Mean().Round(time.Microsecond), h.Max.Round(time.Microsecond))
+		}
+	}
+	return sb.String()
+}

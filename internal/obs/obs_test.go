@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartWithoutTracerIsNil(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "x", Int("a", 1))
+	if sp != nil {
+		t.Fatal("span should be nil without a tracer")
+	}
+	if ctx2 != ctx {
+		t.Fatal("context should be unchanged without a tracer")
+	}
+	// All methods must be no-op safe on the nil span.
+	sp.SetAttr(Str("k", "v"))
+	sp.Mark("m")
+	sp.End()
+	if SpanFrom(ctx2) != nil {
+		t.Fatal("SpanFrom should be nil")
+	}
+	if WithTrack(ctx, 3) != ctx {
+		t.Fatal("WithTrack without tracer should return ctx unchanged")
+	}
+}
+
+func TestSpanHierarchy(t *testing.T) {
+	col := NewCollect()
+	tr := NewTracer(col)
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := Start(ctx, "root", Int("n", 1))
+	cctx, child := Start(ctx, "child")
+	child.SetAttr(Bool("done", true))
+	child.Mark("beat", Float("rate", 2.5))
+	child.End()
+	child.End() // second End must be a no-op
+	if got := SpanFrom(cctx); got != child {
+		t.Errorf("SpanFrom = %v, want child", got)
+	}
+	root.End()
+
+	spans := col.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	c, r := spans[0], spans[1]
+	if c.Name != "child" || r.Name != "root" {
+		t.Fatalf("completion order = %s, %s", c.Name, r.Name)
+	}
+	if c.Parent != r.ID {
+		t.Errorf("child.Parent = %d, want root ID %d", c.Parent, r.ID)
+	}
+	if r.Parent != 0 {
+		t.Errorf("root.Parent = %d, want 0", r.Parent)
+	}
+	if c.Path != "root/child" {
+		t.Errorf("child.Path = %q", c.Path)
+	}
+	if len(c.Attrs) != 1 || c.Attrs[0].Key != "done" {
+		t.Errorf("child attrs = %v", c.Attrs)
+	}
+	marks := col.Marks()
+	if len(marks) != 1 || marks[0].Name != "beat" || marks[0].Parent != c.ID {
+		t.Errorf("marks = %v", marks)
+	}
+	if marks[0].Path != "root/child/beat" {
+		t.Errorf("mark path = %q", marks[0].Path)
+	}
+}
+
+func TestWithTrackPropagates(t *testing.T) {
+	col := NewCollect()
+	ctx := WithTracer(context.Background(), NewTracer(col))
+	ctx = WithTrack(ctx, 7)
+	_, sp := Start(ctx, "job")
+	sp.End()
+	if got := col.Spans()[0].Track; got != 7 {
+		t.Errorf("Track = %d, want 7", got)
+	}
+}
+
+func TestMetricsThroughContext(t *testing.T) {
+	reg := NewRegistry()
+	ctx := WithMetrics(context.Background(), reg)
+	if MetricsFrom(ctx) != reg {
+		t.Fatal("MetricsFrom lost the registry")
+	}
+	// Tracer wrapping must preserve the registry and vice versa.
+	ctx = WithTracer(ctx, NewTracer(NewCollect()))
+	if MetricsFrom(ctx) != reg {
+		t.Fatal("WithTracer dropped the registry")
+	}
+	if MetricsFrom(context.Background()) != nil {
+		t.Fatal("empty context should have no registry")
+	}
+}
+
+func TestNilRegistryRecorders(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x").Add(5) // all no-ops
+	reg.Counter("x").Inc()
+	reg.Histogram("h").Observe(time.Second)
+	if v := reg.Counter("x").Value(); v != 0 {
+		t.Errorf("nil counter value = %d", v)
+	}
+	if v := reg.Get("x"); v != 0 {
+		t.Errorf("nil Get = %d", v)
+	}
+	if s := reg.Snapshot(); len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+}
+
+func TestRegistryCountersAndHistograms(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a").Add(3)
+	reg.Counter("a").Inc()
+	reg.Counter("b").Inc()
+	reg.Histogram("h").Observe(50 * time.Microsecond)
+	reg.Histogram("h").Observe(5 * time.Millisecond)
+	reg.Histogram("h").Observe(2 * time.Second)
+
+	if v := reg.Get("a"); v != 4 {
+		t.Errorf("a = %d, want 4", v)
+	}
+	s := reg.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a" || s.Counters[1].Name != "b" {
+		t.Fatalf("counters = %+v", s.Counters)
+	}
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %+v", s.Histograms)
+	}
+	h := s.Histograms[0]
+	if h.Count != 3 {
+		t.Errorf("count = %d", h.Count)
+	}
+	if h.Max != 2*time.Second {
+		t.Errorf("max = %s", h.Max)
+	}
+	wantSum := 50*time.Microsecond + 5*time.Millisecond + 2*time.Second
+	if h.Sum != wantSum {
+		t.Errorf("sum = %s, want %s", h.Sum, wantSum)
+	}
+	if mean := h.Mean(); mean != wantSum/3 {
+		t.Errorf("mean = %s", mean)
+	}
+	// Buckets: ≤100µs, ≤1ms... the three observations land in buckets
+	// 0 (50µs), 2 (5ms ≤ 10ms), 5 (2s ≤ 10s).
+	for i, want := range [numBuckets]int64{0: 1, 2: 1, 5: 1} {
+		if h.Buckets[i] != want {
+			t.Errorf("bucket[%d] = %d, want %d", i, h.Buckets[i], want)
+		}
+	}
+	out := s.Format()
+	for _, want := range []string{"counters:", "a", "histograms", "h"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				reg.Counter("c").Inc()
+				reg.Histogram("h").Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := reg.Get("c"); v != workers*per {
+		t.Errorf("c = %d, want %d", v, workers*per)
+	}
+	if s := reg.Snapshot(); s.Histograms[0].Count != workers*per {
+		t.Errorf("h count = %d, want %d", s.Histograms[0].Count, workers*per)
+	}
+}
+
+// TestSpansConcurrent ends sibling spans from many goroutines through a
+// shared tracer and exporter; run with -race.
+func TestSpansConcurrent(t *testing.T) {
+	col := NewCollect()
+	ctx := WithTracer(context.Background(), NewTracer(col))
+	ctx, root := Start(ctx, "root")
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, sp := Start(WithTrack(ctx, i%4), "child", Int("i", i))
+			sp.Mark("tick")
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(col.Spans()); got != n+1 {
+		t.Errorf("spans = %d, want %d", got, n+1)
+	}
+	if got := len(col.Marks()); got != n {
+		t.Errorf("marks = %d, want %d", got, n)
+	}
+}

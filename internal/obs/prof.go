@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// Profiling configures the Go runtime profilers for a CLI run. The zero
+// value disables everything.
+type Profiling struct {
+	// CPUProfile, when non-empty, streams a CPU profile to this file for
+	// the duration of the run.
+	CPUProfile string
+	// MemProfile, when non-empty, writes a heap profile to this file at
+	// stop time (after a forced GC, so it reflects live objects).
+	MemProfile string
+	// PprofAddr, when non-empty, serves net/http/pprof on this address
+	// (e.g. "localhost:6060") for live inspection of long runs.
+	PprofAddr string
+}
+
+func (p Profiling) enabled() bool {
+	return p.CPUProfile != "" || p.MemProfile != "" || p.PprofAddr != ""
+}
+
+// Start begins the configured profilers and returns a stop function that
+// finalizes them (stops the CPU profile, writes the heap profile, shuts
+// the pprof listener). The stop function must be called exactly once;
+// with nothing configured it is a cheap no-op.
+func (p Profiling) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	var ln net.Listener
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	if p.CPUProfile != "" {
+		cpuFile, err = os.Create(p.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			cpuFile = nil
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	if p.PprofAddr != "" {
+		ln, err = net.Listen("tcp", p.PprofAddr)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("obs: pprof listener: %w", err)
+		}
+		srv := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
+		go func() { _ = srv.Serve(ln) }()
+	}
+	memPath := p.MemProfile
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if ln != nil {
+			_ = ln.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("obs: heap profile: %w", err)
+			}
+			runtime.GC() // materialize up-to-date allocation statistics
+			werr := pprof.WriteHeapProfile(f)
+			cerr := f.Close()
+			if werr != nil {
+				return fmt.Errorf("obs: heap profile: %w", werr)
+			}
+			return cerr
+		}
+		return nil
+	}, nil
+}

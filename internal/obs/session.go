@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+)
+
+// Options configures a CLI observability Session — the one-stop wiring
+// used by cmd/transit, cmd/transit-infer, and cmd/transit-bench.
+type Options struct {
+	// NDJSON, when non-nil, streams spans and marks as NDJSON lines to
+	// this writer (interleaving with engine telemetry when both target
+	// the same SyncWriter).
+	NDJSON io.Writer
+	// TracePath, when non-empty, writes a Chrome trace-event JSON file
+	// there at Close (open it at https://ui.perfetto.dev).
+	TracePath string
+	// Summary, when non-nil, prints the end-of-run span tree and metrics
+	// table to this writer at Close.
+	Summary io.Writer
+	// Metrics enables the metrics registry. It is forced on when Summary
+	// is set (the summary reports it).
+	Metrics bool
+	// Profiling configures CPU/heap/pprof profiling for the run.
+	Profiling Profiling
+}
+
+// Session bundles a configured Tracer, Registry, and profiler lifetime.
+// A Session built from zero Options is inert: Context returns its
+// argument unchanged and Close is a no-op.
+type Session struct {
+	Tracer  *Tracer
+	Metrics *Registry
+
+	traceFile *os.File
+	stopProf  func() error
+}
+
+// NewSession builds the observability stack described by opts. Callers
+// must Close the session after the traced work (and before reading the
+// trace file).
+func NewSession(opts Options) (*Session, error) {
+	s := &Session{}
+	if opts.Metrics || opts.Summary != nil {
+		s.Metrics = NewRegistry()
+	}
+	var exporters []Exporter
+	if opts.NDJSON != nil {
+		exporters = append(exporters, NewNDJSON(opts.NDJSON))
+	}
+	if opts.TracePath != "" {
+		f, err := os.Create(opts.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		s.traceFile = f
+		exporters = append(exporters, NewChrome(f))
+	}
+	if opts.Summary != nil {
+		sum := NewSummary(opts.Summary)
+		sum.Metrics = s.Metrics
+		exporters = append(exporters, sum)
+	}
+	if len(exporters) > 0 {
+		s.Tracer = NewTracer(exporters...)
+		// Align every exporter's clock with the tracer's.
+		for _, e := range exporters {
+			switch x := e.(type) {
+			case *NDJSONExporter:
+				x.SetEpoch(s.Tracer.Epoch)
+			case *ChromeExporter:
+				x.SetEpoch(s.Tracer.Epoch)
+			}
+		}
+	}
+	if opts.Profiling.enabled() {
+		stop, err := opts.Profiling.Start()
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.stopProf = stop
+	}
+	return s, nil
+}
+
+// Context attaches the session's tracer and registry to ctx. With
+// neither configured it returns ctx unchanged.
+func (s *Session) Context(ctx context.Context) context.Context {
+	if s.Tracer != nil {
+		ctx = WithTracer(ctx, s.Tracer)
+	}
+	if s.Metrics != nil {
+		ctx = WithMetrics(ctx, s.Metrics)
+	}
+	return ctx
+}
+
+// Close flushes exporters, closes the trace file, and stops profilers.
+// It is idempotent and safe on an inert session.
+func (s *Session) Close() error {
+	var errs []error
+	if s.Tracer != nil {
+		errs = append(errs, s.Tracer.Flush())
+		s.Tracer = nil
+	}
+	if s.traceFile != nil {
+		errs = append(errs, s.traceFile.Close())
+		s.traceFile = nil
+	}
+	if s.stopProf != nil {
+		errs = append(errs, s.stopProf())
+		s.stopProf = nil
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// summaryNode aggregates every span that finished at one tree position
+// (identified by its slash-joined ancestor path).
+type summaryNode struct {
+	count           int
+	total, min, max time.Duration
+}
+
+// SummaryExporter aggregates finished spans by path and renders a
+// human-readable end-of-run tree at Flush: per call position, the call
+// count and total/mean/max durations. It answers "where did the time
+// go?" without leaving the terminal; the Chrome exporter answers the
+// same question visually.
+type SummaryExporter struct {
+	mu    sync.Mutex
+	w     io.Writer
+	nodes map[string]*summaryNode
+	marks map[string]int
+	// Metrics, when non-nil, is snapshotted and appended to the tree at
+	// Flush so one report carries both views.
+	Metrics *Registry
+}
+
+// NewSummary builds an exporter printing to w at Flush.
+func NewSummary(w io.Writer) *SummaryExporter {
+	return &SummaryExporter{w: w, nodes: map[string]*summaryNode{}, marks: map[string]int{}}
+}
+
+// Span implements Exporter.
+func (s *SummaryExporter) Span(d SpanData) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.nodes[d.Path]
+	if n == nil {
+		n = &summaryNode{min: d.Duration}
+		s.nodes[d.Path] = n
+	}
+	n.count++
+	n.total += d.Duration
+	if d.Duration < n.min {
+		n.min = d.Duration
+	}
+	if d.Duration > n.max {
+		n.max = d.Duration
+	}
+}
+
+// Mark implements Exporter (marks are counted only).
+func (s *SummaryExporter) Mark(d SpanData) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.marks[d.Path]++
+}
+
+// Flush renders the tree.
+func (s *SummaryExporter) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.nodes) == 0 && len(s.marks) == 0 {
+		return nil
+	}
+	paths := make([]string, 0, len(s.nodes))
+	for p := range s.nodes {
+		paths = append(paths, p)
+	}
+	// Lexicographic order on slash-joined paths lists every parent
+	// directly before its children.
+	sort.Strings(paths)
+
+	nameWidth := len("span")
+	for _, p := range paths {
+		depth := strings.Count(p, "/")
+		name := p[strings.LastIndexByte(p, '/')+1:]
+		if w := 2*depth + len(name); w > nameWidth {
+			nameWidth = w
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "span tree:\n%-*s %9s %12s %12s %12s\n",
+		nameWidth, "span", "count", "total", "mean", "max")
+	for _, p := range paths {
+		n := s.nodes[p]
+		depth := strings.Count(p, "/")
+		name := p[strings.LastIndexByte(p, '/')+1:]
+		mean := time.Duration(0)
+		if n.count > 0 {
+			mean = n.total / time.Duration(n.count)
+		}
+		fmt.Fprintf(&sb, "%-*s %9d %12s %12s %12s\n",
+			nameWidth, strings.Repeat("  ", depth)+name, n.count,
+			n.total.Round(time.Microsecond), mean.Round(time.Microsecond),
+			n.max.Round(time.Microsecond))
+	}
+	if len(s.marks) > 0 {
+		markPaths := make([]string, 0, len(s.marks))
+		for p := range s.marks {
+			markPaths = append(markPaths, p)
+		}
+		sort.Strings(markPaths)
+		sb.WriteString("marks:\n")
+		for _, p := range markPaths {
+			fmt.Fprintf(&sb, "  %s ×%d\n", p, s.marks[p])
+		}
+	}
+	if s.Metrics != nil {
+		sb.WriteString(s.Metrics.Snapshot().Format())
+	}
+	_, err := io.WriteString(s.w, sb.String())
+	return err
+}

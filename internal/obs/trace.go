@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanData is the exported form of a finished span (Duration > 0 for any
+// real region) or of an instant mark (Duration == 0, emitted by
+// Span.Mark).
+type SpanData struct {
+	// ID is unique within a Tracer; Parent is the enclosing span's ID, 0
+	// for roots.
+	ID     uint64
+	Parent uint64
+	// Name is the span's own name; Path is the slash-joined chain of
+	// ancestor names (for aggregation by call position).
+	Name string
+	Path string
+	// Track is the display row (Perfetto tid); the engine assigns one per
+	// worker.
+	Track    int
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// Exporter consumes finished spans and instant marks. Implementations
+// must be safe for concurrent use: spans end on every worker goroutine.
+type Exporter interface {
+	// Span receives a completed span.
+	Span(SpanData)
+	// Mark receives a zero-duration instant event.
+	Mark(SpanData)
+	// Flush finalizes output (writes buffered files, prints summaries).
+	// It is called once, after the traced work completes.
+	Flush() error
+}
+
+// Tracer creates spans and fans finished ones out to its exporters. The
+// exporter set is fixed at construction, so reads need no lock.
+type Tracer struct {
+	exporters []Exporter
+	nextID    atomic.Uint64
+	// Epoch is the zero point exporters measure timestamps against.
+	Epoch time.Time
+}
+
+// NewTracer builds a tracer exporting to the given exporters, with Epoch
+// set to now.
+func NewTracer(exporters ...Exporter) *Tracer {
+	return &Tracer{exporters: exporters, Epoch: time.Now()}
+}
+
+// Flush flushes every exporter in order and returns the first error.
+func (t *Tracer) Flush() error {
+	var first error
+	for _, e := range t.exporters {
+		if err := e.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (t *Tracer) newSpan(name string, parent *Span, track int, attrs []Attr) *Span {
+	sp := &Span{tr: t, id: t.nextID.Add(1), name: name, track: track, start: time.Now()}
+	if len(attrs) > 0 {
+		sp.attrs = append(sp.attrs, attrs...)
+	}
+	if parent != nil {
+		sp.parent = parent.id
+		sp.path = parent.path + "/" + name
+	} else {
+		sp.path = name
+	}
+	return sp
+}
+
+// Span is one timed region of the pipeline. A nil *Span (what Start
+// returns when tracing is disabled) is a valid no-op receiver for every
+// method. A span belongs to the goroutine that started it: SetAttr must
+// not race with End.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	path   string
+	track  int
+	start  time.Time
+	attrs  []Attr
+	ended  atomic.Bool
+}
+
+// SetAttr attaches attributes to the span; exporters see them on End.
+// Typical use is recording work counters (conflicts, candidates) known
+// only when the region finishes.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// Mark emits an instant event parented to s — e.g. the model checker's
+// periodic states/sec heartbeat. Safe to call from the span's goroutine
+// at any time before End.
+func (s *Span) Mark(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	data := SpanData{ID: s.tr.nextID.Add(1), Parent: s.id, Name: name,
+		Path: s.path + "/" + name, Track: s.track, Start: time.Now(), Attrs: attrs}
+	for _, e := range s.tr.exporters {
+		e.Mark(data)
+	}
+}
+
+// End completes the span and exports it. Extra Ends are no-ops, so a
+// deferred End composes with an explicit one on the happy path.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	data := SpanData{ID: s.id, Parent: s.parent, Name: s.name, Path: s.path,
+		Track: s.track, Start: s.start, Duration: time.Since(s.start), Attrs: s.attrs}
+	for _, e := range s.tr.exporters {
+		e.Span(data)
+	}
+}
+
+// CollectExporter buffers finished spans and marks in memory; it is the
+// exporter for tests and in-process consumers.
+type CollectExporter struct {
+	mu    sync.Mutex
+	spans []SpanData
+	marks []SpanData
+}
+
+// NewCollect builds an empty collecting exporter.
+func NewCollect() *CollectExporter { return &CollectExporter{} }
+
+// Span implements Exporter.
+func (c *CollectExporter) Span(d SpanData) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spans = append(c.spans, d)
+}
+
+// Mark implements Exporter.
+func (c *CollectExporter) Mark(d SpanData) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.marks = append(c.marks, d)
+}
+
+// Flush implements Exporter (no-op).
+func (c *CollectExporter) Flush() error { return nil }
+
+// Spans returns a copy of the collected spans in completion order.
+func (c *CollectExporter) Spans() []SpanData {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]SpanData(nil), c.spans...)
+}
+
+// Marks returns a copy of the collected instant marks.
+func (c *CollectExporter) Marks() []SpanData {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]SpanData(nil), c.marks...)
+}

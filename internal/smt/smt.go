@@ -19,8 +19,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"transit/internal/expr"
+	"transit/internal/obs"
 	"transit/internal/sat"
 )
 
@@ -84,26 +86,92 @@ func SolveStats(u *expr.Universe, vars []*expr.Var, formula expr.Expr, opts Opti
 	return SolveStatsCtx(context.Background(), u, vars, formula, opts)
 }
 
-// SolveStatsCtx is SolveStats under a context (see SolveOptCtx).
-func SolveStatsCtx(ctx context.Context, u *expr.Universe, vars []*expr.Var, formula expr.Expr, opts Options) (Result, Stats, error) {
+// SolveStatsCtx is SolveStats under a context (see SolveOptCtx). One
+// "smt.solve" span brackets the query, with an "smt.encode" child for
+// bit-blasting and a "sat.search" child for the CDCL run; the metrics
+// registry on the context (when present) accumulates query and search
+// counters.
+func SolveStatsCtx(ctx context.Context, u *expr.Universe, vars []*expr.Var, formula expr.Expr, opts Options) (res Result, stats Stats, err error) {
+	ctx, span := obs.Start(ctx, "smt.solve", obs.Int("vars", len(vars)))
+	start := time.Now()
+	defer func() {
+		span.SetAttr(obs.Str("status", statusName(res.Status)),
+			obs.Int("sat_vars", stats.SATVars),
+			obs.Int64("clauses", stats.Clauses),
+			obs.Int64("conflicts", stats.Conflicts),
+			obs.Int64("decisions", stats.Decisions),
+			obs.Int64("propagations", stats.Propagated))
+		if err != nil {
+			span.SetAttr(obs.Str("error", err.Error()))
+		}
+		span.End()
+		if reg := obs.MetricsFrom(ctx); reg != nil {
+			reg.Counter("smt.queries").Inc()
+			switch res.Status {
+			case Sat:
+				reg.Counter("smt.sat").Inc()
+			case Unsat:
+				reg.Counter("smt.unsat").Inc()
+			default:
+				reg.Counter("smt.unknown").Inc()
+			}
+			reg.Counter("smt.sat_vars").Add(int64(stats.SATVars))
+			reg.Counter("smt.clauses").Add(stats.Clauses)
+			reg.Counter("sat.conflicts").Add(stats.Conflicts)
+			reg.Counter("sat.decisions").Add(stats.Decisions)
+			reg.Counter("sat.propagations").Add(stats.Propagated)
+			reg.Histogram("smt.solve_ms").Observe(time.Since(start))
+		}
+	}()
+	return solveStats(ctx, u, vars, formula, opts)
+}
+
+// statusName renders a verdict for span attributes.
+func statusName(s Status) string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// solveStats is the body of SolveStatsCtx, separated so the tracing
+// wrapper can record outcome attributes on every return path.
+func solveStats(ctx context.Context, u *expr.Universe, vars []*expr.Var, formula expr.Expr, opts Options) (Result, Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, Stats{}, fmt.Errorf("smt: %w", err)
 	}
 	if formula.Type() != expr.BoolType {
 		return Result{}, Stats{}, fmt.Errorf("smt: formula has type %s, want Bool", formula.Type())
 	}
+	_, encSpan := obs.Start(ctx, "smt.encode")
 	enc, err := newEncoder(u, vars)
 	if err != nil {
+		encSpan.End()
 		return Result{}, Stats{}, err
 	}
 	root, err := enc.encode(formula)
 	if err != nil {
+		encSpan.End()
 		return Result{}, Stats{}, err
 	}
 	enc.s.AddClause(root[0])
+	encSpan.SetAttr(obs.Int("sat_vars", enc.s.NumVars()), obs.Int64("clauses", enc.numClauses))
+	encSpan.End()
+
 	enc.s.MaxConflicts = opts.MaxConflicts
 	enc.s.Interrupt = ctx.Done()
+	_, satSpan := obs.Start(ctx, "sat.search",
+		obs.Int("sat_vars", enc.s.NumVars()), obs.Int64("clauses", enc.numClauses))
 	st := enc.s.Solve()
+	satSpan.SetAttr(obs.Str("status", statusName(st)),
+		obs.Int64("conflicts", enc.s.Stats.Conflicts),
+		obs.Int64("decisions", enc.s.Stats.Decisions),
+		obs.Int64("propagations", enc.s.Stats.Propagations))
+	satSpan.End()
 	if st == sat.Unknown && ctx.Err() != nil {
 		return Result{}, Stats{}, fmt.Errorf("smt: %w", ctx.Err())
 	}

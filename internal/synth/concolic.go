@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"transit/internal/expr"
+	"transit/internal/obs"
 	"transit/internal/smt"
 )
 
@@ -22,12 +23,29 @@ func SolveConcolic(p Problem, examples []ConcolicExample, limits Limits) (expr.E
 // SolveConcolicCtx is SolveConcolic under a context: cancellation is
 // honored between CEGIS iterations, inside the enumerative search, and
 // inside every SMT query, so an in-flight inference stops promptly when
-// the context is cancelled or times out.
+// the context is cancelled or times out. The context also carries the
+// observability plumbing: a "synth.cegis" span brackets the call with
+// one "synth.iteration" child per CEGIS round, and the metrics registry
+// (when present) accumulates the solve counters.
 func SolveConcolicCtx(ctx context.Context, p Problem, examples []ConcolicExample, limits Limits) (expr.Expr, Stats, error) {
 	limits = limits.withDefaults()
 	stats := Stats{}
 	start := time.Now()
-	defer func() { stats.Elapsed = time.Since(start) }()
+	ctx, span := obs.Start(ctx, "synth.cegis", obs.Int("examples", len(examples)))
+	defer func() {
+		stats.Elapsed = time.Since(start)
+		span.SetAttr(obs.Int("iterations", stats.Iterations),
+			obs.Int("smt_queries", stats.SMTQueries),
+			obs.Int64("candidates", stats.Concrete.Enumerated))
+		span.End()
+		if reg := obs.MetricsFrom(ctx); reg != nil {
+			reg.Counter("synth.solves").Inc()
+			reg.Counter("synth.cegis_iterations").Add(int64(stats.Iterations))
+			reg.Counter("synth.candidates").Add(stats.Concrete.Enumerated)
+			reg.Counter("synth.kept").Add(stats.Concrete.Kept)
+			reg.Histogram("synth.solve_ms").Observe(stats.Elapsed)
+		}
+	}()
 
 	if err := p.validate(); err != nil {
 		return nil, stats, err
@@ -45,55 +63,77 @@ func SolveConcolicCtx(ctx context.Context, p Problem, examples []ConcolicExample
 			return nil, stats, fmt.Errorf("synth: CEGIS aborted: %w", err)
 		}
 		stats.Iterations = iter
-		candidate, cstats, err := SolveConcreteCtx(ctx, p, concrete, limits)
-		stats.Concrete.Enumerated += cstats.Enumerated
-		stats.Concrete.Kept += cstats.Kept
-		if cstats.MaxSizeSeen > stats.Concrete.MaxSizeSeen {
-			stats.Concrete.MaxSizeSeen = cstats.MaxSizeSeen
-		}
+		candidate, consistent, err := cegisIteration(ctx, p, examples, &concrete, limits, smtOpts, &stats, iter)
 		if err != nil {
 			return nil, stats, err
 		}
-
-		rec := IterRecord{Candidate: candidate}
-		consistent := true
-		for _, c := range examples {
-			// ¬C[o := e] is pre ∧ ¬post[o := e].
-			post := expr.Subst(c.Post, p.Output.Name, candidate)
-			query := expr.And(c.Pre, expr.Not(post))
-			stats.SMTQueries++
-			res, err := smt.SolveOptCtx(ctx, p.U, p.Vars, query, smtOpts)
-			if err != nil {
-				return nil, stats, fmt.Errorf("synth: consistency query: %w", err)
-			}
-			if res.Status == smt.Unknown {
-				return nil, stats, fmt.Errorf("synth: consistency query exhausted SMT budget")
-			}
-			if res.Status == smt.Unsat {
-				continue
-			}
-			// Witness S falsifies the example; concretize it.
-			consistent = false
-			S := res.Model
-			ko, err := concretizeOutput(ctx, p, examples, S, smtOpts, &stats)
-			if err != nil {
-				return nil, stats, err
-			}
-			ex := ConcreteExample{S: S, Out: ko}
-			concrete = append(concrete, ex)
-			rec.Witness = S
-			rec.NewExample = &ex
-			// One new concretization per iteration keeps the trace
-			// aligned with the paper's Table 2; remaining examples are
-			// re-checked next round against the refined candidate.
-			break
-		}
-		stats.Trace = append(stats.Trace, rec)
 		if consistent {
 			return candidate, stats, nil
 		}
 	}
 	return nil, stats, fmt.Errorf("%w: CEGIS iteration budget %d exhausted", ErrNoExpression, limits.MaxIters)
+}
+
+// cegisIteration runs one round of Algorithm 2's loop under its own
+// "synth.iteration" span: propose with SolveConcrete, check each concolic
+// example, and on failure concretize the witness into a new example.
+func cegisIteration(ctx context.Context, p Problem, examples []ConcolicExample,
+	concrete *[]ConcreteExample, limits Limits, smtOpts smt.Options,
+	stats *Stats, iter int) (candidate expr.Expr, consistent bool, err error) {
+	ctx, span := obs.Start(ctx, "synth.iteration", obs.Int("iteration", iter))
+	defer func() {
+		span.SetAttr(obs.Bool("consistent", consistent))
+		if candidate != nil {
+			span.SetAttr(obs.Str("candidate", candidate.String()))
+		}
+		span.End()
+	}()
+
+	candidate, cstats, err := SolveConcreteCtx(ctx, p, *concrete, limits)
+	stats.Concrete.Enumerated += cstats.Enumerated
+	stats.Concrete.Kept += cstats.Kept
+	if cstats.MaxSizeSeen > stats.Concrete.MaxSizeSeen {
+		stats.Concrete.MaxSizeSeen = cstats.MaxSizeSeen
+	}
+	if err != nil {
+		return nil, false, err
+	}
+
+	rec := IterRecord{Candidate: candidate}
+	consistent = true
+	for _, c := range examples {
+		// ¬C[o := e] is pre ∧ ¬post[o := e].
+		post := expr.Subst(c.Post, p.Output.Name, candidate)
+		query := expr.And(c.Pre, expr.Not(post))
+		stats.SMTQueries++
+		res, err := smt.SolveOptCtx(ctx, p.U, p.Vars, query, smtOpts)
+		if err != nil {
+			return nil, false, fmt.Errorf("synth: consistency query: %w", err)
+		}
+		if res.Status == smt.Unknown {
+			return nil, false, fmt.Errorf("synth: consistency query exhausted SMT budget")
+		}
+		if res.Status == smt.Unsat {
+			continue
+		}
+		// Witness S falsifies the example; concretize it.
+		consistent = false
+		S := res.Model
+		ko, err := concretizeOutput(ctx, p, examples, S, smtOpts, stats)
+		if err != nil {
+			return nil, false, err
+		}
+		ex := ConcreteExample{S: S, Out: ko}
+		*concrete = append(*concrete, ex)
+		rec.Witness = S
+		rec.NewExample = &ex
+		// One new concretization per iteration keeps the trace
+		// aligned with the paper's Table 2; remaining examples are
+		// re-checked next round against the refined candidate.
+		break
+	}
+	stats.Trace = append(stats.Trace, rec)
+	return candidate, consistent, nil
 }
 
 // concretizeOutput finds k_o for the pinned valuation S (line 9 of

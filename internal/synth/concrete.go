@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"transit/internal/expr"
+	"transit/internal/obs"
 )
 
 // SolveConcrete implements Algorithm 1: enumerate expressions of increasing
@@ -22,7 +23,8 @@ func SolveConcrete(p Problem, examples []ConcreteExample, limits Limits) (expr.E
 
 // SolveConcreteCtx is SolveConcrete under a context: the enumeration loop
 // polls the context and aborts with its error once it is cancelled or its
-// deadline passes.
+// deadline passes. The search runs under a "synth.enumerate" span with one
+// "synth.size" child per size tier entered.
 func SolveConcreteCtx(ctx context.Context, p Problem, examples []ConcreteExample, limits Limits) (expr.Expr, ConcreteStats, error) {
 	limits = limits.withDefaults()
 	if err := p.validate(); err != nil {
@@ -37,8 +39,15 @@ func SolveConcreteCtx(ctx context.Context, p Problem, examples []ConcreteExample
 				i, c.Out.Type(), p.Output.VT)
 		}
 	}
+	ctx, span := obs.Start(ctx, "synth.enumerate",
+		obs.Int("examples", len(examples)), obs.Int("max_size", limits.MaxSize))
 	e := &enumerator{ctx: ctx, p: p, examples: examples, limits: limits, start: time.Now()}
 	res, err := e.run()
+	span.SetAttr(obs.Int64("enumerated", e.stats.Enumerated),
+		obs.Int64("kept", e.stats.Kept),
+		obs.Int("max_size_seen", e.stats.MaxSizeSeen),
+		obs.Bool("found", res != nil))
+	span.End()
 	return res, e.stats, err
 }
 
@@ -108,21 +117,37 @@ func (en *enumerator) run() (expr.Expr, error) {
 	// Sizes 2..MaxSize: compose from smaller retained entries.
 	for size := 2; size <= en.limits.MaxSize; size++ {
 		en.stats.MaxSizeSeen = size
-		for _, f := range en.p.Vocab.Funcs() {
-			m := f.Arity()
-			if m == 0 {
-				continue
-			}
-			found, err := en.compose(f, size)
-			if err != nil {
-				return nil, budgetErr(err)
-			}
-			if found != nil {
-				return found, nil
-			}
+		found, err := en.runSize(size)
+		if err != nil {
+			return nil, budgetErr(err)
+		}
+		if found != nil {
+			return found, nil
 		}
 	}
 	return nil, fmt.Errorf("%w (size <= %d, %d candidates)", ErrNoExpression, en.limits.MaxSize, en.stats.Enumerated)
+}
+
+// runSize enumerates one size tier under its own "synth.size" span, so a
+// trace shows where enumeration time concentrates as tiers grow.
+func (en *enumerator) runSize(size int) (found expr.Expr, err error) {
+	before := en.stats.Enumerated
+	_, span := obs.Start(en.ctx, "synth.size", obs.Int("size", size))
+	defer func() {
+		span.SetAttr(obs.Int64("enumerated", en.stats.Enumerated-before),
+			obs.Bool("found", found != nil))
+		span.End()
+	}()
+	for _, f := range en.p.Vocab.Funcs() {
+		if f.Arity() == 0 {
+			continue
+		}
+		found, err = en.compose(f, size)
+		if err != nil || found != nil {
+			return found, err
+		}
+	}
+	return nil, nil
 }
 
 func budgetErr(err error) error {

@@ -1,0 +1,118 @@
+package transit_test
+
+import (
+	"context"
+	"testing"
+
+	"transit"
+	"transit/internal/obs"
+)
+
+// TestSpanTreeNesting is the acceptance check for the observability
+// layer: synthesizing and verifying a builtin protocol under a tracer
+// must yield the full span hierarchy — engine.run → engine.job →
+// synth.cegis → synth.iteration → smt.solve → sat.search — linked by
+// parent IDs, with job spans on per-worker tracks, plus an mc.bfs span
+// for the model-check and populated pipeline metrics.
+func TestSpanTreeNesting(t *testing.T) {
+	col := obs.NewCollect()
+	reg := obs.NewRegistry()
+	ctx := obs.WithTracer(context.Background(), obs.NewTracer(col))
+	ctx = obs.WithMetrics(ctx, reg)
+
+	proto := transit.VI(2)
+	if _, err := transit.SynthesizeCtx(ctx, proto, transit.SynthesisOptions{
+		Limits: transit.Limits{MaxSize: 12}, Workers: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := transit.VerifyCtx(ctx, proto, transit.VerifyOptions{CheckDeadlock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("violation:\n%v", res.Violation)
+	}
+
+	spans := col.Spans()
+	byID := map[uint64]obs.SpanData{}
+	count := map[string]int{}
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+		count[sp.Name]++
+	}
+	for _, name := range []string{
+		"engine.run", "engine.job", "synth.cegis", "synth.iteration",
+		"smt.solve", "smt.encode", "sat.search", "synth.enumerate", "mc.bfs",
+	} {
+		if count[name] == 0 {
+			t.Errorf("no %s span recorded", name)
+		}
+	}
+	if count["engine.run"] != 1 {
+		t.Errorf("engine.run spans = %d, want 1", count["engine.run"])
+	}
+
+	// Walk each span's parent chain and check the nesting order the trace
+	// must render in Perfetto. smt.solve has two legitimate parents: CEGIS
+	// consistency/concretization queries (synth.iteration) and the static
+	// guard-exclusivity validity checks (core.guard_check).
+	wantParent := map[string][]string{
+		"engine.job":       {"engine.run"},
+		"synth.cegis":      {"engine.job"},
+		"synth.iteration":  {"synth.cegis"},
+		"synth.enumerate":  {"synth.iteration"},
+		"core.guard_check": {"engine.job"},
+		"smt.solve":        {"synth.iteration", "core.guard_check"},
+		"smt.encode":       {"smt.solve"},
+		"sat.search":       {"smt.solve"},
+	}
+	for _, sp := range spans {
+		want, checked := wantParent[sp.Name]
+		if !checked {
+			continue
+		}
+		parent, ok := byID[sp.Parent]
+		if !ok {
+			t.Errorf("%s span %d: parent %d not collected", sp.Name, sp.ID, sp.Parent)
+			continue
+		}
+		okParent := false
+		for _, w := range want {
+			if parent.Name == w {
+				okParent = true
+			}
+		}
+		if !okParent {
+			t.Errorf("%s span nests under %s, want one of %v", sp.Name, parent.Name, want)
+		}
+	}
+
+	// Job spans land on 1-based worker tracks; the run root stays on the
+	// main track.
+	for _, sp := range spans {
+		switch sp.Name {
+		case "engine.job":
+			if sp.Track < 1 || sp.Track > 2 {
+				t.Errorf("engine.job track = %d, want 1..2", sp.Track)
+			}
+		case "engine.run", "mc.bfs":
+			if sp.Track != 0 {
+				t.Errorf("%s track = %d, want 0 (main)", sp.Name, sp.Track)
+			}
+		}
+	}
+
+	// The metrics registry saw the same pipeline.
+	for _, name := range []string{
+		"engine.jobs", "synth.solves", "synth.cegis_iterations",
+		"smt.queries", "mc.runs", "mc.states",
+	} {
+		if reg.Get(name) <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, reg.Get(name))
+		}
+	}
+	if jobs := reg.Get("engine.jobs"); jobs != int64(count["engine.job"]) {
+		t.Errorf("engine.jobs counter = %d but %d job spans", jobs, count["engine.job"])
+	}
+}

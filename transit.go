@@ -350,6 +350,20 @@ func VerifyWithChart(proto *Protocol, opts VerifyOptions) (*CheckResult, string,
 	})
 }
 
+// VerifyWithChartCtx is VerifyWithChart under a context: cancellation and
+// deadlines abort the exploration, and the context's observability state
+// (tracer, metrics registry) is threaded into the model checker.
+func VerifyWithChartCtx(ctx context.Context, proto *Protocol, opts VerifyOptions) (*CheckResult, string, error) {
+	rt, err := efsm.NewRuntime(proto.Sys)
+	if err != nil {
+		return nil, "", err
+	}
+	return mc.CheckWithMSCCtx(ctx, rt, proto.Invariants, mc.Options{
+		MaxStates:     opts.MaxStates,
+		CheckDeadlock: opts.CheckDeadlock,
+	})
+}
+
 // RunCaseStudy replays a scripted specify→synthesize→check→fix workflow.
 func RunCaseStudy(cs CaseStudy) (*CaseStudyResult, error) {
 	return core.RunCaseStudy(cs)
