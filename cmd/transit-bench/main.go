@@ -8,6 +8,8 @@
 //	transit-bench -table5 [-n N]   case-study workflow metrics
 //	transit-bench -engine [-workers N] [-out F]
 //	                               serial vs. parallel job-engine synthesis
+//	transit-bench -smt [-n N] [-smt-out F]
+//	                               incremental sessions vs. one-shot solving
 //	transit-bench -all             everything (short variants)
 //
 // Observability flags apply to whichever benchmarks run: -trace out.json
@@ -39,11 +41,13 @@ func main() {
 		table4  = flag.Bool("table4", false, "regenerate Table 4")
 		table5  = flag.Bool("table5", false, "regenerate Table 5")
 		eng     = flag.Bool("engine", false, "compare serial vs. parallel job-engine synthesis")
+		smt     = flag.Bool("smt", false, "compare incremental SMT sessions vs. one-shot solving")
 		all     = flag.Bool("all", false, "regenerate everything (short variants)")
 		long    = flag.Bool("long", false, "include long-running rows (Table 3 max-of-three; larger Figure 5 trials)")
-		n       = flag.Int("n", 3, "cache count for Tables 4 and 5 and the engine comparison")
-		workers = flag.Int("workers", runtime.NumCPU(), "parallel worker count for -engine")
+		n       = flag.Int("n", 3, "cache count for Tables 4 and 5 and the engine/SMT comparisons")
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel worker count for -engine and -smt")
 		out     = flag.String("out", "BENCH_engine.json", "JSON artifact path for -engine (empty = none)")
+		smtOut  = flag.String("smt-out", "BENCH_smt.json", "JSON artifact path for -smt (empty = none)")
 
 		tracePath    = flag.String("trace", "", "write a Chrome trace-event JSON file (view at ui.perfetto.dev)")
 		statsSummary = flag.Bool("stats-summary", false, "print an end-of-run span tree and metrics table to stderr")
@@ -53,12 +57,12 @@ func main() {
 	flag.StringVar(&profiling.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
 	flag.StringVar(&profiling.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
-	if !*table2 && !*table3 && !*fig5 && !*table4 && !*table5 && !*eng && !*all {
+	if !*table2 && !*table3 && !*fig5 && !*table4 && !*table5 && !*eng && !*smt && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*table2, *table3, *fig5, *table4, *table5, *eng = true, true, true, true, true, true
+		*table2, *table3, *fig5, *table4, *table5, *eng, *smt = true, true, true, true, true, true, true
 	}
 
 	var summary io.Writer
@@ -121,6 +125,15 @@ func main() {
 		if *out != "" {
 			fail(bench.WriteEngineArtifact(*out, *workers, rows))
 			fmt.Printf("wrote %s\n", *out)
+		}
+	}
+	if *smt {
+		rows, err := bench.SMTBenchCtx(ctx, *n, *workers)
+		fail(err)
+		fmt.Println(bench.FormatSMT(rows))
+		if *smtOut != "" {
+			fail(bench.WriteSMTArtifact(*smtOut, *workers, rows))
+			fmt.Printf("wrote %s\n", *smtOut)
 		}
 	}
 	check(sess.Close())

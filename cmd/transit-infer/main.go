@@ -15,8 +15,8 @@
 //
 // Usage:
 //
-//	transit-infer [-max-size K] [-timeout D] [-cegis-trace] [-stats]
-//	              [-trace out.json] [-stats-summary]
+//	transit-infer [-max-size K] [-timeout D] [-no-incremental]
+//	              [-cegis-trace] [-stats] [-trace out.json] [-stats-summary]
 //	              [-cpuprofile F] [-memprofile F] [-pprof ADDR] file
 //
 // With no file the spec is read from stdin. -cegis-trace prints the
@@ -43,6 +43,7 @@ import (
 // inferOptions is the CLI configuration for one inference run.
 type inferOptions struct {
 	maxSize      int
+	noIncr       bool
 	timeout      time.Duration
 	cegisTrace   bool
 	stats        bool
@@ -54,6 +55,7 @@ type inferOptions struct {
 func main() {
 	var opts inferOptions
 	flag.IntVar(&opts.maxSize, "max-size", 14, "expression-size bound")
+	flag.BoolVar(&opts.noIncr, "no-incremental", false, "disable the incremental SMT session (one solver per query; identical output)")
 	flag.BoolVar(&opts.cegisTrace, "cegis-trace", false, "print the CEGIS trace (Table 2 style)")
 	flag.DurationVar(&opts.timeout, "timeout", 0, "inference deadline, e.g. 30s (0 = none)")
 	flag.BoolVar(&opts.stats, "stats", false, "stream statistics and trace spans as JSON lines to stderr")
@@ -276,7 +278,8 @@ func run(src string, opts inferOptions) error {
 		ctx, cancel = context.WithTimeout(ctx, opts.timeout)
 		defer cancel()
 	}
-	e, st, err := transit.SolveConcolicCtx(ctx, prob, examples, transit.Limits{MaxSize: opts.maxSize})
+	e, st, err := transit.SolveConcolicCtx(ctx, prob, examples,
+		transit.Limits{MaxSize: opts.maxSize, NoIncremental: opts.noIncr})
 	if err != nil {
 		return err
 	}

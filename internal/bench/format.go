@@ -25,8 +25,8 @@ func FormatTable2(rows []Table2Row, final string) string {
 func FormatTable3(rows []Table3Row) string {
 	var sb strings.Builder
 	sb.WriteString("Table 3: expression-inference benchmarks\n")
-	fmt.Fprintf(&sb, "%-24s %-52s %5s %5s %12s %6s %5s\n",
-		"Benchmark", "Description", "Size", "Cons", "Time", "Iters", "SMT")
+	fmt.Fprintf(&sb, "%-24s %-52s %5s %5s %12s %6s %5s %9s\n",
+		"Benchmark", "Description", "Size", "Cons", "Time", "Iters", "SMT", "Conflicts")
 	for _, r := range rows {
 		switch {
 		case r.Skipped:
@@ -36,12 +36,13 @@ func FormatTable3(rows []Table3Row) string {
 			fmt.Fprintf(&sb, "%-24s %-52s %5d %5d %12s\n",
 				r.Name, r.Description, r.ExpectedSize, r.Constraints, "timeout")
 		default:
-			fmt.Fprintf(&sb, "%-24s %-52s %5d %5d %12s %6d %5d\n",
+			fmt.Fprintf(&sb, "%-24s %-52s %5d %5d %12s %6d %5d %9d\n",
 				r.Name, r.Description, r.FoundSize, r.Constraints,
-				r.Time.Round(1000*1000), r.Iterations, r.SMTQueries)
+				r.Time.Round(1000*1000), r.Iterations, r.SMTQueries, r.Conflicts)
 			fmt.Fprintf(&sb, "%-24s   found: %s\n", "", r.Found)
 		}
 	}
+	sb.WriteString("(SMT and Conflicts are the \"smt.queries\" and \"sat.conflicts\" counters from\n each row's metrics registry)\n")
 	return sb.String()
 }
 

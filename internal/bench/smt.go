@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"transit/internal/core"
+	"transit/internal/obs"
+	"transit/internal/synth"
+)
+
+// SMTModeStats is the work one completion mode performed, read from that
+// run's own metrics registry (the counters of DESIGN.md §8).
+type SMTModeStats struct {
+	Time          time.Duration `json:"-"`
+	TimeMS        float64       `json:"time_ms"`
+	Queries       int64         `json:"queries"`
+	Clauses       int64         `json:"clauses_encoded"`
+	ClausesReused int64         `json:"clauses_reused"`
+	Conflicts     int64         `json:"conflicts"`
+	Sessions      int64         `json:"sessions"`
+	LearnedKept   int64         `json:"learned_kept"`
+}
+
+// SMTRow compares incremental sessions against one-shot solving for one
+// protocol. Both modes produce byte-identical EFSMs (canonical models);
+// the row quantifies the work the session reuse saves.
+type SMTRow struct {
+	Protocol    string       `json:"protocol"`
+	NumCaches   int          `json:"num_caches"`
+	Incremental SMTModeStats `json:"incremental"`
+	OneShot     SMTModeStats `json:"one_shot"`
+	// ClauseRatio is incremental clauses encoded / one-shot clauses
+	// encoded: the fraction of encoding work the session cache could not
+	// avoid.
+	ClauseRatio float64 `json:"clause_ratio"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// SMTBench completes VI, MSI, MESI, and Origin twice — with shared
+// incremental sessions (the default) and with -no-incremental one-shot
+// solving — and reports per-mode query, clause, and conflict work.
+func SMTBench(numCaches, workers int) ([]SMTRow, error) {
+	return SMTBenchCtx(context.Background(), numCaches, workers)
+}
+
+// SMTBenchCtx is SMTBench under a context. As in EngineBenchCtx, each run
+// gets a fresh metrics registry so the two modes' counters stay isolated.
+func SMTBenchCtx(ctx context.Context, numCaches, workers int) ([]SMTRow, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	limits := synth.Limits{MaxSize: 12}
+	var rows []SMTRow
+	for _, mk := range engineSpecs(numCaches) {
+		run := func(noInc bool) (SMTModeStats, string, error) {
+			spec := mk()
+			reg := obs.NewRegistry()
+			rctx := obs.WithMetrics(ctx, reg)
+			t0 := time.Now()
+			_, err := core.CompleteCtx(rctx, spec.Sys, spec.Vocab, spec.Snippets,
+				core.Options{Limits: limits, Workers: workers, NoIncremental: noInc})
+			if err != nil {
+				return SMTModeStats{}, "", fmt.Errorf("bench: %s (noIncremental=%v): %w", spec.Name, noInc, err)
+			}
+			d := time.Since(t0)
+			return SMTModeStats{
+				Time:          d,
+				TimeMS:        ms(d),
+				Queries:       reg.Get("smt.queries"),
+				Clauses:       reg.Get("smt.clauses"),
+				ClausesReused: reg.Get("smt.clauses_reused"),
+				Conflicts:     reg.Get("sat.conflicts"),
+				Sessions:      reg.Get("smt.sessions"),
+				LearnedKept:   reg.Get("sat.learned_kept"),
+			}, spec.Name, nil
+		}
+		inc, name, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		one, _, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		row := SMTRow{Protocol: name, NumCaches: numCaches, Incremental: inc, OneShot: one}
+		if one.Clauses > 0 {
+			row.ClauseRatio = float64(inc.Clauses) / float64(one.Clauses)
+		}
+		if inc.Time > 0 {
+			row.Speedup = float64(one.Time) / float64(inc.Time)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatSMT renders the incremental-vs-one-shot comparison.
+func FormatSMT(rows []SMTRow) string {
+	var sb strings.Builder
+	sb.WriteString("SMT: incremental sessions vs. one-shot solving (identical EFSMs)\n")
+	fmt.Fprintf(&sb, "%-9s %6s | %9s %8s %9s %8s %9s | %9s %8s %9s %9s | %7s %8s\n",
+		"Protocol", "Caches",
+		"IncTime", "Queries", "Clauses", "Reused", "Conflicts",
+		"OneTime", "Queries", "Clauses", "Conflicts",
+		"ClRatio", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-9s %6d | %9s %8d %9d %8d %9d | %9s %8d %9d %9d | %6.0f%% %7.2fx\n",
+			r.Protocol, r.NumCaches,
+			r.Incremental.Time.Round(time.Millisecond), r.Incremental.Queries,
+			r.Incremental.Clauses, r.Incremental.ClausesReused, r.Incremental.Conflicts,
+			r.OneShot.Time.Round(time.Millisecond), r.OneShot.Queries,
+			r.OneShot.Clauses, r.OneShot.Conflicts,
+			100*r.ClauseRatio, r.Speedup)
+	}
+	sb.WriteString("(ClRatio is incremental/one-shot clauses encoded — the encoding work the\n shared sessions could not avoid; Reused counts cached-circuit clauses\n served without re-encoding; both modes return identical canonical models,\n so Queries match and the EFSMs are byte-identical)\n")
+	return sb.String()
+}
+
+// WriteSMTArtifact writes the comparison as a JSON artifact
+// (BENCH_smt.json by convention) for machine consumption.
+func WriteSMTArtifact(path string, workers int, rows []SMTRow) error {
+	art := struct {
+		Benchmark string   `json:"benchmark"`
+		Workers   int      `json:"workers"`
+		Rows      []SMTRow `json:"rows"`
+	}{Benchmark: "smt_incremental_vs_one_shot", Workers: workers, Rows: rows}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"transit/internal/expr"
+	"transit/internal/obs"
 	"transit/internal/synth"
 )
 
@@ -38,10 +39,15 @@ type Table3Row struct {
 	Constraints  int
 	Time         time.Duration
 	Iterations   int
-	SMTQueries   int
-	Enumerated   int64
-	TimedOut     bool
-	Skipped      bool
+	// SMTQueries and Conflicts are read back from the row's own metrics
+	// registry (counters "smt.queries" and "sat.conflicts"), the same
+	// source -stats-summary reports, rather than re-derived from synth
+	// stats — so the table stays consistent with the observability layer.
+	SMTQueries int64
+	Conflicts  int64
+	Enumerated int64
+	TimedOut   bool
+	Skipped    bool
 }
 
 // intProblem builds a Problem over Int variables with the full coherence
@@ -273,11 +279,16 @@ func Table3Ctx(ctx context.Context, opts Table3Options) ([]Table3Row, error) {
 		prob, exs := b.Build(u)
 		row.Constraints = len(exs)
 		limits := synth.Limits{MaxSize: b.ExpectedSize + 2, Timeout: timeout, MaxExprs: opts.MaxExprs}
+		// Per-row metrics registry: the SMT/conflict columns read the same
+		// counters the observability layer aggregates, isolated per row.
+		reg := obs.NewRegistry()
+		rctx := obs.WithMetrics(ctx, reg)
 		start := time.Now()
-		e, stats, err := synth.SolveConcolicCtx(ctx, prob, exs, limits)
+		e, stats, err := synth.SolveConcolicCtx(rctx, prob, exs, limits)
 		row.Time = time.Since(start)
 		row.Iterations = stats.Iterations
-		row.SMTQueries = stats.SMTQueries
+		row.SMTQueries = reg.Get("smt.queries")
+		row.Conflicts = reg.Get("sat.conflicts")
 		row.Enumerated = stats.Concrete.Enumerated
 		if err != nil {
 			if errors.Is(err, synth.ErrNoExpression) {

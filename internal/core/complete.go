@@ -37,6 +37,14 @@ type Options struct {
 	// SkipGuardCheck disables the static pairwise mutual-exclusion
 	// verification of each group's guards.
 	SkipGuardCheck bool
+	// NoIncremental disables the shared incremental SMT sessions (the
+	// per-group guard-chain and mutual-exclusion sessions, and the
+	// per-solve CEGIS sessions), solving every query one-shot instead.
+	// Both modes pose identical queries and receive identical canonical
+	// models, so completed systems are byte-identical either way; the flag
+	// is an escape hatch and a differential-testing lever. It is merged
+	// into Limits.NoIncremental at run start.
+	NoIncremental bool
 	// Workers sizes the inference worker pool. Values <= 1 execute jobs
 	// strictly in plan order, reproducing the sequential implementation
 	// byte for byte; larger values run independent jobs concurrently
@@ -76,7 +84,10 @@ type Report struct {
 	GuardExprsTried  int64
 	// SMTQueries counts consistency and concretization queries.
 	SMTQueries int
-	UpdateTime time.Duration
+	// SMTClausesReused counts cached-circuit clauses the incremental
+	// sessions reused instead of re-encoding (0 under NoIncremental).
+	SMTClausesReused int64
+	UpdateTime       time.Duration
 	GuardTime  time.Duration
 	Elapsed    time.Duration
 	// Transitions is the number of completed transitions installed.
@@ -112,6 +123,7 @@ func Complete(sys *efsm.System, vocab *expr.Vocabulary, snippets []*efsm.Snippet
 // context's error.
 func CompleteCtx(ctx context.Context, sys *efsm.System, vocab *expr.Vocabulary, snippets []*efsm.Snippet, opts Options) (*Report, error) {
 	start := time.Now()
+	opts.Limits.NoIncremental = opts.Limits.NoIncremental || opts.NoIncremental
 	rep := &Report{Snippets: len(snippets)}
 	defByName := map[string]*efsm.ProcDef{}
 	for _, d := range sys.Defs {
@@ -188,6 +200,7 @@ func aggregate(rep *Report, p *planner, stats engine.RunStats) {
 		case "guard":
 			rep.GuardExprsTried += j.Candidates
 			rep.SMTQueries += j.SMTQueries
+			rep.SMTClausesReused += j.ClausesReused
 			rep.GuardTime += j.Duration
 			if j.Err == nil {
 				rep.GuardsSynthesized++
@@ -195,6 +208,7 @@ func aggregate(rep *Report, p *planner, stats engine.RunStats) {
 		case "update":
 			rep.UpdateExprsTried += j.Candidates
 			rep.SMTQueries += j.SMTQueries
+			rep.SMTClausesReused += j.ClausesReused
 			rep.UpdateTime += j.Duration
 			if j.Err == nil {
 				rep.UpdatesSynthesized++
@@ -244,12 +258,22 @@ type defPlan struct {
 }
 
 // groupPlan is one group's share of the DAG plus everything assembly
-// needs afterwards.
+// needs afterwards. The two sessions (absent under NoIncremental) carry
+// encodings and learned clauses across the group's related queries:
+// guardSess, over scopeVars ∪ {guard$}, is shared by the sequential
+// guard-inference chain, whose jobs pose many CEGIS queries over the same
+// variables; mutexSess, over scopeVars, is shared by the pairwise
+// mutual-exclusion checks, which re-solve the same guard circuits in
+// different pairings. Neither session is ever used concurrently: the
+// chain jobs are ordered by engine dependencies and the mutex job runs
+// after the chain.
 type groupPlan struct {
 	g         *group
 	ctx       string // error-message prefix, e.g. "core: Dir (EXCLUSIVE, ReqNet)"
 	scopeVars []*expr.Var
 	blocks    []*blockPlan // aligned with g.blocks
+	guardSess *smt.Session
+	mutexSess *smt.Session
 }
 
 // blockPlan carries one block's planned update jobs and their result
@@ -355,6 +379,25 @@ func (p *planner) planGroup(d *efsm.ProcDef, g *group) (*groupPlan, error) {
 		inferable = append(inferable, b)
 	}
 
+	// Shared sessions for the group (skipped under NoIncremental). The
+	// guard session spans the chain's query variables scopeVars ∪ {guard$};
+	// the mutex session spans scopeVars only.
+	incremental := !p.opts.Limits.NoIncremental
+	nGuardJobs := 0
+	for _, b := range inferable {
+		if !b.symbolic && !b.defer_ {
+			nGuardJobs++
+		}
+	}
+	if incremental && nGuardJobs > 0 {
+		gvars := append(append([]*expr.Var(nil), gp.scopeVars...), expr.V(guardVar, expr.BoolType))
+		sess, err := smt.NewSession(p.sys.U, gvars)
+		if err != nil {
+			return nil, fmt.Errorf("%s: guard session: %w", gp.ctx, err)
+		}
+		gp.guardSess = sess
+	}
+
 	// The sequential guard chain.
 	var prev *engine.Job
 	for j, b := range inferable {
@@ -370,7 +413,7 @@ func (p *planner) planGroup(d *efsm.ProcDef, g *group) (*groupPlan, error) {
 			job.Deps = []*engine.Job{prev}
 		}
 		job.Run = func(jctx context.Context) error {
-			guard, err := p.inferGuard(jctx, job, g, inferable, j, gp.scopeVars)
+			guard, err := p.inferGuard(jctx, job, g, inferable, j, gp)
 			if err != nil {
 				return fmt.Errorf("%s: block %s: %w", gp.ctx, b.key, err)
 			}
@@ -382,6 +425,19 @@ func (p *planner) planGroup(d *efsm.ProcDef, g *group) (*groupPlan, error) {
 	}
 
 	if !p.opts.SkipGuardCheck {
+		nGuards := 0
+		for _, b := range inferable {
+			if b.symbolic || !b.defer_ {
+				nGuards++
+			}
+		}
+		if incremental && nGuards >= 2 {
+			sess, err := smt.NewSession(p.sys.U, gp.scopeVars)
+			if err != nil {
+				return nil, fmt.Errorf("%s: mutex session: %w", gp.ctx, err)
+			}
+			gp.mutexSess = sess
+		}
 		job := &engine.Job{
 			Label: fmt.Sprintf("mutex %s(%s,%s)", d.Name, g.from, g.event),
 			Kind:  "check",
@@ -390,7 +446,7 @@ func (p *planner) planGroup(d *efsm.ProcDef, g *group) (*groupPlan, error) {
 			job.Deps = []*engine.Job{prev}
 		}
 		job.Run = func(jctx context.Context) error {
-			if err := p.checkMutualExclusion(jctx, g, inferable, gp.scopeVars); err != nil {
+			if err := p.checkMutualExclusion(jctx, g, inferable, gp); err != nil {
 				return fmt.Errorf("%s: %w", gp.ctx, err)
 			}
 			return nil
@@ -507,6 +563,7 @@ func (p *planner) planBlock(d *efsm.ProcDef, g *group, gp *groupPlan, b *block) 
 			job.CacheHit = hit
 			job.Candidates = stats.Concrete.Enumerated
 			job.SMTQueries = stats.SMTQueries
+			job.ClausesReused = stats.SMTClausesReused
 			job.Iterations = stats.Iterations
 			job.Retries = retries
 			if err != nil {
@@ -538,7 +595,8 @@ func (p *planner) planFailure(gp *groupPlan, b *block, err error) error {
 // preconditions holds (ConcolicExs2), and false whenever a later block's
 // precondition holds (ConcolicExs3). Earlier blocks' guards are read at
 // job-execution time — the chain dependency guarantees they are solved.
-func (p *planner) inferGuard(ctx context.Context, job *engine.Job, g *group, blocks []*block, j int, scopeVars []*expr.Var) (expr.Expr, error) {
+func (p *planner) inferGuard(ctx context.Context, job *engine.Job, g *group, blocks []*block, j int, gp *groupPlan) (expr.Expr, error) {
+	scopeVars := gp.scopeVars
 	o := expr.V(guardVar, expr.BoolType)
 	var exs []synth.ConcolicExample
 	for i := 0; i < j; i++ {
@@ -567,11 +625,12 @@ func (p *planner) inferGuard(ctx context.Context, job *engine.Job, g *group, blo
 	}
 	prob := synth.Problem{U: p.sys.U, Vocab: p.vocab, Vars: scopeVars, Output: o}
 	guard, stats, hit, retries, err := p.eng.SolveConcolic(ctx, engine.SolveSpec{
-		Problem: prob, Examples: exs, Limits: p.opts.Limits,
+		Problem: prob, Examples: exs, Limits: p.opts.Limits, Session: gp.guardSess,
 	})
 	job.CacheHit = hit
 	job.Candidates = stats.Concrete.Enumerated
 	job.SMTQueries = stats.SMTQueries
+	job.ClausesReused = stats.SMTClausesReused
 	job.Iterations = stats.Iterations
 	job.Retries = retries
 	if err != nil {
@@ -599,8 +658,13 @@ func blockPre(b *block) expr.Expr {
 }
 
 // checkMutualExclusion statically verifies pairwise guard disjointness
-// within a group via SMT validity.
-func (p *planner) checkMutualExclusion(ctx context.Context, g *group, blocks []*block, scopeVars []*expr.Var) error {
+// within a group via SMT validity: ¬(gi ∧ gj) must hold for every pair,
+// i.e. gi ∧ gj must be unsatisfiable. With a group session the pair
+// conjunctions are solved incrementally — each guard's circuit is encoded
+// once and re-paired for free; under NoIncremental every pair is an
+// independent validity query. A Sat verdict yields the same canonical
+// counterexample model either way, so failure messages match exactly.
+func (p *planner) checkMutualExclusion(ctx context.Context, g *group, blocks []*block, gp *groupPlan) error {
 	// Own span so the validity queries below don't read as CEGIS work in
 	// the trace.
 	ctx, span := obs.Start(ctx, "core.guard_check", obs.Int("blocks", len(blocks)))
@@ -611,11 +675,29 @@ func (p *planner) checkMutualExclusion(ctx context.Context, g *group, blocks []*
 			if gi == nil || gj == nil {
 				continue
 			}
-			ok, cex, err := smt.ValidOptCtx(ctx, p.sys.U, scopeVars, expr.Not(expr.And(gi, gj)), smt.Options{})
-			if err != nil {
-				return fmt.Errorf("guard exclusivity check: %w", err)
+			var exclusive bool
+			var cex expr.Env
+			if gp.mutexSess != nil {
+				res, err := gp.mutexSess.Solve(ctx, expr.And(gi, gj), smt.Options{})
+				if err != nil {
+					return fmt.Errorf("guard exclusivity check: %w", err)
+				}
+				switch res.Status {
+				case smt.Unsat:
+					exclusive = true
+				case smt.Sat:
+					exclusive, cex = false, res.Model
+				default:
+					return fmt.Errorf("guard exclusivity check: smt: validity check exhausted conflict budget")
+				}
+			} else {
+				ok, model, err := smt.ValidOptCtx(ctx, p.sys.U, gp.scopeVars, expr.Not(expr.And(gi, gj)), smt.Options{})
+				if err != nil {
+					return fmt.Errorf("guard exclusivity check: %w", err)
+				}
+				exclusive, cex = ok, model
 			}
-			if !ok {
+			if !exclusive {
 				return fmt.Errorf("guards %s and %s overlap (e.g. %v)",
 					expr.Pretty(gi), expr.Pretty(gj), cex)
 			}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"transit/internal/expr"
+	"transit/internal/smt"
 	"transit/internal/synth"
 )
 
@@ -19,6 +20,13 @@ type SolveSpec struct {
 	Problem  synth.Problem
 	Examples []synth.ConcolicExample
 	Limits   synth.Limits
+
+	// Session, when non-nil, runs the solve's SMT queries in this shared
+	// incremental session (which must span exactly Vars ∪ {Output}).
+	// It is an execution detail, not part of the problem: canonical models
+	// make session and sessionless solves answer-identical, so Session —
+	// like Limits.NoIncremental — is deliberately excluded from Key().
+	Session *smt.Session
 }
 
 // Key derives the canonical cache key: a SHA-256 over the universe

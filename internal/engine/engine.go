@@ -51,6 +51,9 @@ type Job struct {
 	Candidates int64
 	// SMTQueries is the number of SMT queries issued.
 	SMTQueries int
+	// ClausesReused is the number of cached-circuit clauses the job's
+	// incremental SMT session reused instead of re-encoding.
+	ClausesReused int64
 	// Iterations is the number of CEGIS iterations taken.
 	Iterations int
 	// Retries is the number of extra attempts the retry policy spent.
@@ -314,8 +317,8 @@ func (e *Engine) execute(ctx context.Context, j *Job, worker int) error {
 	err := j.Run(jctx)
 	j.Duration = time.Since(start)
 	span.SetAttr(obs.Bool("cache_hit", j.CacheHit), obs.Int64("candidates", j.Candidates),
-		obs.Int("smt_queries", j.SMTQueries), obs.Int("cegis_iterations", j.Iterations),
-		obs.Int("retries", j.Retries))
+		obs.Int("smt_queries", j.SMTQueries), obs.Int64("clauses_reused", j.ClausesReused),
+		obs.Int("cegis_iterations", j.Iterations), obs.Int("retries", j.Retries))
 	if err != nil {
 		span.SetAttr(obs.Str("error", err.Error()))
 	}
@@ -323,7 +326,8 @@ func (e *Engine) execute(ctx context.Context, j *Job, worker int) error {
 	ev := Event{Type: "job_end", Job: j.Label, Kind: j.Kind, Worker: worker + 1,
 		DurationMS: float64(j.Duration) / float64(time.Millisecond),
 		CacheHit:   j.CacheHit, Candidates: j.Candidates,
-		SMTQueries: j.SMTQueries, Iterations: j.Iterations, Retries: j.Retries}
+		SMTQueries: j.SMTQueries, ClausesReused: j.ClausesReused,
+		Iterations: j.Iterations, Retries: j.Retries}
 	if err != nil {
 		ev.Error = err.Error()
 	}

@@ -54,13 +54,15 @@ func (e *Engine) SolveConcolic(ctx context.Context, spec SolveSpec) (res expr.Ex
 	limits := spec.Limits
 	for a := 0; ; a++ {
 		var st synth.Stats
-		res, st, err = synth.SolveConcolicCtx(ctx, spec.Problem, spec.Examples, limits)
+		res, st, err = synth.SolveConcolicSessionCtx(ctx, spec.Problem, spec.Examples, limits, spec.Session)
 		stats.Concrete.Enumerated += st.Concrete.Enumerated
 		stats.Concrete.Kept += st.Concrete.Kept
 		if st.Concrete.MaxSizeSeen > stats.Concrete.MaxSizeSeen {
 			stats.Concrete.MaxSizeSeen = st.Concrete.MaxSizeSeen
 		}
 		stats.SMTQueries += st.SMTQueries
+		stats.SMTClauses += st.SMTClauses
+		stats.SMTClausesReused += st.SMTClausesReused
 		stats.Iterations += st.Iterations
 		stats.Elapsed += st.Elapsed
 		stats.Trace = append(stats.Trace, st.Trace...)

@@ -11,8 +11,8 @@ import (
 //	{"type":"engine_start","workers":N,"jobs":M}
 //	{"type":"job_start","job":L,"kind":K,"worker":W}
 //	{"type":"job_end","job":L,"kind":K,"worker":W,"duration_ms":D,
-//	 "cache_hit":B,"candidates":C,"smt_queries":Q,"cegis_iterations":I,
-//	 "retries":R,"error":E}
+//	 "cache_hit":B,"candidates":C,"smt_queries":Q,"clauses_reused":CR,
+//	 "cegis_iterations":I,"retries":R,"error":E}
 //	{"type":"engine_end","workers":N,"jobs":M,"failed":F,"skipped":S,
 //	 "cache_hits":H,"cache_misses":Mi,"duration_ms":D,"utilization":U}
 //
@@ -30,6 +30,7 @@ type Event struct {
 	CacheHit    bool    `json:"cache_hit,omitempty"`
 	Candidates  int64   `json:"candidates,omitempty"`
 	SMTQueries  int     `json:"smt_queries,omitempty"`
+	ClausesReused int64 `json:"clauses_reused,omitempty"`
 	Iterations  int     `json:"cegis_iterations,omitempty"`
 	Retries     int     `json:"retries,omitempty"`
 	Workers     int     `json:"workers,omitempty"`

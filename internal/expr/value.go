@@ -232,3 +232,22 @@ func ValuesOf(u *Universe, t Type) []Value {
 	}
 	return out
 }
+
+// MaxOf is the last value ValuesOf enumerates for t — the domain's
+// saturated element: true, MaxInt, the highest PID, the full set, the
+// final enum value.
+func MaxOf(u *Universe, t Type) Value {
+	switch t.Kind {
+	case KindBool:
+		return BoolVal(true)
+	case KindInt:
+		return IntVal(u, u.MaxInt())
+	case KindPID:
+		return PIDVal(u.NumCaches() - 1)
+	case KindSet:
+		return SetVal(u.SetMask())
+	case KindEnum:
+		return EnumVal(t.Enum, len(t.Enum.Values)-1)
+	}
+	panic("expr: MaxOf on invalid type")
+}

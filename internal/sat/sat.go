@@ -100,17 +100,23 @@ type Solver struct {
 	order    *varHeap
 	seen     []bool // scratch for analyze
 
+	assumptions []Lit // current Solve call's assumptions
+	conflict    []Lit // final conflict clause over failed assumptions
+	budgetEnd   int64 // Stats.Conflicts bound for the current Solve; 0 = none
+
 	// Stats counts solver work; useful for benchmarks and debugging.
 	Stats struct {
-		Conflicts    int64
-		Decisions    int64
-		Propagations int64
-		Learnt       int64
-		Restarts     int64
+		Conflicts        int64
+		Decisions        int64
+		Propagations     int64
+		Learnt           int64
+		Restarts         int64
+		AssumptionSolves int64
 	}
 
-	// MaxConflicts bounds the search; 0 means unlimited. When exceeded,
-	// Solve returns Unknown.
+	// MaxConflicts bounds each Solve call; 0 means unlimited. The budget is
+	// per call — incremental reuse resets it — and when exceeded, Solve
+	// returns Unknown.
 	MaxConflicts int64
 
 	// Interrupt, when non-nil, is polled periodically during search; once
@@ -406,21 +412,41 @@ func luby(i int64) int64 {
 
 const restartBase = 100
 
-// Solve searches for a model. It returns Sat, Unsat, or Unknown when
-// MaxConflicts is exhausted. After Sat, Model/ValueOf expose the model.
-// Solve may be called repeatedly, interleaved with AddClause, for
-// incremental use.
-func (s *Solver) Solve() Status {
+// Solve searches for a model of the clause database under the given
+// assumptions, if any. It returns Sat, Unsat, or Unknown when MaxConflicts
+// is exhausted. After Sat, Model/ValueOf expose the model. Solve may be
+// called repeatedly, interleaved with AddClause, for incremental use:
+// learned clauses, variable activities, and saved phases carry over between
+// calls. An Unsat answer caused by the assumptions (rather than the clause
+// database itself) leaves the solver usable; Conflict then reports the
+// failed-assumption clause and Okay stays true.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	s.conflict = s.conflict[:0]
 	if !s.ok {
 		return Unsat
+	}
+	for _, l := range assumptions {
+		if l.Var() >= s.NumVars() || l < 0 {
+			panic(fmt.Sprintf("sat: assumption %v references unknown variable", l))
+		}
 	}
 	s.cancelUntil(0)
 	if s.propagate() != nil {
 		s.ok = false
 		return Unsat
 	}
+	s.assumptions = assumptions
+	defer func() { s.assumptions = nil }()
+	if len(assumptions) > 0 {
+		s.Stats.AssumptionSolves++
+	}
+	// Per-call conflict budget, expressed as a bound on the cumulative
+	// counter so a reused solver is not charged for earlier calls' work.
+	s.budgetEnd = 0
+	if s.MaxConflicts > 0 {
+		s.budgetEnd = s.Stats.Conflicts + s.MaxConflicts
+	}
 	var restartNum int64
-	conflictsAtStart := s.Stats.Conflicts
 	for {
 		restartNum++
 		budget := luby(restartNum) * restartBase
@@ -432,13 +458,32 @@ func (s *Solver) Solve() Status {
 			s.cancelUntil(0)
 			return Unknown
 		}
-		if s.MaxConflicts > 0 && s.Stats.Conflicts-conflictsAtStart >= s.MaxConflicts {
+		if s.budgetEnd > 0 && s.Stats.Conflicts >= s.budgetEnd {
 			s.cancelUntil(0)
 			return Unknown
 		}
 		s.Stats.Restarts++
 	}
 }
+
+// Conflict returns the final conflict clause from the last Solve call that
+// returned Unsat because of its assumptions: each literal is the negation
+// of an assumption, and their disjunction is implied by the clause
+// database. It is empty when the last answer did not hinge on assumptions
+// (in particular, when the database itself is unsatisfiable).
+func (s *Solver) Conflict() []Lit {
+	out := make([]Lit, len(s.conflict))
+	copy(out, s.conflict)
+	return out
+}
+
+// Okay reports whether the clause database is still possibly satisfiable;
+// it turns false permanently once an empty clause is derived at level 0.
+// Unsat answers under assumptions do not clear it.
+func (s *Solver) Okay() bool { return s.ok }
+
+// NumLearnts reports the number of learned clauses currently retained.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
 
 // interrupted reports whether the Interrupt channel has fired.
 func (s *Solver) interrupted() bool {
@@ -487,21 +532,79 @@ func (s *Solver) search(conflictBudget int64) Status {
 				s.cancelUntil(0)
 				return Unknown
 			}
-			if s.MaxConflicts > 0 && s.Stats.Conflicts >= s.MaxConflicts {
+			if s.budgetEnd > 0 && s.Stats.Conflicts >= s.budgetEnd {
 				s.cancelUntil(0)
 				return Unknown
 			}
 			continue
 		}
-		// No conflict: decide.
-		v := s.pickBranchVar()
-		if v < 0 {
-			return Sat // all variables assigned
+		// No conflict: honor pending assumptions, then decide. Each
+		// assumption occupies one leading decision level so cancelUntil
+		// and analyzeFinal can index assumptions by level.
+		next := litUndef
+		for next == litUndef && s.decisionLevel() < len(s.assumptions) {
+			p := s.assumptions[s.decisionLevel()]
+			switch s.value(p) {
+			case lTrue:
+				// Already implied: open a dummy level to keep the
+				// level↔assumption alignment.
+				s.trailLim = append(s.trailLim, len(s.trail))
+			case lFalse:
+				// The database falsifies this assumption: extract the
+				// failed-assumption clause and answer Unsat without
+				// poisoning the solver (ok stays true).
+				s.analyzeFinal(p.Not())
+				s.cancelUntil(0)
+				return Unsat
+			default:
+				next = p
+			}
 		}
-		s.Stats.Decisions++
+		if next == litUndef {
+			v := s.pickBranchVar()
+			if v < 0 {
+				return Sat // all variables assigned
+			}
+			s.Stats.Decisions++
+			next = MkLit(v, !s.phase[v])
+		}
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.enqueue(MkLit(v, !s.phase[v]), nil)
+		s.enqueue(next, nil)
 	}
+}
+
+// analyzeFinal computes the final conflict clause when assumption p.Not()
+// is falsified by the current trail: it walks reasons backwards from p,
+// collecting the negations of the assumption decisions responsible, in the
+// MiniSat tradition. The result (which includes p itself) lands in
+// s.conflict.
+func (s *Solver) analyzeFinal(p Lit) {
+	s.conflict = append(s.conflict[:0], p)
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if s.reason[v] == nil {
+			// An assumption decision (dummy levels hold no decisions):
+			// its negation belongs to the conflict clause.
+			if s.level[v] > 0 {
+				s.conflict = append(s.conflict, s.trail[i].Not())
+			}
+		} else {
+			for _, l := range s.reason[v].lits {
+				if s.level[l.Var()] > 0 {
+					s.seen[l.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[p.Var()] = false
 }
 
 // ValueOf reports the model value of a variable after Sat.

@@ -20,6 +20,8 @@ type encoder struct {
 	vars       map[string]encVar
 	order      []string
 	cache      map[expr.Expr][]sat.Lit
+	cost       map[expr.Expr]int64 // clauses emitted when the node was first encoded
+	reused     int64               // cumulative clauses avoided via cache hits
 }
 
 type encVar struct {
@@ -33,6 +35,7 @@ func newEncoder(u *expr.Universe, vars []*expr.Var) (*encoder, error) {
 		s:     sat.New(),
 		vars:  make(map[string]encVar, len(vars)),
 		cache: make(map[expr.Expr][]sat.Lit),
+		cost:  make(map[expr.Expr]int64),
 	}
 	// A dedicated always-true literal anchors constants.
 	e.trueLit = e.fresh()
@@ -320,16 +323,21 @@ func (e *encoder) valueBits(v expr.Value) ([]sat.Lit, error) {
 }
 
 // encode translates an expression to its bit vector, caching shared
-// subtrees by node identity.
+// subtrees by node identity. A cache hit credits the node's first-encode
+// clause count (newly encoded descendants included) to the reuse counter —
+// a lower bound on the clauses a fresh encoder would have re-emitted.
 func (e *encoder) encode(x expr.Expr) ([]sat.Lit, error) {
 	if bits, ok := e.cache[x]; ok {
+		e.reused += e.cost[x]
 		return bits, nil
 	}
+	before := e.numClauses
 	bits, err := e.encode1(x)
 	if err != nil {
 		return nil, err
 	}
 	e.cache[x] = bits
+	e.cost[x] = e.numClauses - before
 	return bits, nil
 }
 
@@ -440,34 +448,52 @@ func (e *encoder) encodeApply(a *expr.Apply) ([]sat.Lit, error) {
 	return nil, fmt.Errorf("smt: function %s is outside the encodable fragment", a.Fn.Name)
 }
 
-// decodeModel reads the SAT model back into typed values.
-func (e *encoder) decodeModel() expr.Env {
-	env := make(expr.Env, len(e.vars))
-	for _, name := range e.order {
-		ev := e.vars[name]
-		var pattern uint64
-		for i, l := range ev.bits {
-			if e.s.ValueOf(l.Var()) != l.Neg() {
-				pattern |= 1 << uint(i)
-			}
-		}
-		switch ev.t.Kind {
-		case expr.KindBool:
-			env[name] = expr.BoolVal(pattern != 0)
-		case expr.KindInt:
-			w := e.u.IntWidth()
-			val := int64(pattern)
-			if pattern&(1<<(w-1)) != 0 {
-				val -= int64(1) << w
-			}
-			env[name] = expr.IntVal(e.u, val)
-		case expr.KindPID:
-			env[name] = expr.PIDVal(int(pattern))
-		case expr.KindSet:
-			env[name] = expr.SetVal(pattern)
-		case expr.KindEnum:
-			env[name] = expr.EnumVal(ev.t.Enum, int(pattern))
-		}
+// valuePattern is patternValue's inverse: the little-endian bit pattern a
+// typed value occupies in its variable's bit vector. The second result is
+// false for values whose kind does not match the target type (such hints
+// are ignored rather than mis-applied).
+func (e *encoder) valuePattern(t expr.Type, v expr.Value) (uint64, bool) {
+	if v.Type().Kind != t.Kind {
+		return 0, false
 	}
-	return env
+	switch t.Kind {
+	case expr.KindBool:
+		if v.Bool() {
+			return 1, true
+		}
+		return 0, true
+	case expr.KindInt:
+		w := e.u.IntWidth()
+		mask := uint64(1)<<w - 1
+		return uint64(v.Int()) & mask, true
+	case expr.KindPID:
+		return uint64(v.PID()), true
+	case expr.KindSet:
+		return v.Set(), true
+	case expr.KindEnum:
+		return uint64(v.EnumOrd()), true
+	}
+	return 0, false
+}
+
+// patternValue turns a little-endian bit pattern into a typed value.
+func (e *encoder) patternValue(t expr.Type, pattern uint64) expr.Value {
+	switch t.Kind {
+	case expr.KindBool:
+		return expr.BoolVal(pattern != 0)
+	case expr.KindInt:
+		w := e.u.IntWidth()
+		val := int64(pattern)
+		if pattern&(1<<(w-1)) != 0 {
+			val -= int64(1) << w
+		}
+		return expr.IntVal(e.u, val)
+	case expr.KindPID:
+		return expr.PIDVal(int(pattern))
+	case expr.KindSet:
+		return expr.SetVal(pattern)
+	case expr.KindEnum:
+		return expr.EnumVal(t.Enum, int(pattern))
+	}
+	panic("smt: patternValue on invalid type")
 }

@@ -1,0 +1,426 @@
+package smt
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"transit/internal/expr"
+	"transit/internal/obs"
+	"transit/internal/sat"
+)
+
+// Session is a persistent, incremental SMT solving context: one encoder
+// and one SAT solver shared across a series of queries. Variable bit
+// vectors, Tseitin sub-circuits, and vocabulary gadgets are encoded once
+// and reused; the SAT solver keeps its learned clauses, variable
+// activities, and saved phases between queries.
+//
+// Constraints enter through Assert, which guards the formula's root with a
+// fresh activation literal: the formula only binds in queries that assume
+// the assertion (SolveAssuming), and Retract turns it off permanently by
+// forcing the activation literal false. Tseitin definition clauses are
+// globally valid (they merely define gate outputs) and are left unguarded,
+// which is what makes circuit reuse sound.
+//
+// Sat answers carry a canonical model: the lexicographically least
+// satisfying assignment, taking variables from the highest name to the
+// lowest with each domain in expr.ValuesOf order. That is exactly the
+// first assignment SolveBrute's odometer visits, so the model is a pure
+// function of the active theory-level formula — independent of encoding
+// layout, learned clauses, and search history. One-shot and incremental
+// solving therefore return identical models (the answer-parity property
+// the synthesis layers rely on), and both cross-validate against the
+// brute-force reference directly. Options.Hint shifts the preference
+// toward given values (the model closest to the hint), keeping the same
+// purity: the model is then a function of (formula, hint).
+//
+// A Session is not safe for concurrent use.
+type Session struct {
+	u          *expr.Universe
+	enc        *encoder
+	vars       []*expr.Var
+	minOrder   []*expr.Var // canonical minimization order: reverse-sorted names
+	persistent bool        // counted in smt.sessions / smt.incremental_solve_ms
+	counted    bool        // smt.sessions already incremented
+	mark       sessionMark // per-query delta baseline
+	stats      SessionStats
+}
+
+// sessionMark snapshots cumulative counters at the end of a query so the
+// next query can report deltas.
+type sessionMark struct {
+	vars         int
+	clauses      int64
+	reused       int64
+	conflicts    int64
+	decisions    int64
+	propagations int64
+	assumpSolves int64
+}
+
+// SessionStats aggregates a session's lifetime work.
+type SessionStats struct {
+	Queries          int
+	ClausesEncoded   int64
+	ClausesReused    int64
+	AssumptionSolves int64
+	Conflicts        int64
+}
+
+// Assertion is a retractable constraint held by a session.
+type Assertion struct {
+	sess    *Session
+	act     sat.Lit
+	retired bool
+}
+
+// NewSession opens an incremental session over the given typed variables.
+// Every formula later asserted must be closed over these variables.
+func NewSession(u *expr.Universe, vars []*expr.Var) (*Session, error) {
+	return newSession(u, vars, true)
+}
+
+func newSession(u *expr.Universe, vars []*expr.Var, persistent bool) (*Session, error) {
+	enc, err := newEncoder(u, vars)
+	if err != nil {
+		return nil, err
+	}
+	minOrder := append([]*expr.Var(nil), vars...)
+	sort.Slice(minOrder, func(i, j int) bool { return minOrder[i].Name > minOrder[j].Name })
+	return &Session{u: u, enc: enc, vars: vars, minOrder: minOrder, persistent: persistent}, nil
+}
+
+// Stats returns the session's lifetime counters.
+func (s *Session) Stats() SessionStats { return s.stats }
+
+// NumVars reports the current SAT variable count of the shared solver.
+func (s *Session) NumVars() int { return s.enc.s.NumVars() }
+
+// Assert encodes a Boolean formula into the session and guards its root
+// with a fresh activation literal. The constraint only holds in queries
+// that pass the returned assertion to SolveAssuming. Encoding work done
+// here is charged to the next query's stats.
+func (s *Session) Assert(formula expr.Expr) (*Assertion, error) {
+	if formula.Type() != expr.BoolType {
+		return nil, fmt.Errorf("smt: formula has type %s, want Bool", formula.Type())
+	}
+	root, err := s.enc.encode(formula)
+	if err != nil {
+		return nil, err
+	}
+	act := s.enc.fresh()
+	s.enc.addClause(act.Not(), root[0])
+	return &Assertion{sess: s, act: act}, nil
+}
+
+// Retract permanently disables an assertion by forcing its activation
+// literal false; the underlying circuit stays cached for reuse. Retracting
+// nil or an already-retracted assertion is a no-op. A retracted assertion
+// must no longer be passed to SolveAssuming.
+func (s *Session) Retract(a *Assertion) {
+	if a == nil || a.retired || a.sess != s {
+		return
+	}
+	a.retired = true
+	s.enc.addClause(a.act.Not())
+}
+
+// Solve checks the given formula alone (asserting and then retracting it)
+// and decodes all session variables. It is the session-based equivalent of
+// the package-level SolveOptCtx.
+func (s *Session) Solve(ctx context.Context, formula expr.Expr, opts Options) (Result, error) {
+	res, _, err := s.SolveStats(ctx, formula, opts)
+	return res, err
+}
+
+// SolveStats is Solve, additionally reporting per-query statistics.
+func (s *Session) SolveStats(ctx context.Context, formula expr.Expr, opts Options) (Result, Stats, error) {
+	return s.query(ctx, opts, func(qctx context.Context) (Result, Stats, error) {
+		_, encSpan := obs.Start(qctx, "smt.encode")
+		a, err := s.Assert(formula)
+		encSpan.SetAttr(obs.Int("sat_vars", s.enc.s.NumVars()), obs.Int64("clauses", s.enc.numClauses))
+		encSpan.End()
+		if err != nil {
+			return Result{}, Stats{}, err
+		}
+		defer s.Retract(a)
+		return s.solveCore(qctx, []*Assertion{a}, s.vars, opts)
+	})
+}
+
+// SolveAssuming solves the conjunction of the given assertions (with every
+// other assertion inactive) and, on Sat, decodes the canonical model
+// restricted to decodeVars (nil means all session variables).
+func (s *Session) SolveAssuming(ctx context.Context, under []*Assertion, decodeVars []*expr.Var, opts Options) (Result, Stats, error) {
+	return s.query(ctx, opts, func(qctx context.Context) (Result, Stats, error) {
+		return s.solveCore(qctx, under, decodeVars, opts)
+	})
+}
+
+// query wraps one SMT query in the "smt.solve" span and metric recording
+// shared by the one-shot and incremental entry points.
+func (s *Session) query(ctx context.Context, opts Options, body func(context.Context) (Result, Stats, error)) (res Result, stats Stats, err error) {
+	ctx, span := obs.Start(ctx, "smt.solve", obs.Int("vars", len(s.vars)))
+	start := time.Now()
+	defer func() {
+		span.SetAttr(obs.Str("status", statusName(res.Status)),
+			obs.Int("sat_vars", stats.SATVars),
+			obs.Int64("clauses", stats.Clauses),
+			obs.Int64("conflicts", stats.Conflicts),
+			obs.Int64("decisions", stats.Decisions),
+			obs.Int64("propagations", stats.Propagated))
+		if err != nil {
+			span.SetAttr(obs.Str("error", err.Error()))
+		}
+		span.End()
+		if reg := obs.MetricsFrom(ctx); reg != nil {
+			if s.persistent && !s.counted {
+				s.counted = true
+				reg.Counter("smt.sessions").Inc()
+			}
+			reg.Counter("smt.queries").Inc()
+			switch res.Status {
+			case Sat:
+				reg.Counter("smt.sat").Inc()
+			case Unsat:
+				reg.Counter("smt.unsat").Inc()
+			default:
+				reg.Counter("smt.unknown").Inc()
+			}
+			reg.Counter("smt.sat_vars").Add(int64(stats.NewVars))
+			reg.Counter("smt.clauses").Add(stats.Clauses)
+			reg.Counter("smt.clauses_reused").Add(stats.ClausesReused)
+			reg.Counter("sat.conflicts").Add(stats.Conflicts)
+			reg.Counter("sat.decisions").Add(stats.Decisions)
+			reg.Counter("sat.propagations").Add(stats.Propagated)
+			reg.Counter("sat.assumption_solves").Add(stats.AssumptionSolves)
+			reg.Counter("sat.learned_kept").Add(stats.LearnedKept)
+			dur := time.Since(start)
+			reg.Histogram("smt.solve_ms").Observe(dur)
+			if s.persistent {
+				reg.Histogram("smt.incremental_solve_ms").Observe(dur)
+			}
+		}
+	}()
+	res, stats, err = body(ctx)
+	return res, stats, err
+}
+
+// solveCore runs one query: SAT solve under the assertions' activation
+// literals, canonical-model minimization, decoding, and delta bookkeeping.
+func (s *Session) solveCore(ctx context.Context, under []*Assertion, decodeVars []*expr.Var, opts Options) (Result, Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, Stats{}, fmt.Errorf("smt: %w", err)
+	}
+	assumps := make([]sat.Lit, 0, len(under))
+	for _, a := range under {
+		switch {
+		case a == nil || a.sess != s:
+			return Result{}, Stats{}, fmt.Errorf("smt: assertion does not belong to this session")
+		case a.retired:
+			return Result{}, Stats{}, fmt.Errorf("smt: assertion already retracted")
+		}
+		assumps = append(assumps, a.act)
+	}
+	sv := s.enc.s
+	learnedKept := int64(sv.NumLearnts())
+	sv.MaxConflicts = opts.MaxConflicts
+	sv.Interrupt = ctx.Done()
+	_, satSpan := obs.Start(ctx, "sat.search",
+		obs.Int("sat_vars", sv.NumVars()), obs.Int64("clauses", s.enc.numClauses))
+	st := sv.Solve(assumps...)
+	var model expr.Env
+	var decodeErr error
+	if st == sat.Sat {
+		var patterns map[string]uint64
+		patterns, st = s.canonicalize(assumps, opts.Hint)
+		if st == sat.Sat {
+			model, decodeErr = s.decode(decodeVars, patterns)
+		}
+	}
+	satSpan.SetAttr(obs.Str("status", statusName(st)),
+		obs.Int64("conflicts", sv.Stats.Conflicts-s.mark.conflicts),
+		obs.Int64("decisions", sv.Stats.Decisions-s.mark.decisions),
+		obs.Int64("propagations", sv.Stats.Propagations-s.mark.propagations))
+	satSpan.End()
+
+	stats := Stats{
+		SATVars:          sv.NumVars(),
+		Clauses:          s.enc.numClauses - s.mark.clauses,
+		Conflicts:        sv.Stats.Conflicts - s.mark.conflicts,
+		Decisions:        sv.Stats.Decisions - s.mark.decisions,
+		Propagated:       sv.Stats.Propagations - s.mark.propagations,
+		NewVars:          sv.NumVars() - s.mark.vars,
+		ClausesReused:    s.enc.reused - s.mark.reused,
+		AssumptionSolves: sv.Stats.AssumptionSolves - s.mark.assumpSolves,
+		LearnedKept:      learnedKept,
+	}
+	s.mark = sessionMark{
+		vars:         sv.NumVars(),
+		clauses:      s.enc.numClauses,
+		reused:       s.enc.reused,
+		conflicts:    sv.Stats.Conflicts,
+		decisions:    sv.Stats.Decisions,
+		propagations: sv.Stats.Propagations,
+		assumpSolves: sv.Stats.AssumptionSolves,
+	}
+	s.stats.Queries++
+	s.stats.ClausesEncoded += stats.Clauses
+	s.stats.ClausesReused += stats.ClausesReused
+	s.stats.AssumptionSolves += stats.AssumptionSolves
+	s.stats.Conflicts += stats.Conflicts
+
+	if st == sat.Unknown && ctx.Err() != nil {
+		return Result{}, stats, fmt.Errorf("smt: %w", ctx.Err())
+	}
+	if decodeErr != nil {
+		return Result{}, stats, decodeErr
+	}
+	res := Result{Status: st}
+	if st == sat.Sat {
+		res.Model = model
+	}
+	return res, stats, nil
+}
+
+// canonicalize shrinks the solver's current model to the canonical one.
+// Variables are processed from the highest name down, each bit from the
+// most significant down, preferring — for hinted variables — the hint's
+// bit, and otherwise the polarity that comes first in expr.ValuesOf order
+// (0, except the Int sign bit, where the negative half precedes). With no
+// hint this is the lexicographically least satisfying assignment; with a
+// hint, the satisfying assignment closest to it. When the solver's model
+// already agrees with the preferred polarity the bit is fixed for free;
+// otherwise a single assumption probe decides it — Sat adopts the improved
+// model, Unsat proves every remaining model takes the other polarity.
+func (s *Session) canonicalize(assumps []sat.Lit, hint expr.Env) (map[string]uint64, sat.Status) {
+	sv := s.enc.s
+	fixed := append([]sat.Lit(nil), assumps...)
+	snap := sv.Model()
+	patterns := make(map[string]uint64, len(s.minOrder))
+	for _, v := range s.minOrder {
+		ev := s.enc.vars[v.Name]
+		w := len(ev.bits)
+		hintPat, hinted := uint64(0), false
+		if hv, ok := hint[v.Name]; ok {
+			hintPat, hinted = s.enc.valuePattern(ev.t, hv)
+		}
+		var pattern uint64
+		for i := w - 1; i >= 0; i-- {
+			bit := ev.bits[i]
+			// Preferred polarity: the hint's bit, or canonical value order.
+			var wantOne bool
+			if hinted {
+				wantOne = hintPat&(uint64(1)<<uint(i)) != 0
+			} else {
+				wantOne = v.VT.Kind == expr.KindInt && i == w-1
+			}
+			prefer := bit.Not()
+			if wantOne {
+				prefer = bit
+			}
+			// Current model's polarity for this bit (constant-folded bits
+			// alias trueLit and decode like any other literal).
+			has := snap[bit.Var()] != bit.Neg()
+			if has != wantOne {
+				switch sv.Solve(append(fixed, prefer)...) {
+				case sat.Sat:
+					snap = sv.Model()
+				case sat.Unsat:
+					prefer = prefer.Not()
+					wantOne = !wantOne
+				default:
+					return nil, sat.Unknown
+				}
+			}
+			fixed = append(fixed, prefer)
+			if wantOne {
+				pattern |= uint64(1) << uint(i)
+			}
+		}
+		patterns[v.Name] = pattern
+	}
+	return patterns, sat.Sat
+}
+
+// decode projects canonical bit patterns onto the requested variables.
+func (s *Session) decode(decodeVars []*expr.Var, patterns map[string]uint64) (expr.Env, error) {
+	if decodeVars == nil {
+		decodeVars = s.vars
+	}
+	env := make(expr.Env, len(decodeVars))
+	for _, v := range decodeVars {
+		ev, ok := s.enc.vars[v.Name]
+		if !ok {
+			return nil, fmt.Errorf("smt: decode variable %s not declared in session", v.Name)
+		}
+		env[v.Name] = s.enc.patternValue(ev.t, patterns[v.Name])
+	}
+	return env, nil
+}
+
+// BruteSession mirrors the Session API over the brute-force reference
+// solver (SolveBrute): assertions accumulate as formulas, SolveAssuming
+// enumerates the domain product of the active conjunction. Because
+// SolveBrute's first satisfying assignment is exactly the Session's
+// canonical model, the two must agree literally — the cross-validation
+// hook used by the differential tests.
+type BruteSession struct {
+	u    *expr.Universe
+	vars []*expr.Var
+	max  uint64
+}
+
+// BruteAssertion is a retractable constraint held by a BruteSession.
+type BruteAssertion struct {
+	formula expr.Expr
+	retired bool
+}
+
+// NewBruteSession opens a brute-force reference session; maxAssignments
+// bounds the domain product as in SolveBrute.
+func NewBruteSession(u *expr.Universe, vars []*expr.Var, maxAssignments uint64) *BruteSession {
+	return &BruteSession{u: u, vars: vars, max: maxAssignments}
+}
+
+// Assert records a formula; it only binds in queries that assume it.
+func (b *BruteSession) Assert(formula expr.Expr) *BruteAssertion {
+	return &BruteAssertion{formula: formula}
+}
+
+// Retract permanently disables an assertion.
+func (b *BruteSession) Retract(a *BruteAssertion) {
+	if a != nil {
+		a.retired = true
+	}
+}
+
+// SolveAssuming enumerates the conjunction of the given assertions and, on
+// Sat, projects the first (canonical) model onto decodeVars (nil = all).
+func (b *BruteSession) SolveAssuming(under []*BruteAssertion, decodeVars []*expr.Var) (Result, error) {
+	conj := expr.True()
+	for _, a := range under {
+		if a == nil || a.retired {
+			return Result{}, fmt.Errorf("smt: brute assertion retracted or nil")
+		}
+		conj = expr.And(conj, a.formula)
+	}
+	res, err := SolveBrute(b.u, b.vars, conj, b.max)
+	if err != nil || res.Status != Sat {
+		return res, err
+	}
+	if decodeVars == nil {
+		return res, nil
+	}
+	model := make(expr.Env, len(decodeVars))
+	for _, v := range decodeVars {
+		val, ok := res.Model[v.Name]
+		if !ok {
+			return Result{}, fmt.Errorf("smt: decode variable %s not declared in brute session", v.Name)
+		}
+		model[v.Name] = val
+	}
+	return Result{Status: Sat, Model: model}, nil
+}

@@ -1,0 +1,207 @@
+package smt
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"transit/internal/expr"
+)
+
+func sameEnv(a, b expr.Env) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSessionDifferentialFuzz is the smt-level differential fuzz: random
+// finite-domain formulas solved (a) one-shot, (b) through one reused
+// incremental session, and (c) by the brute-force reference must agree on
+// status and — because all three return the canonical model — on the model
+// itself, literally.
+func TestSessionDifferentialFuzz(t *testing.T) {
+	u := expr.NewUniverse(3)
+	voc := expr.CoherenceVocabulary(u, expr.CoherenceOptions{})
+	vars := []*expr.Var{
+		expr.V("a", expr.IntType),
+		expr.V("b", expr.IntType),
+		expr.V("s", expr.SetType),
+		expr.V("p", expr.PIDType),
+	}
+	rng := rand.New(rand.NewSource(20130617)) // seed-pinned for CI
+	sess, err := NewSession(u, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for trial := 0; trial < 80; trial++ {
+		size := 3 + rng.Intn(8)
+		f, err := expr.RandomExpr(u, rng, voc, vars, expr.BoolType, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one, err := Solve(u, vars, f)
+		if err != nil {
+			t.Fatalf("trial %d (%s): one-shot: %v", trial, f, err)
+		}
+		inc, err := sess.Solve(ctx, f, Options{})
+		if err != nil {
+			t.Fatalf("trial %d (%s): session: %v", trial, f, err)
+		}
+		brute, err := SolveBrute(u, vars, f, 1<<22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if one.Status != inc.Status || one.Status != brute.Status {
+			t.Fatalf("trial %d: one-shot=%v session=%v brute=%v for %s",
+				trial, one.Status, inc.Status, brute.Status, f)
+		}
+		if one.Status == Sat {
+			if !f.Eval(u, inc.Model).Bool() {
+				t.Fatalf("trial %d: session model does not satisfy %s", trial, f)
+			}
+			if !sameEnv(one.Model, inc.Model) {
+				t.Fatalf("trial %d: one-shot model %v != session model %v for %s",
+					trial, one.Model, inc.Model, f)
+			}
+			if !sameEnv(brute.Model, inc.Model) {
+				t.Fatalf("trial %d: brute model %v != session model %v for %s",
+					trial, brute.Model, inc.Model, f)
+			}
+		}
+	}
+	if st := sess.Stats(); st.Queries != 80 {
+		t.Errorf("session queries = %d, want 80", st.Queries)
+	}
+}
+
+// TestSessionAssertRetract exercises the activation-literal lifecycle at
+// the Session level, mirrored against a BruteSession running the same
+// script of assert/solve/retract operations.
+func TestSessionAssertRetract(t *testing.T) {
+	u := expr.NewUniverse(2)
+	a := expr.V("a", expr.IntType)
+	b := expr.V("b", expr.IntType)
+	vars := []*expr.Var{a, b}
+	sess, err := NewSession(u, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewBruteSession(u, vars, 1<<20)
+	ctx := context.Background()
+
+	gtA := expr.Gt(a, b)
+	gtB := expr.Gt(b, a)
+	eq := expr.Eq(a, b)
+
+	sGt, _ := sess.Assert(gtA)
+	sLt, _ := sess.Assert(gtB)
+	sEq, _ := sess.Assert(eq)
+	rGt := ref.Assert(gtA)
+	rLt := ref.Assert(gtB)
+	rEq := ref.Assert(eq)
+
+	check := func(label string, su []*Assertion, ru []*BruteAssertion) {
+		t.Helper()
+		got, _, err := sess.SolveAssuming(ctx, su, nil, Options{})
+		if err != nil {
+			t.Fatalf("%s: session: %v", label, err)
+		}
+		want, err := ref.SolveAssuming(ru, nil)
+		if err != nil {
+			t.Fatalf("%s: brute: %v", label, err)
+		}
+		if got.Status != want.Status {
+			t.Fatalf("%s: session=%v brute=%v", label, got.Status, want.Status)
+		}
+		if got.Status == Sat && !sameEnv(got.Model, want.Model) {
+			t.Fatalf("%s: session model %v != brute model %v", label, got.Model, want.Model)
+		}
+	}
+
+	check("a>b", []*Assertion{sGt}, []*BruteAssertion{rGt})
+	check("b>a", []*Assertion{sLt}, []*BruteAssertion{rLt})
+	check("a>b ∧ b>a", []*Assertion{sGt, sLt}, []*BruteAssertion{rGt, rLt})
+	check("a=b", []*Assertion{sEq}, []*BruteAssertion{rEq})
+	check("a>b ∧ a=b", []*Assertion{sGt, sEq}, []*BruteAssertion{rGt, rEq})
+
+	// Retraction: the constraint disappears; reusing the handle errors.
+	sess.Retract(sGt)
+	ref.Retract(rGt)
+	check("after retract: b>a", []*Assertion{sLt}, []*BruteAssertion{rLt})
+	if _, _, err := sess.SolveAssuming(ctx, []*Assertion{sGt}, nil, Options{}); err == nil {
+		t.Fatal("solving under a retracted assertion must error")
+	}
+	// Double retract is a no-op.
+	sess.Retract(sGt)
+	check("still: a=b", []*Assertion{sEq}, []*BruteAssertion{rEq})
+}
+
+// TestSessionReuseSavesEncoding asserts the point of the refactor: solving
+// the same formula twice in one session encodes it once.
+func TestSessionReuseSavesEncoding(t *testing.T) {
+	u := expr.NewUniverse(3)
+	a := expr.V("a", expr.IntType)
+	b := expr.V("b", expr.IntType)
+	sess, err := NewSession(u, []*expr.Var{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := expr.Gt(expr.Add(a, b), expr.Sub(a, b))
+	ctx := context.Background()
+	_, st1, err := sess.SolveStats(ctx, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := sess.SolveStats(ctx, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Clauses == 0 {
+		t.Fatal("first query encoded nothing")
+	}
+	// The second query re-asserts the cached circuit: only the activation
+	// guard clause is new.
+	if st2.Clauses >= st1.Clauses/2 {
+		t.Errorf("second query encoded %d clauses, want far fewer than %d", st2.Clauses, st1.Clauses)
+	}
+	if st2.ClausesReused == 0 {
+		t.Error("second query reused no clauses")
+	}
+	if st2.LearnedKept < 0 {
+		t.Error("negative learned-kept")
+	}
+}
+
+// TestSessionDecodeSubset checks model projection onto a requested
+// variable subset.
+func TestSessionDecodeSubset(t *testing.T) {
+	u := expr.NewUniverse(2)
+	a := expr.V("a", expr.IntType)
+	b := expr.V("b", expr.IntType)
+	sess, err := NewSession(u, []*expr.Var{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := sess.Assert(expr.Eq(a, expr.NewConst(expr.IntVal(u, 3))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := sess.SolveAssuming(context.Background(), []*Assertion{as}, []*expr.Var{a}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Sat || len(res.Model) != 1 || res.Model["a"].Int() != 3 {
+		t.Fatalf("projected model = %v (status %v), want {a:3}", res.Model, res.Status)
+	}
+	other := expr.V("z", expr.IntType)
+	if _, _, err := sess.SolveAssuming(context.Background(), []*Assertion{as}, []*expr.Var{other}, Options{}); err == nil {
+		t.Fatal("decoding an undeclared variable must error")
+	}
+}

@@ -19,10 +19,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"time"
 
 	"transit/internal/expr"
-	"transit/internal/obs"
 	"transit/internal/sat"
 )
 
@@ -48,15 +46,33 @@ type Options struct {
 	// MaxConflicts bounds the SAT search; 0 means unlimited. Exhausting it
 	// yields Status Unknown.
 	MaxConflicts int64
+	// Hint biases the canonical model toward the given values: for each
+	// hinted variable every bit's preferred polarity is the hint's bit, so
+	// the query returns the satisfying assignment closest to the hint
+	// (unhinted variables keep the default least-value preference). The
+	// model stays a pure function of (formula, hint) — identical for
+	// one-shot and incremental solving — which is what lets CEGIS
+	// concretize "near the current candidate" without breaking answer
+	// parity. Hints never affect satisfiability, only model choice.
+	Hint expr.Env
 }
 
-// Stats reports encoding and solving work for one query.
+// Stats reports encoding and solving work for one query. On a fresh
+// (one-shot) query the session deltas coincide with the totals; on a
+// reused incremental session, Clauses/Conflicts/Decisions/Propagated and
+// the extras below are charged per query.
 type Stats struct {
-	SATVars    int
-	Clauses    int64
+	SATVars    int   // total SAT variables in the (possibly shared) solver
+	Clauses    int64 // clauses newly encoded by this query
 	Conflicts  int64
 	Decisions  int64
 	Propagated int64
+
+	// Incremental-session extras.
+	NewVars          int   // SAT variables created by this query
+	ClausesReused    int64 // cached-circuit clauses reused instead of re-encoded
+	AssumptionSolves int64 // SAT calls under assumptions (incl. canonicalization probes)
+	LearnedKept      int64 // learned clauses retained from earlier queries
 }
 
 // Solve checks satisfiability of a Boolean formula over the given typed
@@ -90,40 +106,14 @@ func SolveStats(u *expr.Universe, vars []*expr.Var, formula expr.Expr, opts Opti
 // "smt.solve" span brackets the query, with an "smt.encode" child for
 // bit-blasting and a "sat.search" child for the CDCL run; the metrics
 // registry on the context (when present) accumulates query and search
-// counters.
-func SolveStatsCtx(ctx context.Context, u *expr.Universe, vars []*expr.Var, formula expr.Expr, opts Options) (res Result, stats Stats, err error) {
-	ctx, span := obs.Start(ctx, "smt.solve", obs.Int("vars", len(vars)))
-	start := time.Now()
-	defer func() {
-		span.SetAttr(obs.Str("status", statusName(res.Status)),
-			obs.Int("sat_vars", stats.SATVars),
-			obs.Int64("clauses", stats.Clauses),
-			obs.Int64("conflicts", stats.Conflicts),
-			obs.Int64("decisions", stats.Decisions),
-			obs.Int64("propagations", stats.Propagated))
-		if err != nil {
-			span.SetAttr(obs.Str("error", err.Error()))
-		}
-		span.End()
-		if reg := obs.MetricsFrom(ctx); reg != nil {
-			reg.Counter("smt.queries").Inc()
-			switch res.Status {
-			case Sat:
-				reg.Counter("smt.sat").Inc()
-			case Unsat:
-				reg.Counter("smt.unsat").Inc()
-			default:
-				reg.Counter("smt.unknown").Inc()
-			}
-			reg.Counter("smt.sat_vars").Add(int64(stats.SATVars))
-			reg.Counter("smt.clauses").Add(stats.Clauses)
-			reg.Counter("sat.conflicts").Add(stats.Conflicts)
-			reg.Counter("sat.decisions").Add(stats.Decisions)
-			reg.Counter("sat.propagations").Add(stats.Propagated)
-			reg.Histogram("smt.solve_ms").Observe(time.Since(start))
-		}
-	}()
-	return solveStats(ctx, u, vars, formula, opts)
+// counters. Each call runs in a fresh one-query Session, so it returns the
+// same canonical model an incremental session would.
+func SolveStatsCtx(ctx context.Context, u *expr.Universe, vars []*expr.Var, formula expr.Expr, opts Options) (Result, Stats, error) {
+	sess, err := newSession(u, vars, false)
+	if err != nil {
+		return Result{}, Stats{}, err
+	}
+	return sess.SolveStats(ctx, formula, opts)
 }
 
 // statusName renders a verdict for span attributes.
@@ -136,57 +126,6 @@ func statusName(s Status) string {
 	default:
 		return "unknown"
 	}
-}
-
-// solveStats is the body of SolveStatsCtx, separated so the tracing
-// wrapper can record outcome attributes on every return path.
-func solveStats(ctx context.Context, u *expr.Universe, vars []*expr.Var, formula expr.Expr, opts Options) (Result, Stats, error) {
-	if err := ctx.Err(); err != nil {
-		return Result{}, Stats{}, fmt.Errorf("smt: %w", err)
-	}
-	if formula.Type() != expr.BoolType {
-		return Result{}, Stats{}, fmt.Errorf("smt: formula has type %s, want Bool", formula.Type())
-	}
-	_, encSpan := obs.Start(ctx, "smt.encode")
-	enc, err := newEncoder(u, vars)
-	if err != nil {
-		encSpan.End()
-		return Result{}, Stats{}, err
-	}
-	root, err := enc.encode(formula)
-	if err != nil {
-		encSpan.End()
-		return Result{}, Stats{}, err
-	}
-	enc.s.AddClause(root[0])
-	encSpan.SetAttr(obs.Int("sat_vars", enc.s.NumVars()), obs.Int64("clauses", enc.numClauses))
-	encSpan.End()
-
-	enc.s.MaxConflicts = opts.MaxConflicts
-	enc.s.Interrupt = ctx.Done()
-	_, satSpan := obs.Start(ctx, "sat.search",
-		obs.Int("sat_vars", enc.s.NumVars()), obs.Int64("clauses", enc.numClauses))
-	st := enc.s.Solve()
-	satSpan.SetAttr(obs.Str("status", statusName(st)),
-		obs.Int64("conflicts", enc.s.Stats.Conflicts),
-		obs.Int64("decisions", enc.s.Stats.Decisions),
-		obs.Int64("propagations", enc.s.Stats.Propagations))
-	satSpan.End()
-	if st == sat.Unknown && ctx.Err() != nil {
-		return Result{}, Stats{}, fmt.Errorf("smt: %w", ctx.Err())
-	}
-	stats := Stats{
-		SATVars:    enc.s.NumVars(),
-		Clauses:    enc.numClauses,
-		Conflicts:  enc.s.Stats.Conflicts,
-		Decisions:  enc.s.Stats.Decisions,
-		Propagated: enc.s.Stats.Propagations,
-	}
-	res := Result{Status: st}
-	if st == Sat {
-		res.Model = enc.decodeModel()
-	}
-	return res, stats, nil
 }
 
 // Valid reports whether the formula holds for all variable valuations: it

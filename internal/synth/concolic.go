@@ -27,7 +27,25 @@ func SolveConcolic(p Problem, examples []ConcolicExample, limits Limits) (expr.E
 // observability plumbing: a "synth.cegis" span brackets the call with
 // one "synth.iteration" child per CEGIS round, and the metrics registry
 // (when present) accumulates the solve counters.
+//
+// By default all SMT queries of one solve run in a single incremental
+// smt.Session: the symbolic examples are encoded once, each iteration
+// asserts only the candidate's binding o = e under a fresh activation
+// literal and retracts it afterwards. Limits.NoIncremental falls back to
+// one-shot queries; both paths pose identical formulas and, because models
+// are canonical, produce identical witnesses, concretizations, and traces.
 func SolveConcolicCtx(ctx context.Context, p Problem, examples []ConcolicExample, limits Limits) (expr.Expr, Stats, error) {
+	return SolveConcolicSessionCtx(ctx, p, examples, limits, nil)
+}
+
+// SolveConcolicSessionCtx is SolveConcolicCtx running its SMT queries in
+// the supplied session, which must have been created over exactly
+// Vars ∪ {Output} of the problem. It lets callers with several related
+// solves over the same variables (e.g. the guard chain of one core group)
+// share circuits and learned clauses across solves; every assertion made
+// here is retracted before returning. A nil session gives each solve its
+// own; Limits.NoIncremental ignores the session entirely.
+func SolveConcolicSessionCtx(ctx context.Context, p Problem, examples []ConcolicExample, limits Limits, sess *smt.Session) (expr.Expr, Stats, error) {
 	limits = limits.withDefaults()
 	stats := Stats{}
 	start := time.Now()
@@ -56,6 +74,11 @@ func SolveConcolicCtx(ctx context.Context, p Problem, examples []ConcolicExample
 		}
 	}
 	smtOpts := smt.Options{MaxConflicts: limits.SMTConflicts}
+	be, err := newBackend(p, examples, limits, smtOpts, sess)
+	if err != nil {
+		return nil, stats, fmt.Errorf("synth: encoding examples: %w", err)
+	}
+	defer be.close()
 
 	var concrete []ConcreteExample
 	for iter := 1; iter <= limits.MaxIters; iter++ {
@@ -63,7 +86,7 @@ func SolveConcolicCtx(ctx context.Context, p Problem, examples []ConcolicExample
 			return nil, stats, fmt.Errorf("synth: CEGIS aborted: %w", err)
 		}
 		stats.Iterations = iter
-		candidate, consistent, err := cegisIteration(ctx, p, examples, &concrete, limits, smtOpts, &stats, iter)
+		candidate, consistent, err := cegisIteration(ctx, p, examples, &concrete, limits, be, &stats, iter)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -78,7 +101,7 @@ func SolveConcolicCtx(ctx context.Context, p Problem, examples []ConcolicExample
 // "synth.iteration" span: propose with SolveConcrete, check each concolic
 // example, and on failure concretize the witness into a new example.
 func cegisIteration(ctx context.Context, p Problem, examples []ConcolicExample,
-	concrete *[]ConcreteExample, limits Limits, smtOpts smt.Options,
+	concrete *[]ConcreteExample, limits Limits, be *smtBackend,
 	stats *Stats, iter int) (candidate expr.Expr, consistent bool, err error) {
 	ctx, span := obs.Start(ctx, "synth.iteration", obs.Int("iteration", iter))
 	defer func() {
@@ -99,27 +122,24 @@ func cegisIteration(ctx context.Context, p Problem, examples []ConcolicExample,
 		return nil, false, err
 	}
 
+	if err := be.beginCandidate(candidate); err != nil {
+		return nil, false, fmt.Errorf("synth: consistency query: %w", err)
+	}
+	defer be.endCandidate()
+
 	rec := IterRecord{Candidate: candidate}
 	consistent = true
-	for _, c := range examples {
-		// ¬C[o := e] is pre ∧ ¬post[o := e].
-		post := expr.Subst(c.Post, p.Output.Name, candidate)
-		query := expr.And(c.Pre, expr.Not(post))
-		stats.SMTQueries++
-		res, err := smt.SolveOptCtx(ctx, p.U, p.Vars, query, smtOpts)
+	for i := range examples {
+		S, err := be.checkExample(ctx, i, stats)
 		if err != nil {
-			return nil, false, fmt.Errorf("synth: consistency query: %w", err)
+			return nil, false, err
 		}
-		if res.Status == smt.Unknown {
-			return nil, false, fmt.Errorf("synth: consistency query exhausted SMT budget")
-		}
-		if res.Status == smt.Unsat {
+		if S == nil {
 			continue
 		}
 		// Witness S falsifies the example; concretize it.
 		consistent = false
-		S := res.Model
-		ko, err := concretizeOutput(ctx, p, examples, S, smtOpts, stats)
+		ko, err := be.concretize(ctx, S, stats)
 		if err != nil {
 			return nil, false, err
 		}
@@ -136,35 +156,216 @@ func cegisIteration(ctx context.Context, p Problem, examples []ConcolicExample,
 	return candidate, consistent, nil
 }
 
-// concretizeOutput finds k_o for the pinned valuation S (line 9 of
-// Algorithm 2). The paper concretizes against the violated example's
-// post-condition; we concretize against the conjunction of all examples
-// (pre_i ⇒ post_i), which any consistent expression must satisfy at S —
-// this prevents two iterations from pinning contradictory outputs for the
-// same S when examples interact. If no output value exists, the example
-// set is contradictory for a reachable input valuation.
-func concretizeOutput(ctx context.Context, p Problem, examples []ConcolicExample, S expr.Env, opts smt.Options, stats *Stats) (expr.Value, error) {
-	pins := make([]expr.Expr, 0, len(p.Vars)+len(examples))
-	for _, v := range p.Vars {
+// smtBackend issues the CEGIS queries. Both modes pose the same formulas
+// over Vars ∪ {o}:
+//
+//	consistency(i, e):  pre_i ∧ ¬post_i ∧ (o = e)     witness over Vars
+//	concretize(S):      ∧_j (pre_j ⇒ post_j) ∧ pins(S) model value of o
+//
+// In incremental mode the example groups are asserted once at
+// construction, each under its own activation literal; per iteration only
+// o = e is asserted (and retracted when the iteration ends). One-shot mode
+// sends each query to the package-level solver. Canonical models make the
+// two answer-identical.
+//
+// Model choice is steered with hints (smt.Options.Hint): every query is
+// hinted toward the saturated valuation — each variable, the output
+// included, at its domain maximum (full sets, highest PIDs). Consistency
+// witnesses then land in the richest corner of the violating region, where
+// most candidate families already agree and the subsequent pin
+// discriminates as little as possible; the output must be hinted too,
+// since it canonicalizes early and an unhinted (least-value) output drags
+// the inputs to a degenerate corner through the o = e binding.
+// Concretizations pin the legal output closest to the domain maximum —
+// the most permissive correction — which keeps small generalizations (add
+// every relevant PID) inside the consistent set instead of forcing
+// minimal-output special cases. Both modes pass identical hints, so
+// answer parity is unaffected.
+type smtBackend struct {
+	p       Problem
+	qvars   []*expr.Var // p.Vars ∪ {Output}
+	opts    smt.Options
+	satHint expr.Env // saturated hint over Vars ∪ {Output}
+
+	examples []ConcolicExample
+
+	sess     *smt.Session     // nil in one-shot mode
+	owned    bool             // session created by this backend
+	exChecks []*smt.Assertion // per-example pre_i ∧ ¬post_i
+	allEx    *smt.Assertion   // ∧_j (pre_j ⇒ post_j)
+	bind     *smt.Assertion   // o = candidate for the current iteration
+	cand     expr.Expr        // current candidate
+}
+
+func newBackend(p Problem, examples []ConcolicExample, limits Limits, opts smt.Options, sess *smt.Session) (*smtBackend, error) {
+	qvars := append(append([]*expr.Var(nil), p.Vars...), p.Output)
+	satHint := make(expr.Env, len(qvars))
+	for _, v := range qvars {
+		satHint[v.Name] = expr.MaxOf(p.U, v.VT)
+	}
+	be := &smtBackend{p: p, qvars: qvars, opts: opts, satHint: satHint, examples: examples}
+	if limits.NoIncremental {
+		return be, nil
+	}
+	if sess == nil {
+		var err error
+		sess, err = smt.NewSession(p.U, qvars)
+		if err != nil {
+			return nil, err
+		}
+		be.owned = true
+	}
+	be.sess = sess
+	for _, c := range examples {
+		a, err := sess.Assert(expr.And(c.Pre, expr.Not(c.Post)))
+		if err != nil {
+			be.close()
+			return nil, err
+		}
+		be.exChecks = append(be.exChecks, a)
+	}
+	forms := make([]expr.Expr, 0, len(examples))
+	for _, c := range examples {
+		forms = append(forms, c.Formula())
+	}
+	all, err := sess.Assert(expr.And(forms...))
+	if err != nil {
+		be.close()
+		return nil, err
+	}
+	be.allEx = all
+	return be, nil
+}
+
+// close retracts everything this backend asserted, leaving an injected
+// session clean for its next user.
+func (be *smtBackend) close() {
+	if be.sess == nil {
+		return
+	}
+	be.sess.Retract(be.bind)
+	be.sess.Retract(be.allEx)
+	for _, a := range be.exChecks {
+		be.sess.Retract(a)
+	}
+}
+
+// beginCandidate installs o = candidate for the coming consistency checks.
+func (be *smtBackend) beginCandidate(candidate expr.Expr) error {
+	be.cand = candidate
+	if be.sess == nil {
+		return nil
+	}
+	a, err := be.sess.Assert(expr.Eq(be.p.Output, candidate))
+	if err != nil {
+		return err
+	}
+	be.bind = a
+	return nil
+}
+
+// endCandidate retracts the current candidate binding.
+func (be *smtBackend) endCandidate() {
+	if be.sess != nil {
+		be.sess.Retract(be.bind)
+	}
+	be.bind = nil
+	be.cand = nil
+}
+
+// checkExample poses consistency query i for the current candidate and
+// returns the witness valuation over p.Vars, or nil when the example is
+// satisfied.
+func (be *smtBackend) checkExample(ctx context.Context, i int, stats *Stats) (expr.Env, error) {
+	c := be.examples[i]
+	stats.SMTQueries++
+	opts := be.opts
+	opts.Hint = be.satHint
+	var res smt.Result
+	var qstats smt.Stats
+	var err error
+	if be.sess != nil {
+		res, qstats, err = be.sess.SolveAssuming(ctx, []*smt.Assertion{be.exChecks[i], be.bind}, be.p.Vars, opts)
+	} else {
+		query := expr.And(c.Pre, expr.Not(c.Post), expr.Eq(be.p.Output, be.cand))
+		res, qstats, err = smt.SolveStatsCtx(ctx, be.p.U, be.qvars, query, opts)
+	}
+	stats.SMTClauses += qstats.Clauses
+	stats.SMTClausesReused += qstats.ClausesReused
+	if err != nil {
+		return nil, fmt.Errorf("synth: consistency query: %w", err)
+	}
+	switch res.Status {
+	case smt.Unsat:
+		return nil, nil
+	case smt.Unknown:
+		return nil, fmt.Errorf("synth: consistency query exhausted SMT budget")
+	}
+	if be.sess != nil {
+		return res.Model, nil
+	}
+	// Project the one-shot model onto the input variables so both modes
+	// return identical witnesses.
+	S := make(expr.Env, len(be.p.Vars))
+	for _, v := range be.p.Vars {
+		S[v.Name] = res.Model[v.Name]
+	}
+	return S, nil
+}
+
+// concretize finds k_o for the pinned valuation S (line 9 of Algorithm 2).
+// The paper concretizes against the violated example's post-condition; we
+// concretize against the conjunction of all examples (pre_i ⇒ post_i),
+// which any consistent expression must satisfy at S — this prevents two
+// iterations from pinning contradictory outputs for the same S when
+// examples interact. If no output value exists, the example set is
+// contradictory for a reachable input valuation.
+//
+// The query hints the output toward its domain maximum: k_o is the legal
+// output closest to the saturated value, i.e. the most permissive pin the
+// examples allow at S. An unhinted (least-value) k_o would often pin a
+// degenerate output only a spec-overfitted expression can reproduce,
+// stranding CEGIS; the saturated pin instead stays reachable by the small
+// generalizations (add every relevant PID) the enumerator proposes first.
+// Both modes pass the same hint, so answer parity is unaffected.
+func (be *smtBackend) concretize(ctx context.Context, S expr.Env, stats *Stats) (expr.Value, error) {
+	pins := make([]expr.Expr, 0, len(be.p.Vars))
+	for _, v := range be.p.Vars {
 		val, ok := S[v.Name]
 		if !ok {
 			return expr.Value{}, fmt.Errorf("synth: witness lacks value for %s", v.Name)
 		}
 		pins = append(pins, expr.Eq(v, expr.NewConst(val)))
 	}
-	for _, ex := range examples {
-		pins = append(pins, ex.Formula())
-	}
-	query := expr.And(pins...)
-	vars := append(append([]*expr.Var(nil), p.Vars...), p.Output)
 	stats.SMTQueries++
-	res, err := smt.SolveOptCtx(ctx, p.U, vars, query, opts)
+	opts := be.opts
+	opts.Hint = be.satHint
+	var res smt.Result
+	var qstats smt.Stats
+	var err error
+	if be.sess != nil {
+		pinA, aerr := be.sess.Assert(expr.And(pins...))
+		if aerr != nil {
+			return expr.Value{}, fmt.Errorf("synth: output concretization: %w", aerr)
+		}
+		res, qstats, err = be.sess.SolveAssuming(ctx, []*smt.Assertion{be.allEx, pinA}, be.qvars, opts)
+		be.sess.Retract(pinA)
+	} else {
+		forms := make([]expr.Expr, 0, len(be.examples))
+		for _, ex := range be.examples {
+			forms = append(forms, ex.Formula())
+		}
+		query := expr.And(expr.And(forms...), expr.And(pins...))
+		res, qstats, err = smt.SolveStatsCtx(ctx, be.p.U, be.qvars, query, opts)
+	}
+	stats.SMTClauses += qstats.Clauses
+	stats.SMTClausesReused += qstats.ClausesReused
 	if err != nil {
 		return expr.Value{}, fmt.Errorf("synth: output concretization: %w", err)
 	}
 	switch res.Status {
 	case smt.Sat:
-		return res.Model[p.Output.Name], nil
+		return res.Model[be.p.Output.Name], nil
 	case smt.Unsat:
 		return expr.Value{}, fmt.Errorf("%w: no output value satisfies post-condition under %v",
 			ErrInconsistent, S)

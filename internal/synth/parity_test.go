@@ -1,0 +1,130 @@
+package synth
+
+import (
+	"context"
+	"testing"
+
+	"transit/internal/expr"
+)
+
+// parityProblems is a small spread of Table 3-style specs covering Int,
+// Bool, and Set outputs.
+func parityProblems(t *testing.T) []struct {
+	name     string
+	p        Problem
+	examples []ConcolicExample
+	limits   Limits
+} {
+	t.Helper()
+	u, err := expr.NewUniverseWidth(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	voc := expr.CoherenceVocabulary(u, expr.CoherenceOptions{})
+	a, b := expr.V("a", expr.IntType), expr.V("b", expr.IntType)
+	oInt := expr.V("o", expr.IntType)
+	oBool := expr.V("o", expr.BoolType)
+	s1, s2 := expr.V("s1", expr.SetType), expr.V("s2", expr.SetType)
+	oSet := expr.V("o", expr.SetType)
+
+	return []struct {
+		name     string
+		p        Problem
+		examples []ConcolicExample
+		limits   Limits
+	}{
+		{
+			name: "max2-guarded",
+			p:    Problem{U: u, Vocab: voc, Vars: []*expr.Var{a, b}, Output: oInt},
+			examples: []ConcolicExample{
+				{Pre: expr.Gt(a, b), Post: expr.Eq(oInt, a)},
+				{Pre: expr.Gt(b, a), Post: expr.Eq(oInt, b)},
+			},
+			limits: Limits{MaxSize: 8},
+		},
+		{
+			name: "ge-guard",
+			p:    Problem{U: u, Vocab: voc, Vars: []*expr.Var{a, b}, Output: oBool},
+			examples: []ConcolicExample{
+				{Pre: expr.Ge(a, b), Post: expr.Eq(oBool, expr.True())},
+				{Pre: expr.Gt(b, a), Post: expr.Eq(oBool, expr.False())},
+			},
+			limits: Limits{MaxSize: 6},
+		},
+		{
+			name: "sym-diff",
+			p:    Problem{U: u, Vocab: voc, Vars: []*expr.Var{s1, s2}, Output: oSet},
+			examples: []ConcolicExample{
+				{Pre: expr.True(), Post: expr.Eq(oSet,
+					expr.SetUnion(expr.SetMinus(s1, s2), expr.SetMinus(s2, s1)))},
+			},
+			limits: Limits{MaxSize: 8},
+		},
+	}
+}
+
+// TestConcolicIncrementalParity is the answer-parity guard for the
+// incremental-session refactor: with and without NoIncremental, CEGIS must
+// produce byte-identical traces — same candidates, same witnesses, same
+// concretized outputs, same final expression, same query count.
+func TestConcolicIncrementalParity(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range parityProblems(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			incLimits := tc.limits
+			oneLimits := tc.limits
+			oneLimits.NoIncremental = true
+			incExpr, incStats, incErr := SolveConcolicCtx(ctx, tc.p, tc.examples, incLimits)
+			oneExpr, oneStats, oneErr := SolveConcolicCtx(ctx, tc.p, tc.examples, oneLimits)
+			if (incErr == nil) != (oneErr == nil) {
+				t.Fatalf("error parity: incremental=%v one-shot=%v", incErr, oneErr)
+			}
+			if incErr != nil {
+				return
+			}
+			if incExpr.String() != oneExpr.String() {
+				t.Fatalf("result parity: incremental=%s one-shot=%s", incExpr, oneExpr)
+			}
+			if incStats.Iterations != oneStats.Iterations {
+				t.Fatalf("iteration parity: incremental=%d one-shot=%d",
+					incStats.Iterations, oneStats.Iterations)
+			}
+			if incStats.SMTQueries != oneStats.SMTQueries {
+				t.Fatalf("query-count parity: incremental=%d one-shot=%d",
+					incStats.SMTQueries, oneStats.SMTQueries)
+			}
+			if len(incStats.Trace) != len(oneStats.Trace) {
+				t.Fatalf("trace length parity: %d vs %d", len(incStats.Trace), len(oneStats.Trace))
+			}
+			for i := range incStats.Trace {
+				ir, or := incStats.Trace[i], oneStats.Trace[i]
+				if ir.Candidate.String() != or.Candidate.String() {
+					t.Fatalf("iter %d candidate: %s vs %s", i+1, ir.Candidate, or.Candidate)
+				}
+				if (ir.Witness == nil) != (or.Witness == nil) {
+					t.Fatalf("iter %d witness presence differs", i+1)
+				}
+				for k, v := range ir.Witness {
+					if or.Witness[k] != v {
+						t.Fatalf("iter %d witness[%s]: %v vs %v", i+1, k, v, or.Witness[k])
+					}
+				}
+				if (ir.NewExample == nil) != (or.NewExample == nil) {
+					t.Fatalf("iter %d new-example presence differs", i+1)
+				}
+				if ir.NewExample != nil && ir.NewExample.Out != or.NewExample.Out {
+					t.Fatalf("iter %d concretized output: %v vs %v",
+						i+1, ir.NewExample.Out, or.NewExample.Out)
+				}
+			}
+			// The refactor's point: the incremental run re-encodes less.
+			if incStats.SMTClauses >= oneStats.SMTClauses && incStats.SMTQueries > 2 {
+				t.Errorf("incremental encoded %d clauses, one-shot %d — no reuse win",
+					incStats.SMTClauses, oneStats.SMTClauses)
+			}
+			if oneStats.SMTClausesReused != 0 {
+				t.Errorf("one-shot mode reports reused clauses: %d", oneStats.SMTClausesReused)
+			}
+		})
+	}
+}

@@ -82,6 +82,13 @@ type Limits struct {
 	// NoPrune disables indistinguishability pruning (the paper's
 	// "Exhaustive" variant, used as the Figure 5 baseline).
 	NoPrune bool
+	// NoIncremental makes SolveConcolic issue every SMT query one-shot
+	// instead of through a per-solve incremental session. Both paths pose
+	// identical queries and receive identical canonical models, so answers
+	// (and the CEGIS trace) do not change — the flag exists as an escape
+	// hatch and for differential testing, and is deliberately excluded
+	// from the engine's memoization key.
+	NoIncremental bool
 }
 
 // Default limits, applied by Limits.WithDefaults.
@@ -152,4 +159,10 @@ type Stats struct {
 	Iterations int
 	Elapsed    time.Duration
 	Trace      []IterRecord
+
+	// SMTClauses and SMTClausesReused sum the per-query encoding work:
+	// clauses newly bit-blasted and cached-circuit clauses reused by the
+	// incremental session (always 0 with Limits.NoIncremental).
+	SMTClauses       int64
+	SMTClausesReused int64
 }

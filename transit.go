@@ -281,6 +281,11 @@ type SynthesisOptions struct {
 	// Cache, when non-nil, is used instead of a fresh per-run
 	// memoization cache.
 	Cache *SynthCache
+	// NoIncremental disables the shared incremental SMT sessions and
+	// solves every query in a fresh solver. Answers are byte-identical
+	// either way (canonical models); this is the escape hatch for
+	// debugging and for measuring what the session reuse saves.
+	NoIncremental bool
 }
 
 // Synthesize completes the protocol's skeleton from its snippets (§5),
@@ -299,6 +304,7 @@ func SynthesizeCtx(ctx context.Context, proto *Protocol, opts SynthesisOptions) 
 		Timeout:        opts.Timeout,
 		Telemetry:      opts.Telemetry,
 		Cache:          opts.Cache,
+		NoIncremental:  opts.NoIncremental,
 	})
 }
 
