@@ -10,6 +10,9 @@
 //	                               serial vs. parallel job-engine synthesis
 //	transit-bench -smt [-n N] [-smt-out F]
 //	                               incremental sessions vs. one-shot solving
+//	transit-bench -enum [-enum-workers N] [-enum-trials T] [-enum-out F]
+//	                               sequential vs. parallel bank-reusing
+//	                               enumerative search
 //	transit-bench -all             everything (short variants)
 //
 // Observability flags apply to whichever benchmarks run: -trace out.json
@@ -35,19 +38,23 @@ import (
 
 func main() {
 	var (
-		table2  = flag.Bool("table2", false, "regenerate Table 2")
-		table3  = flag.Bool("table3", false, "regenerate Table 3")
-		fig5    = flag.Bool("fig5", false, "regenerate Figure 5")
-		table4  = flag.Bool("table4", false, "regenerate Table 4")
-		table5  = flag.Bool("table5", false, "regenerate Table 5")
-		eng     = flag.Bool("engine", false, "compare serial vs. parallel job-engine synthesis")
-		smt     = flag.Bool("smt", false, "compare incremental SMT sessions vs. one-shot solving")
-		all     = flag.Bool("all", false, "regenerate everything (short variants)")
-		long    = flag.Bool("long", false, "include long-running rows (Table 3 max-of-three; larger Figure 5 trials)")
-		n       = flag.Int("n", 3, "cache count for Tables 4 and 5 and the engine/SMT comparisons")
-		workers = flag.Int("workers", runtime.NumCPU(), "parallel worker count for -engine and -smt")
-		out     = flag.String("out", "BENCH_engine.json", "JSON artifact path for -engine (empty = none)")
-		smtOut  = flag.String("smt-out", "BENCH_smt.json", "JSON artifact path for -smt (empty = none)")
+		table2      = flag.Bool("table2", false, "regenerate Table 2")
+		table3      = flag.Bool("table3", false, "regenerate Table 3")
+		fig5        = flag.Bool("fig5", false, "regenerate Figure 5")
+		table4      = flag.Bool("table4", false, "regenerate Table 4")
+		table5      = flag.Bool("table5", false, "regenerate Table 5")
+		eng         = flag.Bool("engine", false, "compare serial vs. parallel job-engine synthesis")
+		smt         = flag.Bool("smt", false, "compare incremental SMT sessions vs. one-shot solving")
+		enum        = flag.Bool("enum", false, "compare sequential vs. tier-parallel bank-reusing enumeration")
+		all         = flag.Bool("all", false, "regenerate everything (short variants)")
+		long        = flag.Bool("long", false, "include long-running rows (Table 3 max-of-three; larger Figure 5 trials)")
+		n           = flag.Int("n", 3, "cache count for Tables 4 and 5 and the engine/SMT comparisons")
+		workers     = flag.Int("workers", runtime.NumCPU(), "parallel worker count for -engine and -smt")
+		out         = flag.String("out", "BENCH_engine.json", "JSON artifact path for -engine (empty = none)")
+		smtOut      = flag.String("smt-out", "BENCH_smt.json", "JSON artifact path for -smt (empty = none)")
+		enumWorkers = flag.Int("enum-workers", 4, "tier worker count for -enum")
+		enumTrials  = flag.Int("enum-trials", 3, "timing trials per mode for -enum (minimum is reported)")
+		enumOut     = flag.String("enum-out", "BENCH_enum.json", "JSON artifact path for -enum (empty = none)")
 
 		tracePath    = flag.String("trace", "", "write a Chrome trace-event JSON file (view at ui.perfetto.dev)")
 		statsSummary = flag.Bool("stats-summary", false, "print an end-of-run span tree and metrics table to stderr")
@@ -57,12 +64,12 @@ func main() {
 	flag.StringVar(&profiling.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
 	flag.StringVar(&profiling.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
-	if !*table2 && !*table3 && !*fig5 && !*table4 && !*table5 && !*eng && !*smt && !*all {
+	if !*table2 && !*table3 && !*fig5 && !*table4 && !*table5 && !*eng && !*smt && !*enum && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*table2, *table3, *fig5, *table4, *table5, *eng, *smt = true, true, true, true, true, true, true
+		*table2, *table3, *fig5, *table4, *table5, *eng, *smt, *enum = true, true, true, true, true, true, true, true
 	}
 
 	var summary io.Writer
@@ -134,6 +141,15 @@ func main() {
 		if *smtOut != "" {
 			fail(bench.WriteSMTArtifact(*smtOut, *workers, rows))
 			fmt.Printf("wrote %s\n", *smtOut)
+		}
+	}
+	if *enum {
+		res, err := bench.EnumBenchCtx(ctx, *enumWorkers, *enumTrials)
+		fail(err)
+		fmt.Println(bench.FormatEnum(res))
+		if *enumOut != "" {
+			fail(bench.WriteEnumArtifact(*enumOut, res))
+			fmt.Printf("wrote %s\n", *enumOut)
 		}
 	}
 	check(sess.Close())

@@ -16,7 +16,8 @@
 // Usage:
 //
 //	transit-infer [-max-size K] [-timeout D] [-no-incremental]
-//	              [-cegis-trace] [-stats] [-trace out.json] [-stats-summary]
+//	              [-enum-workers N] [-cegis-trace] [-stats]
+//	              [-trace out.json] [-stats-summary]
 //	              [-cpuprofile F] [-memprofile F] [-pprof ADDR] file
 //
 // With no file the spec is read from stdin. -cegis-trace prints the
@@ -43,6 +44,7 @@ import (
 // inferOptions is the CLI configuration for one inference run.
 type inferOptions struct {
 	maxSize      int
+	enumWorkers  int
 	noIncr       bool
 	timeout      time.Duration
 	cegisTrace   bool
@@ -56,6 +58,7 @@ func main() {
 	var opts inferOptions
 	flag.IntVar(&opts.maxSize, "max-size", 14, "expression-size bound")
 	flag.BoolVar(&opts.noIncr, "no-incremental", false, "disable the incremental SMT session (one solver per query; identical output)")
+	flag.IntVar(&opts.enumWorkers, "enum-workers", 1, "tier-parallel enumeration fan-out (1 = sequential; identical output)")
 	flag.BoolVar(&opts.cegisTrace, "cegis-trace", false, "print the CEGIS trace (Table 2 style)")
 	flag.DurationVar(&opts.timeout, "timeout", 0, "inference deadline, e.g. 30s (0 = none)")
 	flag.BoolVar(&opts.stats, "stats", false, "stream statistics and trace spans as JSON lines to stderr")
@@ -279,7 +282,8 @@ func run(src string, opts inferOptions) error {
 		defer cancel()
 	}
 	e, st, err := transit.SolveConcolicCtx(ctx, prob, examples,
-		transit.Limits{MaxSize: opts.maxSize, NoIncremental: opts.noIncr})
+		transit.Limits{MaxSize: opts.maxSize, NoIncremental: opts.noIncr,
+			EnumWorkers: opts.enumWorkers})
 	if err != nil {
 		return err
 	}

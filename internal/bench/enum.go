@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"transit/internal/expr"
+	"transit/internal/synth"
+)
+
+// EnumModeStats is one enumeration mode's measured work on one Table 3
+// problem. Time is the minimum over the configured trials — the standard
+// estimator for the noise floor of short benchmarks.
+type EnumModeStats struct {
+	Time       time.Duration `json:"-"`
+	TimeMS     float64       `json:"time_ms"`
+	Enumerated int64         `json:"enumerated"`
+	Kept       int64         `json:"kept"`
+	Iterations int           `json:"iterations"`
+	BankReuses int           `json:"bank_reuses"`
+	Restarts   int           `json:"bank_fallbacks"`
+}
+
+// EnumRow compares the sequential restart-per-round search (the seed
+// Algorithm 1 path: one tier worker, no bank reuse) against the
+// tier-parallel bank-reusing search on one Table 3 inference problem.
+// Both modes are answer-identical; the row quantifies the work and time
+// the rebuilt search saves.
+type EnumRow struct {
+	Name        string        `json:"name"`
+	Constraints int           `json:"constraints"`
+	Found       string        `json:"found"`
+	Seq         EnumModeStats `json:"sequential"`
+	Par         EnumModeStats `json:"parallel_bank"`
+	// EnumRatio is parallel-bank candidates enumerated / sequential — the
+	// fraction of enumeration work bank reuse could not avoid (values > 1
+	// mean stale-pool fallbacks outweighed resume savings on this row).
+	EnumRatio float64 `json:"enum_ratio"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// EnumBenchResult is the whole comparison plus its summary statistic.
+type EnumBenchResult struct {
+	Workers int `json:"enum_workers"`
+	// GOMAXPROCS records the scheduler parallelism the run had available.
+	// Tier-parallel speedup needs real cores: with GOMAXPROCS=1 the
+	// worker fan-out timeshares one CPU and the measured speedup reflects
+	// bank reuse alone.
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Trials     int       `json:"trials"`
+	Rows       []EnumRow `json:"rows"`
+	// GeomeanSpeedup is the geometric mean of the per-row speedups — the
+	// acceptance metric for the rebuilt search.
+	GeomeanSpeedup float64 `json:"geomean_speedup"`
+}
+
+// EnumBench runs the short Table 3 rows through both modes.
+func EnumBench(workers, trials int) (*EnumBenchResult, error) {
+	return EnumBenchCtx(context.Background(), workers, trials)
+}
+
+// EnumBenchCtx is EnumBench under a context. Every trial of every mode is
+// checked for answer identity against the sequential reference and for
+// semantic consistency by brute force, so a determinism regression fails
+// the benchmark instead of skewing it.
+func EnumBenchCtx(ctx context.Context, workers, trials int) (*EnumBenchResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if trials < 1 {
+		trials = 3
+	}
+	res := &EnumBenchResult{Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0), Trials: trials}
+	logSum := 0.0
+	for _, b := range Table3Benchmarks() {
+		if b.Long {
+			// The 30-minute row would dominate the run; the short rows
+			// already cover every vocabulary the suite uses.
+			continue
+		}
+		u, err := expr.NewUniverseWidth(3, 4)
+		if err != nil {
+			return nil, err
+		}
+		prob, exs := b.Build(u)
+		base := synth.Limits{MaxSize: b.ExpectedSize + 2, Timeout: 2 * time.Minute}
+		seqLimits := base
+		seqLimits.EnumWorkers = 1
+		seqLimits.NoBankReuse = true
+		parLimits := base
+		parLimits.EnumWorkers = workers
+
+		row := EnumRow{Name: b.Name, Constraints: len(exs)}
+		run := func(limits synth.Limits) (EnumModeStats, string, error) {
+			var st EnumModeStats
+			var found string
+			for tr := 0; tr < trials; tr++ {
+				t0 := time.Now()
+				e, stats, err := synth.SolveConcolicCtx(ctx, prob, exs, limits)
+				d := time.Since(t0)
+				if err != nil {
+					return st, "", fmt.Errorf("bench: %s: %w", b.Name, err)
+				}
+				if tr == 0 || d < st.Time {
+					st.Time = d
+				}
+				st.Enumerated = stats.Concrete.Enumerated
+				st.Kept = stats.Concrete.Kept
+				st.Iterations = stats.Iterations
+				st.BankReuses = stats.BankReuses
+				st.Restarts = stats.Concrete.Restarts
+				if found == "" {
+					found = e.String()
+					if err := verifyConsistent(prob, e, exs); err != nil {
+						return st, "", fmt.Errorf("bench: %s: %w", b.Name, err)
+					}
+				} else if e.String() != found {
+					return st, "", fmt.Errorf("bench: %s: nondeterministic answer: %s vs %s",
+						b.Name, e, found)
+				}
+			}
+			st.TimeMS = ms(st.Time)
+			return st, found, nil
+		}
+		seq, seqFound, err := run(seqLimits)
+		if err != nil {
+			return nil, err
+		}
+		par, parFound, err := run(parLimits)
+		if err != nil {
+			return nil, err
+		}
+		if seqFound != parFound {
+			return nil, fmt.Errorf("bench: %s: mode answers differ: seq %s, par %s",
+				b.Name, seqFound, parFound)
+		}
+		row.Found = seqFound
+		row.Seq, row.Par = seq, par
+		if seq.Enumerated > 0 {
+			row.EnumRatio = float64(par.Enumerated) / float64(seq.Enumerated)
+		}
+		if par.Time > 0 {
+			row.Speedup = float64(seq.Time) / float64(par.Time)
+		}
+		logSum += math.Log(row.Speedup)
+		res.Rows = append(res.Rows, row)
+	}
+	if len(res.Rows) > 0 {
+		res.GeomeanSpeedup = math.Exp(logSum / float64(len(res.Rows)))
+	}
+	return res, nil
+}
+
+// FormatEnum renders the sequential-vs-parallel-bank comparison.
+func FormatEnum(res *EnumBenchResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Enumeration: sequential restart-per-round vs. %d-worker bank-reusing search (identical answers, min of %d trials, GOMAXPROCS=%d)\n",
+		res.Workers, res.Trials, res.GOMAXPROCS)
+	fmt.Fprintf(&sb, "%-22s %4s | %9s %9s %5s | %9s %9s %5s %6s %5s | %7s %8s\n",
+		"Benchmark", "Cons",
+		"SeqTime", "Enum", "Iter",
+		"ParTime", "Enum", "Iter", "Reuse", "Fall",
+		"EnumR", "Speedup")
+	for _, r := range res.Rows {
+		fmt.Fprintf(&sb, "%-22s %4d | %9s %9d %5d | %9s %9d %5d %6d %5d | %6.0f%% %7.2fx\n",
+			r.Name, r.Constraints,
+			r.Seq.Time.Round(time.Microsecond*100), r.Seq.Enumerated, r.Seq.Iterations,
+			r.Par.Time.Round(time.Microsecond*100), r.Par.Enumerated, r.Par.Iterations,
+			r.Par.BankReuses, r.Par.Restarts,
+			100*r.EnumRatio, r.Speedup)
+	}
+	fmt.Fprintf(&sb, "geometric-mean speedup: %.2fx\n", res.GeomeanSpeedup)
+	sb.WriteString("(EnumR is parallel-bank/sequential candidates enumerated — the search work\n bank reuse could not avoid; Reuse counts rounds resumed from the bank, Fall\n rounds whose stale pools forced a restart; answers are identical in every\n mode and trial)\n")
+	return sb.String()
+}
+
+// WriteEnumArtifact writes the comparison as a JSON artifact
+// (BENCH_enum.json by convention) for machine consumption.
+func WriteEnumArtifact(path string, res *EnumBenchResult) error {
+	art := struct {
+		Benchmark string `json:"benchmark"`
+		*EnumBenchResult
+	}{Benchmark: "enum_sequential_vs_parallel_bank", EnumBenchResult: res}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

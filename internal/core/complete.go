@@ -50,6 +50,12 @@ type Options struct {
 	// byte for byte; larger values run independent jobs concurrently
 	// (the inferred expressions are identical at every worker count).
 	Workers int
+	// EnumWorkers sizes the tier-parallel enumeration fan-out inside each
+	// inference job (values <= 1 mean sequential tiers). It multiplies
+	// with Workers, and — like Workers — never changes inferred
+	// expressions, only wall-clock time. Jobs whose Limits set their own
+	// EnumWorkers keep it.
+	EnumWorkers int
 	// Timeout bounds the whole completion run; 0 means none.
 	Timeout time.Duration
 	// JobTimeout bounds each individual inference job; 0 means none.
@@ -88,8 +94,8 @@ type Report struct {
 	// sessions reused instead of re-encoding (0 under NoIncremental).
 	SMTClausesReused int64
 	UpdateTime       time.Duration
-	GuardTime  time.Duration
-	Elapsed    time.Duration
+	GuardTime        time.Duration
+	Elapsed          time.Duration
 	// Transitions is the number of completed transitions installed.
 	Transitions int
 	// Workers is the pool size the run used; Jobs the number of engine
@@ -151,12 +157,13 @@ func CompleteCtx(ctx context.Context, sys *efsm.System, vocab *expr.Vocabulary, 
 		cache = engine.NewCache()
 	}
 	eng := engine.New(engine.Config{
-		Workers:    opts.Workers,
-		Timeout:    opts.Timeout,
-		JobTimeout: opts.JobTimeout,
-		Retry:      opts.Retry,
-		Cache:      cache,
-		Sink:       opts.Telemetry,
+		Workers:     opts.Workers,
+		EnumWorkers: opts.EnumWorkers,
+		Timeout:     opts.Timeout,
+		JobTimeout:  opts.JobTimeout,
+		Retry:       opts.Retry,
+		Cache:       cache,
+		Sink:        opts.Telemetry,
 	})
 	p := &planner{sys: sys, vocab: vocab, opts: opts, eng: eng}
 	for _, name := range defOrder {

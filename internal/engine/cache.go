@@ -35,7 +35,11 @@ type SolveSpec struct {
 // is the enumeration order), the input variables in order, the output
 // variable, the concolic examples (pre ⇒ post in canonical String form),
 // and the limits after default resolution (so Limits{} and the explicit
-// defaults share an entry).
+// defaults share an entry). Only the answer-affecting limits participate:
+// Limits.EnumWorkers and Limits.NoBankReuse — like Limits.NoIncremental —
+// steer how the search runs, not what it returns (the tier merge and the
+// restart fallback are output-identical by construction), so they are
+// deliberately excluded.
 func (s SolveSpec) Key() string {
 	var b strings.Builder
 	u := s.Problem.U

@@ -52,14 +52,19 @@ func (e *Engine) SolveConcolic(ctx context.Context, spec SolveSpec) (res expr.Ex
 		attempts = 1
 	}
 	limits := spec.Limits
+	if limits.EnumWorkers == 0 {
+		limits.EnumWorkers = e.cfg.EnumWorkers
+	}
 	for a := 0; ; a++ {
 		var st synth.Stats
 		res, st, err = synth.SolveConcolicSessionCtx(ctx, spec.Problem, spec.Examples, limits, spec.Session)
 		stats.Concrete.Enumerated += st.Concrete.Enumerated
 		stats.Concrete.Kept += st.Concrete.Kept
+		stats.Concrete.Restarts += st.Concrete.Restarts
 		if st.Concrete.MaxSizeSeen > stats.Concrete.MaxSizeSeen {
 			stats.Concrete.MaxSizeSeen = st.Concrete.MaxSizeSeen
 		}
+		stats.BankReuses += st.BankReuses
 		stats.SMTQueries += st.SMTQueries
 		stats.SMTClauses += st.SMTClauses
 		stats.SMTClausesReused += st.SMTClausesReused

@@ -22,25 +22,25 @@ import (
 // 0-based numbering would have dropped the field from worker 0's job
 // events as well.
 type Event struct {
-	Type        string  `json:"type"`
-	Job         string  `json:"job,omitempty"`
-	Kind        string  `json:"kind,omitempty"`
-	Worker      int     `json:"worker,omitempty"`
-	DurationMS  float64 `json:"duration_ms,omitempty"`
-	CacheHit    bool    `json:"cache_hit,omitempty"`
-	Candidates  int64   `json:"candidates,omitempty"`
-	SMTQueries  int     `json:"smt_queries,omitempty"`
-	ClausesReused int64 `json:"clauses_reused,omitempty"`
-	Iterations  int     `json:"cegis_iterations,omitempty"`
-	Retries     int     `json:"retries,omitempty"`
-	Workers     int     `json:"workers,omitempty"`
-	Jobs        int     `json:"jobs,omitempty"`
-	Failed      int     `json:"failed,omitempty"`
-	Skipped     int     `json:"skipped,omitempty"`
-	CacheHits   int     `json:"cache_hits,omitempty"`
-	CacheMisses int     `json:"cache_misses,omitempty"`
-	Utilization float64 `json:"utilization,omitempty"`
-	Error       string  `json:"error,omitempty"`
+	Type          string  `json:"type"`
+	Job           string  `json:"job,omitempty"`
+	Kind          string  `json:"kind,omitempty"`
+	Worker        int     `json:"worker,omitempty"`
+	DurationMS    float64 `json:"duration_ms,omitempty"`
+	CacheHit      bool    `json:"cache_hit,omitempty"`
+	Candidates    int64   `json:"candidates,omitempty"`
+	SMTQueries    int     `json:"smt_queries,omitempty"`
+	ClausesReused int64   `json:"clauses_reused,omitempty"`
+	Iterations    int     `json:"cegis_iterations,omitempty"`
+	Retries       int     `json:"retries,omitempty"`
+	Workers       int     `json:"workers,omitempty"`
+	Jobs          int     `json:"jobs,omitempty"`
+	Failed        int     `json:"failed,omitempty"`
+	Skipped       int     `json:"skipped,omitempty"`
+	CacheHits     int     `json:"cache_hits,omitempty"`
+	CacheMisses   int     `json:"cache_misses,omitempty"`
+	Utilization   float64 `json:"utilization,omitempty"`
+	Error         string  `json:"error,omitempty"`
 }
 
 // Sink consumes telemetry events. Sinks must be safe for concurrent

@@ -1,0 +1,71 @@
+package synth
+
+import (
+	"context"
+	"testing"
+
+	"transit/internal/expr"
+)
+
+// composeFixture builds an enumerator mid-search: atoms retained, scratch
+// buffers warm, and one composed candidate already in the signature table
+// so further considerApply calls on it take the pruned path.
+func composeFixture(t testing.TB) (*enumerator, *expr.Func, []entry) {
+	t.Helper()
+	p, exs := maxConcrete(t)
+	en := newEnumerator(context.Background(), p, exs, Limits{MaxSize: 8}.withDefaults())
+	en.initFresh()
+	if found, err := en.runAtoms(0); err != nil || found != nil {
+		t.Fatalf("atom tier: found=%v err=%v", found, err)
+	}
+	var add *expr.Func
+	for _, f := range p.Vocab.Funcs() {
+		if f.Arity() == 2 && f.Params[0] == expr.IntType && f.Params[1] == expr.IntType {
+			add = f
+			break
+		}
+	}
+	if add == nil {
+		t.Fatal("no binary int-argument function in vocabulary")
+	}
+	pool := en.perSize[1][expr.IntType]
+	if len(pool) < 2 {
+		t.Fatalf("size-1 int pool has %d entries", len(pool))
+	}
+	args := []entry{pool[0], pool[1]}
+	// Warm: the first call retains the candidate (allocates the entry);
+	// every later call is pruned by the signature table.
+	if found, err := en.considerApply(add, args); err != nil || found != nil {
+		t.Fatalf("warm-up: found=%v err=%v", found, err)
+	}
+	return en, add, args
+}
+
+// TestComposeAllocFree guards the compose() hot-path hoisting: evaluating
+// and pruning an already-seen candidate must not allocate — the signature,
+// key, and argument buffers are enumerator scratch, and the signature
+// table is probed with the compiler's alloc-free string([]byte) lookup.
+func TestComposeAllocFree(t *testing.T) {
+	en, f, args := composeFixture(t)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := en.considerApply(f, args); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("pruned considerApply allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// BenchmarkComposeAllocs measures the pruned compose hot path; run with
+// -benchmem to see the allocation guarantee in the report.
+func BenchmarkComposeAllocs(b *testing.B) {
+	en, f, args := composeFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := en.considerApply(f, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

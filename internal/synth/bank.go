@@ -1,0 +1,108 @@
+package synth
+
+import (
+	"context"
+
+	"transit/internal/expr"
+)
+
+// bank carries SolveConcrete's retained state across the CEGIS rounds of
+// one SolveConcolic call: the per-size pools of signature-class
+// representatives and the cursor of the round's winner. A new
+// concretization only refines the signature partition — every retained
+// representative stays the minimum-index representative of its refined
+// class — so the next round extends each entry's signature with one new
+// evaluation, re-keys the table, and resumes enumeration right after the
+// previous winner instead of restarting at size 1. The previous winner
+// cannot match the new goal (its concretization was chosen to contradict
+// it), and no earlier candidate can either (the new goal signature
+// projects onto the old one), which is what makes resuming at the cursor
+// sound; see DESIGN.md §10 for the full argument and for the restart
+// fallback covering representatives that only the newest examples can
+// distinguish.
+type bank struct {
+	// nExamples is the concretization count the signatures cover.
+	nExamples int
+	// perSize are the pools, adopted from the winning enumerator.
+	perSize []map[expr.Type][]entry
+	// curSize/curIdx locate the previous winner: candidate curIdx
+	// (1-based, tier-local) of size tier curSize.
+	curSize int
+	curIdx  int64
+}
+
+// harvest captures the enumerator state after a successful solve. The
+// enumerator is not used afterwards, so the pools move instead of copy.
+func (en *enumerator) harvest() *bank {
+	return &bank{nExamples: len(en.examples), perSize: en.perSize,
+		curSize: en.curSize, curIdx: en.curIdx}
+}
+
+// usable reports whether the bank can seed a round over the given
+// (append-only grown) example set. A bank built with zero examples is
+// degenerate — every expression of a type was indistinguishable, so the
+// pools hold one entry per type — and is cheaper to discard than to
+// resume.
+func (bk *bank) usable(examples []ConcreteExample, limits Limits) bool {
+	return bk != nil && !limits.NoBankReuse && !limits.NoPrune &&
+		bk.nExamples >= 1 && len(examples) > bk.nExamples &&
+		bk.curSize >= 1 && bk.curSize <= limits.MaxSize
+}
+
+// resumeEnumerator builds an enumerator over the bank: pools are adopted
+// (resized to the current MaxSize), every entry's signature is extended
+// with one evaluation per new concretization, the signature table is
+// rebuilt from the extended keys, and the resume cursor is set to the
+// previous winner's position. Entries whose extended key collides with an
+// earlier entry's are dropped as newly-indistinguishable duplicates
+// (signature extension cannot merge distinct classes, so this is
+// defensive; the invariant is checked by the parity tests).
+func resumeEnumerator(ctx context.Context, p Problem, examples []ConcreteExample, limits Limits, bk *bank) *enumerator {
+	en := newEnumerator(ctx, p, examples, limits)
+	ps := bk.perSize
+	if want := limits.MaxSize + 1; len(ps) != want {
+		np := make([]map[expr.Type][]entry, want)
+		copy(np, ps)
+		for i := range np {
+			if np[i] == nil {
+				np[i] = make(map[expr.Type][]entry)
+			}
+		}
+		ps = np
+	}
+	en.perSize = ps
+	en.sigSeen = make(map[string]struct{})
+	for s := range en.perSize {
+		for t, pool := range en.perSize[s] {
+			keep := pool[:0]
+			for i := range pool {
+				ent := pool[i]
+				for k := bk.nExamples; k < len(examples); k++ {
+					ent.sig = append(ent.sig, ent.e.Eval(p.U, examples[k].S))
+				}
+				en.keyBuf = appendSigKey(en.keyBuf[:0], t, ent.sig)
+				if _, dup := en.sigSeen[string(en.keyBuf)]; dup {
+					continue
+				}
+				en.sigSeen[string(en.keyBuf)] = struct{}{}
+				keep = append(keep, ent)
+			}
+			en.perSize[s][t] = keep
+		}
+	}
+	en.resumeSize, en.resumeSkip = bk.curSize, bk.curIdx
+	en.resumeCap = bk.curSize + resumeCapSlack
+	return en
+}
+
+// resumeCapSlack bounds how many size tiers past the previous winner a
+// resumed search explores before conceding to the restart fallback. The
+// trade is empirical: CEGIS winners regularly jump a few sizes between
+// rounds (so a tight cap forces spurious restarts on healthy banks), but
+// tier cost grows exponentially with size, so a stale bank that is only
+// detected by exhausting every tier up to MaxSize costs several times the
+// fresh search it ends up triggering anyway. Four tiers of slack covers
+// every jump the Table 3 protocols exhibit (abs-diff's winners move four
+// sizes between rounds) while keeping the worst-case stale walk bounded
+// when MaxSize is generous (the CLIs default to 14).
+const resumeCapSlack = 4

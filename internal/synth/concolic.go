@@ -81,12 +81,13 @@ func SolveConcolicSessionCtx(ctx context.Context, p Problem, examples []Concolic
 	defer be.close()
 
 	var concrete []ConcreteExample
+	var bk *bank
 	for iter := 1; iter <= limits.MaxIters; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, stats, fmt.Errorf("synth: CEGIS aborted: %w", err)
 		}
 		stats.Iterations = iter
-		candidate, consistent, err := cegisIteration(ctx, p, examples, &concrete, limits, be, &stats, iter)
+		candidate, consistent, err := cegisIteration(ctx, p, examples, &concrete, limits, be, &stats, iter, &bk)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -98,11 +99,13 @@ func SolveConcolicSessionCtx(ctx context.Context, p Problem, examples []Concolic
 }
 
 // cegisIteration runs one round of Algorithm 2's loop under its own
-// "synth.iteration" span: propose with SolveConcrete, check each concolic
-// example, and on failure concretize the witness into a new example.
+// "synth.iteration" span: propose with SolveConcrete — resuming the
+// previous round's expression bank when one is available — check each
+// concolic example, and on failure concretize the witness into a new
+// example.
 func cegisIteration(ctx context.Context, p Problem, examples []ConcolicExample,
 	concrete *[]ConcreteExample, limits Limits, be *smtBackend,
-	stats *Stats, iter int) (candidate expr.Expr, consistent bool, err error) {
+	stats *Stats, iter int, bk **bank) (candidate expr.Expr, consistent bool, err error) {
 	ctx, span := obs.Start(ctx, "synth.iteration", obs.Int("iteration", iter))
 	defer func() {
 		span.SetAttr(obs.Bool("consistent", consistent))
@@ -112,9 +115,15 @@ func cegisIteration(ctx context.Context, p Problem, examples []ConcolicExample,
 		span.End()
 	}()
 
-	candidate, cstats, err := SolveConcreteCtx(ctx, p, *concrete, limits)
+	if (*bk).usable(*concrete, limits.withDefaults()) {
+		stats.BankReuses++
+	}
+	bankable := !limits.NoBankReuse && !limits.NoPrune
+	candidate, cstats, nbk, err := solveConcrete(ctx, p, *concrete, limits, *bk, bankable)
+	*bk = nbk
 	stats.Concrete.Enumerated += cstats.Enumerated
 	stats.Concrete.Kept += cstats.Kept
+	stats.Concrete.Restarts += cstats.Restarts
 	if cstats.MaxSizeSeen > stats.Concrete.MaxSizeSeen {
 		stats.Concrete.MaxSizeSeen = cstats.MaxSizeSeen
 	}

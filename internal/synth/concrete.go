@@ -25,30 +25,97 @@ func SolveConcrete(p Problem, examples []ConcreteExample, limits Limits) (expr.E
 // polls the context and aborts with its error once it is cancelled or its
 // deadline passes. The search runs under a "synth.enumerate" span with one
 // "synth.size" child per size tier entered.
+//
+// With Limits.EnumWorkers > 1 each size tier's composition work is
+// partitioned across that many goroutines and merged deterministically, so
+// the returned expression and every ConcreteStats counter are identical to
+// the sequential run (see DESIGN.md §10).
 func SolveConcreteCtx(ctx context.Context, p Problem, examples []ConcreteExample, limits Limits) (expr.Expr, ConcreteStats, error) {
+	e, stats, _, err := solveConcrete(ctx, p, examples, limits, nil, false)
+	return e, stats, err
+}
+
+// solveConcrete is the shared driver behind SolveConcreteCtx and the
+// CEGIS bank-reuse path: it validates, opens the enumeration span, builds
+// a fresh enumerator or resumes the supplied bank, runs the search, and —
+// when wantBank is set and the search succeeded — harvests the enumerator
+// state for the next round. A resumed search that exhausts the size bound
+// transparently restarts from scratch (the stale pools may lack entries
+// that only became distinguishable under the newest concretizations), so
+// bank reuse never loses completeness.
+func solveConcrete(ctx context.Context, p Problem, examples []ConcreteExample, limits Limits,
+	bk *bank, wantBank bool) (expr.Expr, ConcreteStats, *bank, error) {
 	limits = limits.withDefaults()
 	if err := p.validate(); err != nil {
-		return nil, ConcreteStats{}, err
+		return nil, ConcreteStats{}, nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, ConcreteStats{}, fmt.Errorf("synth: enumeration aborted: %w", err)
+		return nil, ConcreteStats{}, nil, fmt.Errorf("synth: enumeration aborted: %w", err)
 	}
 	for i, c := range examples {
 		if c.Out.Type() != p.Output.VT {
-			return nil, ConcreteStats{}, fmt.Errorf("synth: example %d output has type %s, want %s",
+			return nil, ConcreteStats{}, nil, fmt.Errorf("synth: example %d output has type %s, want %s",
 				i, c.Out.Type(), p.Output.VT)
 		}
 	}
+	resume := bk.usable(examples, limits)
 	ctx, span := obs.Start(ctx, "synth.enumerate",
-		obs.Int("examples", len(examples)), obs.Int("max_size", limits.MaxSize))
-	e := &enumerator{ctx: ctx, p: p, examples: examples, limits: limits, start: time.Now()}
-	res, err := e.run()
-	span.SetAttr(obs.Int64("enumerated", e.stats.Enumerated),
-		obs.Int64("kept", e.stats.Kept),
-		obs.Int("max_size_seen", e.stats.MaxSizeSeen),
+		obs.Int("examples", len(examples)), obs.Int("max_size", limits.MaxSize),
+		obs.Int("workers", enumWorkers(limits)), obs.Bool("resumed", resume))
+
+	var en *enumerator
+	if resume {
+		if reg := obs.MetricsFrom(ctx); reg != nil {
+			reg.Counter("synth.bank_reused").Inc()
+		}
+		en = resumeEnumerator(ctx, p, examples, limits, bk)
+	} else {
+		en = newEnumerator(ctx, p, examples, limits)
+		en.initFresh()
+	}
+	res, err := en.run()
+	stats := en.stats
+	if resume && err != nil && en.exhausted {
+		// Fallback: restart from size 1. The resumed pools are frozen at
+		// the previous rounds' signature partition; an expression whose
+		// subterms only became distinguishable under the new
+		// concretizations is unreachable from them, so a clean exhaustion
+		// of the resumed search is retried without the bank before it is
+		// believed. Stats report the total work of both attempts.
+		if reg := obs.MetricsFrom(ctx); reg != nil {
+			reg.Counter("synth.bank_fallback").Inc()
+		}
+		en = newEnumerator(ctx, p, examples, limits)
+		en.initFresh()
+		res, err = en.run()
+		stats.Restarts++
+		stats.Enumerated += en.stats.Enumerated
+		stats.Kept += en.stats.Kept
+		if en.stats.MaxSizeSeen > stats.MaxSizeSeen {
+			stats.MaxSizeSeen = en.stats.MaxSizeSeen
+		}
+		stats.Elapsed += en.stats.Elapsed
+	}
+	span.SetAttr(obs.Int64("enumerated", stats.Enumerated),
+		obs.Int64("kept", stats.Kept),
+		obs.Int("max_size_seen", stats.MaxSizeSeen),
 		obs.Bool("found", res != nil))
 	span.End()
-	return res, e.stats, err
+	var nbk *bank
+	if err == nil && wantBank {
+		nbk = en.harvest()
+	}
+	return res, stats, nbk, err
+}
+
+// enumWorkers resolves the effective tier worker count: NoPrune retains
+// every candidate (no signature table to merge against), so the
+// exhaustive baseline always runs sequentially.
+func enumWorkers(l Limits) int {
+	if l.NoPrune || l.EnumWorkers < 1 {
+		return 1
+	}
+	return l.EnumWorkers
 }
 
 // entry pairs a retained expression with its signature so that parent
@@ -65,14 +132,68 @@ type enumerator struct {
 	limits   Limits
 	start    time.Time
 	stats    ConcreteStats
+	workers  int
 
-	// perSize[s][t] holds retained entries of size s and type t.
+	// perSize[s][t] holds retained entries of size s and type t, in
+	// canonical enumeration order.
 	perSize []map[expr.Type][]entry
 	sigSeen map[string]struct{}
 	goalKey string
 	sigBuf  []expr.Value
 	keyBuf  []byte
 	argBuf  []expr.Value
+
+	// Scratch buffers hoisted out of the per-tier loops so the hot path
+	// allocates only for candidates that survive pruning.
+	shareBuf []int
+	argsBuf  []entry
+	posBuf   []int
+
+	// Resume cursor: tiers below resumeSize are already banked; within
+	// tier resumeSize the first resumeSkip candidates were consumed by
+	// the previous round (the last of them was its winner). resumeCap,
+	// when nonzero, bounds a resumed search below Limits.MaxSize: a stale
+	// bank (pools missing entries only the newest concretizations can
+	// distinguish) is only discovered by exhausting every tier, and the
+	// tiers beyond where a fresh search would stop grow exponentially, so
+	// a resumed search that has not won within a few tiers of the cursor
+	// gives up early and lets the restart fallback take over.
+	resumeSize int
+	resumeSkip int64
+	resumeCap  int
+
+	// Winner cursor, recorded for the bank when the search succeeds:
+	// the winner was candidate curIdx (1-based, tier-local) of tier
+	// curSize.
+	curSize int
+	curIdx  int64
+
+	// exhausted marks a run that walked every tier up to MaxSize without
+	// finding the goal or hitting a budget — the only failure mode the
+	// bank-resume path may transparently retry as a fresh search.
+	exhausted bool
+}
+
+func newEnumerator(ctx context.Context, p Problem, examples []ConcreteExample, limits Limits) *enumerator {
+	en := &enumerator{ctx: ctx, p: p, examples: examples, limits: limits,
+		start: time.Now(), workers: enumWorkers(limits)}
+	en.sigBuf = make([]expr.Value, len(examples))
+	goal := make([]expr.Value, len(examples))
+	for i, c := range examples {
+		goal[i] = c.Out
+	}
+	en.goalKey = string(appendSigKey(nil, p.Output.VT, goal))
+	return en
+}
+
+// initFresh allocates empty pools and signature table for a from-scratch
+// search (resumeEnumerator installs banked ones instead).
+func (en *enumerator) initFresh() {
+	en.sigSeen = make(map[string]struct{})
+	en.perSize = make([]map[expr.Type][]entry, en.limits.MaxSize+1)
+	for i := range en.perSize {
+		en.perSize[i] = make(map[expr.Type][]entry)
+	}
 }
 
 // errStop distinguishes budget exhaustion from normal exhaustion.
@@ -81,73 +202,158 @@ type errStop struct{ reason string }
 func (e errStop) Error() string { return e.reason }
 
 func (en *enumerator) run() (expr.Expr, error) {
-	en.sigSeen = make(map[string]struct{})
-	en.perSize = make([]map[expr.Type][]entry, en.limits.MaxSize+1)
-	for i := range en.perSize {
-		en.perSize[i] = make(map[expr.Type][]entry)
+	startSize := 1
+	maxSize := en.limits.MaxSize
+	if en.resumeSize > 0 {
+		startSize = en.resumeSize
+		if en.resumeCap > 0 && en.resumeCap < maxSize {
+			maxSize = en.resumeCap
+		}
 	}
-	en.sigBuf = make([]expr.Value, len(en.examples))
-
-	goal := make([]expr.Value, len(en.examples))
-	for i, c := range en.examples {
-		goal[i] = c.Out
-	}
-	en.goalKey = en.sigKey(en.p.Output.VT, goal)
-
-	// Size 1: variables and arity-0 function symbols.
-	en.stats.MaxSizeSeen = 1
-	for _, v := range en.p.Vars {
-		if found, err := en.consider(v); err != nil {
+	for size := startSize; size <= maxSize; size++ {
+		en.stats.MaxSizeSeen = size
+		var skip int64
+		if size == en.resumeSize {
+			skip = en.resumeSkip
+		}
+		found, err := en.runSize(size, skip)
+		if err != nil {
 			return nil, budgetErr(err)
-		} else if found != nil {
+		}
+		if found != nil {
+			en.stats.Elapsed = time.Since(en.start)
 			return found, nil
+		}
+	}
+	en.exhausted = true
+	en.stats.Elapsed = time.Since(en.start)
+	return nil, fmt.Errorf("%w (size <= %d, %d candidates)", ErrNoExpression, maxSize, en.stats.Enumerated)
+}
+
+// minParallelTier is the smallest remaining tier workload worth fanning
+// out; below it goroutine startup and merge overhead dominate. The
+// sequential and parallel paths are output-identical, so the threshold
+// only affects wall-clock time.
+const minParallelTier = 2048
+
+// runSize enumerates one size tier under its own "synth.size" span, so a
+// trace shows where enumeration time concentrates as tiers grow. skip is
+// the number of leading tier-local candidates already consumed by the
+// round that built the bank being resumed (0 on fresh tiers).
+func (en *enumerator) runSize(size int, skip int64) (found expr.Expr, err error) {
+	before := en.stats.Enumerated
+	tierStart := time.Now()
+	_, span := obs.Start(en.ctx, "synth.size", obs.Int("size", size))
+	workersUsed := 1
+	defer func() {
+		span.SetAttr(obs.Int64("enumerated", en.stats.Enumerated-before),
+			obs.Int("workers", workersUsed),
+			obs.Bool("found", found != nil))
+		span.End()
+		if reg := obs.MetricsFrom(en.ctx); reg != nil {
+			reg.Counter("synth.tier_workers").Add(int64(workersUsed))
+			reg.Histogram("synth.tier_ms").Observe(time.Since(tierStart))
+		}
+	}()
+	if size == 1 {
+		return en.runAtoms(skip)
+	}
+	units, total := en.buildUnits(size)
+	if total <= skip {
+		return nil, nil
+	}
+	if en.workers > 1 && total-skip >= minParallelTier {
+		workersUsed = en.workers
+		return en.runTierPar(size, units, total, skip)
+	}
+	return en.runTierSeq(size, units, skip)
+}
+
+// runAtoms enumerates the size-1 tier: variables in declaration order,
+// then arity-0 function symbols in vocabulary order. The tier is tiny, so
+// it always runs sequentially.
+func (en *enumerator) runAtoms(skip int64) (expr.Expr, error) {
+	idx := int64(0)
+	atom := func(e expr.Expr) (expr.Expr, error) {
+		idx++
+		if idx <= skip {
+			return nil, nil
+		}
+		return en.consider(e)
+	}
+	for _, v := range en.p.Vars {
+		found, err := atom(v)
+		if err != nil || found != nil {
+			en.curSize, en.curIdx = 1, idx
+			return found, err
 		}
 	}
 	for _, f := range en.p.Vocab.Funcs() {
 		if f.Arity() != 0 {
 			continue
 		}
-		if found, err := en.consider(expr.NewApply(f)); err != nil {
-			return nil, budgetErr(err)
-		} else if found != nil {
-			return found, nil
-		}
-	}
-
-	// Sizes 2..MaxSize: compose from smaller retained entries.
-	for size := 2; size <= en.limits.MaxSize; size++ {
-		en.stats.MaxSizeSeen = size
-		found, err := en.runSize(size)
-		if err != nil {
-			return nil, budgetErr(err)
-		}
-		if found != nil {
-			return found, nil
-		}
-	}
-	return nil, fmt.Errorf("%w (size <= %d, %d candidates)", ErrNoExpression, en.limits.MaxSize, en.stats.Enumerated)
-}
-
-// runSize enumerates one size tier under its own "synth.size" span, so a
-// trace shows where enumeration time concentrates as tiers grow.
-func (en *enumerator) runSize(size int) (found expr.Expr, err error) {
-	before := en.stats.Enumerated
-	_, span := obs.Start(en.ctx, "synth.size", obs.Int("size", size))
-	defer func() {
-		span.SetAttr(obs.Int64("enumerated", en.stats.Enumerated-before),
-			obs.Bool("found", found != nil))
-		span.End()
-	}()
-	for _, f := range en.p.Vocab.Funcs() {
-		if f.Arity() == 0 {
-			continue
-		}
-		found, err = en.compose(f, size)
+		found, err := atom(expr.NewApply(f))
 		if err != nil || found != nil {
+			en.curSize, en.curIdx = 1, idx
 			return found, err
 		}
 	}
 	return nil, nil
+}
+
+// runTierSeq processes a tier's units in canonical order through the
+// sequential charge/prune/retain path (also the NoPrune path).
+func (en *enumerator) runTierSeq(size int, units []tierUnit, skip int64) (expr.Expr, error) {
+	for ui := range units {
+		u := &units[ui]
+		if u.base+u.count <= skip {
+			continue
+		}
+		found, idx, err := en.seqUnit(u, skip)
+		if err != nil {
+			return nil, err
+		}
+		if found != nil {
+			en.curSize, en.curIdx = size, idx
+			return found, nil
+		}
+	}
+	return nil, nil
+}
+
+// seqUnit enumerates one unit's candidates, fast-forwarding past the
+// resumed prefix by index arithmetic instead of iteration.
+func (en *enumerator) seqUnit(u *tierUnit, skip int64) (expr.Expr, int64, error) {
+	m := len(u.shares)
+	if cap(en.argsBuf) < m {
+		en.argsBuf = make([]entry, m)
+	}
+	if cap(en.posBuf) < m {
+		en.posBuf = make([]int, m)
+	}
+	args, pos := en.argsBuf[:m], en.posBuf[:m]
+	off := int64(0)
+	if skip > u.base {
+		off = skip - u.base
+	}
+	u.decode(off, pos)
+	for {
+		for j := 0; j < m; j++ {
+			args[j] = u.pools[j][pos[j]]
+		}
+		found, err := en.considerApply(u.f, args)
+		if err != nil {
+			return nil, 0, err
+		}
+		if found != nil {
+			return found, u.base + off + 1, nil
+		}
+		off++
+		if off == u.count {
+			return nil, 0, nil
+		}
+		u.advance(pos)
+	}
 }
 
 func budgetErr(err error) error {
@@ -155,49 +361,6 @@ func budgetErr(err error) error {
 		return fmt.Errorf("%w (%s)", ErrNoExpression, s.reason)
 	}
 	return err
-}
-
-// compose enumerates f(e1..em) of the exact target size by splitting
-// size-1 across the arguments.
-func (en *enumerator) compose(f *expr.Func, size int) (expr.Expr, error) {
-	m := f.Arity()
-	budget := size - 1
-	if budget < m {
-		return nil, nil
-	}
-	shares := make([]int, m)
-	args := make([]entry, m)
-	var rec func(i, remaining int) (expr.Expr, error)
-	rec = func(i, remaining int) (expr.Expr, error) {
-		if i == m-1 {
-			shares[i] = remaining
-			return en.tuples(f, shares, args, 0)
-		}
-		for s := 1; s <= remaining-(m-1-i); s++ {
-			shares[i] = s
-			if found, err := rec(i+1, remaining-s); err != nil || found != nil {
-				return found, err
-			}
-		}
-		return nil, nil
-	}
-	return rec(0, budget)
-}
-
-// tuples iterates the Cartesian product of retained entries matching the
-// chosen size split.
-func (en *enumerator) tuples(f *expr.Func, shares []int, args []entry, i int) (expr.Expr, error) {
-	if i == len(shares) {
-		return en.considerApply(f, args)
-	}
-	pool := en.perSize[shares[i]][f.Params[i]]
-	for _, ent := range pool {
-		args[i] = ent
-		if found, err := en.tuples(f, shares, args, i+1); err != nil || found != nil {
-			return found, err
-		}
-	}
-	return nil, nil
 }
 
 // considerApply evaluates the candidate's signature from child signatures,
@@ -219,7 +382,7 @@ func (en *enumerator) considerApply(f *expr.Func, args []entry) (expr.Expr, erro
 		}
 		en.sigBuf[k] = f.Apply(en.p.U, argv)
 	}
-	en.fillKeyBuf(f.Ret, en.sigBuf)
+	en.keyBuf = appendSigKey(en.keyBuf[:0], f.Ret, en.sigBuf)
 	if !en.limits.NoPrune {
 		if _, seen := en.sigSeen[string(en.keyBuf)]; seen {
 			return nil, nil
@@ -244,7 +407,7 @@ func (en *enumerator) consider(e expr.Expr) (expr.Expr, error) {
 	for k, c := range en.examples {
 		en.sigBuf[k] = e.Eval(en.p.U, c.S)
 	}
-	en.fillKeyBuf(e.Type(), en.sigBuf)
+	en.keyBuf = appendSigKey(en.keyBuf[:0], e.Type(), en.sigBuf)
 	if !en.limits.NoPrune {
 		if _, seen := en.sigSeen[string(en.keyBuf)]; seen {
 			return nil, nil
@@ -255,28 +418,32 @@ func (en *enumerator) consider(e expr.Expr) (expr.Expr, error) {
 }
 
 // retain stores a surviving candidate (whose key is in keyBuf) and reports
-// it if it hits the goal.
+// it if it hits the goal. Winners are pooled too: the bank needs the
+// winner entry in place so a resumed round re-encounters it as an
+// ordinary retained expression.
 func (en *enumerator) retain(e expr.Expr, size int) (expr.Expr, error) {
 	en.stats.Kept++
-	if e.Type() == en.p.Output.VT && string(en.keyBuf) == en.goalKey {
-		en.stats.Elapsed = time.Since(en.start)
-		return e, nil
-	}
 	if size < len(en.perSize) {
 		sig := append([]expr.Value(nil), en.sigBuf...)
 		en.perSize[size][e.Type()] = append(en.perSize[size][e.Type()], entry{e: e, sig: sig})
+	}
+	if e.Type() == en.p.Output.VT && string(en.keyBuf) == en.goalKey {
+		en.stats.Elapsed = time.Since(en.start)
+		return e, nil
 	}
 	return nil, nil
 }
 
 // charge accounts one candidate against the budgets and polls the
-// cancellation context.
+// cancellation context. The budget check precedes the increment so that a
+// budget of N admits exactly N candidates (candidate N itself may still
+// win).
 func (en *enumerator) charge() error {
-	en.stats.Enumerated++
 	if en.stats.Enumerated >= en.limits.MaxExprs {
 		en.stats.Elapsed = time.Since(en.start)
 		return errStop{reason: fmt.Sprintf("expression budget %d exhausted", en.limits.MaxExprs)}
 	}
+	en.stats.Enumerated++
 	if en.stats.Enumerated%4096 == 0 {
 		if err := en.ctx.Err(); err != nil {
 			en.stats.Elapsed = time.Since(en.start)
@@ -290,23 +457,20 @@ func (en *enumerator) charge() error {
 	return nil
 }
 
-// fillKeyBuf builds the map key for a signature into keyBuf: the expression
-// type tag followed by the fixed-width encodings of the example values.
-func (en *enumerator) fillKeyBuf(t expr.Type, sig []expr.Value) {
-	en.keyBuf = en.keyBuf[:0]
-	en.keyBuf = append(en.keyBuf, byte(t.Kind))
+// appendSigKey appends the map key for a signature: the expression type
+// tag followed by the fixed-width encodings of the example values. The
+// encoding is injective over (type, value-vector) pairs — see
+// FuzzSigKeyInjective — which the parallel merge relies on: a silent
+// collision would fuse two distinguishable candidate classes.
+func appendSigKey(dst []byte, t expr.Type, sig []expr.Value) []byte {
+	dst = append(dst, byte(t.Kind))
 	if t.Kind == expr.KindEnum {
-		en.keyBuf = append(en.keyBuf, byte(t.Enum.ID()))
+		dst = append(dst, byte(t.Enum.ID()))
 	} else {
-		en.keyBuf = append(en.keyBuf, 0)
+		dst = append(dst, 0)
 	}
 	for _, v := range sig {
-		en.keyBuf = v.AppendEncoding(en.keyBuf)
+		dst = v.AppendEncoding(dst)
 	}
-}
-
-// sigKey is fillKeyBuf returning an owned string (used for the goal key).
-func (en *enumerator) sigKey(t expr.Type, sig []expr.Value) string {
-	en.fillKeyBuf(t, sig)
-	return string(en.keyBuf)
+	return dst
 }

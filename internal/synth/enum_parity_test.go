@@ -1,0 +1,276 @@
+package synth
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"transit/internal/expr"
+)
+
+// maxConcrete returns a concrete-example workload consistent with
+// ite(gt(a, b), a, b) over the parity universe.
+func maxConcrete(t testing.TB) (Problem, []ConcreteExample) {
+	t.Helper()
+	u, err := expr.NewUniverseWidth(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	voc := expr.CoherenceVocabulary(u, expr.CoherenceOptions{})
+	a, b := expr.V("a", expr.IntType), expr.V("b", expr.IntType)
+	p := Problem{U: u, Vocab: voc, Vars: []*expr.Var{a, b}, Output: expr.V("o", expr.IntType)}
+	mk := func(av, bv, ov int64) ConcreteExample {
+		return ConcreteExample{
+			S:   expr.Env{"a": expr.IntVal(u, av), "b": expr.IntVal(u, bv)},
+			Out: expr.IntVal(u, ov),
+		}
+	}
+	return p, []ConcreteExample{mk(1, 2, 2), mk(3, 1, 3), mk(2, 2, 2), mk(0, 3, 3)}
+}
+
+func sameConcreteStats(t *testing.T, label string, a, b ConcreteStats) {
+	t.Helper()
+	if a.Enumerated != b.Enumerated || a.Kept != b.Kept || a.MaxSizeSeen != b.MaxSizeSeen {
+		t.Fatalf("%s: stats diverge: enumerated %d vs %d, kept %d vs %d, max size %d vs %d",
+			label, a.Enumerated, b.Enumerated, a.Kept, b.Kept, a.MaxSizeSeen, b.MaxSizeSeen)
+	}
+}
+
+// TestEnumWorkerParity mirrors the engine's TestWorkerCountParity for the
+// tier-parallel enumerator: any EnumWorkers count must return the same
+// expression and the same ConcreteStats as the sequential search — on a
+// winning search, an exhausted one, and a budget-cut one — and the whole
+// CEGIS loop must produce byte-identical traces.
+func TestEnumWorkerParity(t *testing.T) {
+	ctx := context.Background()
+	p, exs := maxConcrete(t)
+
+	t.Run("concrete-found", func(t *testing.T) {
+		base, bStats, err := SolveConcreteCtx(ctx, p, exs, Limits{MaxSize: 8, EnumWorkers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 4} {
+			got, gStats, err := SolveConcreteCtx(ctx, p, exs, Limits{MaxSize: 8, EnumWorkers: w})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+			if got.String() != base.String() {
+				t.Fatalf("workers=%d found %s, sequential found %s", w, got, base)
+			}
+			sameConcreteStats(t, "found", bStats, gStats)
+		}
+	})
+
+	t.Run("concrete-exhausted", func(t *testing.T) {
+		// The smallest consistent expression has size 6; a size bound of 4
+		// walks every tier and fails identically at any worker count.
+		_, bStats, bErr := SolveConcreteCtx(ctx, p, exs, Limits{MaxSize: 4, EnumWorkers: 1})
+		if !errors.Is(bErr, ErrNoExpression) {
+			t.Fatalf("sequential: err = %v, want ErrNoExpression", bErr)
+		}
+		for _, w := range []int{2, 4} {
+			_, gStats, gErr := SolveConcreteCtx(ctx, p, exs, Limits{MaxSize: 4, EnumWorkers: w})
+			if !errors.Is(gErr, ErrNoExpression) {
+				t.Fatalf("workers=%d: err = %v, want ErrNoExpression", w, gErr)
+			}
+			sameConcreteStats(t, "exhausted", bStats, gStats)
+		}
+	})
+
+	t.Run("concrete-budget", func(t *testing.T) {
+		_, full, err := SolveConcreteCtx(ctx, p, exs, Limits{MaxSize: 8, EnumWorkers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget := full.Enumerated / 2
+		_, bStats, bErr := SolveConcreteCtx(ctx, p, exs,
+			Limits{MaxSize: 8, MaxExprs: budget, EnumWorkers: 1})
+		if !errors.Is(bErr, ErrNoExpression) {
+			t.Fatalf("sequential: err = %v, want budget ErrNoExpression", bErr)
+		}
+		if bStats.Enumerated != budget {
+			t.Fatalf("sequential charged %d, budget %d", bStats.Enumerated, budget)
+		}
+		for _, w := range []int{2, 4} {
+			_, gStats, gErr := SolveConcreteCtx(ctx, p, exs,
+				Limits{MaxSize: 8, MaxExprs: budget, EnumWorkers: w})
+			if !errors.Is(gErr, ErrNoExpression) {
+				t.Fatalf("workers=%d: err = %v, want budget ErrNoExpression", w, gErr)
+			}
+			sameConcreteStats(t, "budget", bStats, gStats)
+		}
+	})
+
+	t.Run("cegis", func(t *testing.T) {
+		for _, tc := range parityProblems(t) {
+			t.Run(tc.name, func(t *testing.T) {
+				seq := tc.limits
+				seq.EnumWorkers = 1
+				baseExpr, baseStats, err := SolveConcolicCtx(ctx, tc.p, tc.examples, seq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range []int{2, 4} {
+					par := tc.limits
+					par.EnumWorkers = w
+					gotExpr, gotStats, err := SolveConcolicCtx(ctx, tc.p, tc.examples, par)
+					if err != nil {
+						t.Fatalf("workers=%d: %v", w, err)
+					}
+					if gotExpr.String() != baseExpr.String() {
+						t.Fatalf("workers=%d found %s, sequential found %s", w, gotExpr, baseExpr)
+					}
+					sameConcreteStats(t, "cegis", baseStats.Concrete, gotStats.Concrete)
+					if gotStats.Iterations != baseStats.Iterations ||
+						gotStats.SMTQueries != baseStats.SMTQueries {
+						t.Fatalf("workers=%d: %d iters/%d queries, sequential %d/%d", w,
+							gotStats.Iterations, gotStats.SMTQueries,
+							baseStats.Iterations, baseStats.SMTQueries)
+					}
+					sameTrace(t, baseStats.Trace, gotStats.Trace)
+				}
+			})
+		}
+	})
+}
+
+// sameTrace asserts two CEGIS traces are byte-identical: candidates,
+// witnesses, and concretized outputs.
+func sameTrace(t *testing.T, want, got []IterRecord) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("trace length: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		wr, gr := want[i], got[i]
+		if wr.Candidate.String() != gr.Candidate.String() {
+			t.Fatalf("iter %d candidate: %s vs %s", i+1, wr.Candidate, gr.Candidate)
+		}
+		if (wr.Witness == nil) != (gr.Witness == nil) {
+			t.Fatalf("iter %d witness presence differs", i+1)
+		}
+		for k, v := range wr.Witness {
+			if gr.Witness[k] != v {
+				t.Fatalf("iter %d witness[%s]: %v vs %v", i+1, k, v, gr.Witness[k])
+			}
+		}
+		if (wr.NewExample == nil) != (gr.NewExample == nil) {
+			t.Fatalf("iter %d new-example presence differs", i+1)
+		}
+		if wr.NewExample != nil && wr.NewExample.Out != gr.NewExample.Out {
+			t.Fatalf("iter %d concretized output: %v vs %v", i+1, wr.NewExample.Out, gr.NewExample.Out)
+		}
+	}
+}
+
+// TestBankReuseParity is the exact-parity guard for cross-iteration bank
+// reuse: with and without NoBankReuse, CEGIS must produce identical traces
+// and final expressions, and the reusing run must enumerate no more
+// candidates than the restarting one.
+func TestBankReuseParity(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range parityProblems(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			restart := tc.limits
+			restart.NoBankReuse = true
+			reuseExpr, reuseStats, reuseErr := SolveConcolicCtx(ctx, tc.p, tc.examples, tc.limits)
+			restExpr, restStats, restErr := SolveConcolicCtx(ctx, tc.p, tc.examples, restart)
+			if (reuseErr == nil) != (restErr == nil) {
+				t.Fatalf("error parity: reuse=%v restart=%v", reuseErr, restErr)
+			}
+			if reuseErr != nil {
+				return
+			}
+			if reuseExpr.String() != restExpr.String() {
+				t.Fatalf("result parity: reuse=%s restart=%s", reuseExpr, restExpr)
+			}
+			if reuseStats.Iterations != restStats.Iterations ||
+				reuseStats.SMTQueries != restStats.SMTQueries {
+				t.Fatalf("work parity: reuse %d iters/%d queries, restart %d/%d",
+					reuseStats.Iterations, reuseStats.SMTQueries,
+					restStats.Iterations, restStats.SMTQueries)
+			}
+			sameTrace(t, restStats.Trace, reuseStats.Trace)
+			if restStats.BankReuses != 0 {
+				t.Errorf("NoBankReuse run reports %d bank reuses", restStats.BankReuses)
+			}
+			// Rounds 1 and 2 never resume (no bank / degenerate bank);
+			// every later round must.
+			if want := reuseStats.Iterations - 2; want > 0 && reuseStats.BankReuses != want {
+				t.Errorf("bank reuses = %d, want %d (iterations %d)",
+					reuseStats.BankReuses, want, reuseStats.Iterations)
+			}
+			// The refactor's point: when resumes stick (no stale-pool
+			// fallbacks), the reusing run skips every rebuilt prefix. A
+			// fallback round pays for both the futile resumed walk and the
+			// restart, so its total is instead bounded loosely.
+			if reuseStats.BankReuses > 0 && reuseStats.Concrete.Restarts == 0 &&
+				reuseStats.Concrete.Enumerated >= restStats.Concrete.Enumerated {
+				t.Errorf("bank reuse enumerated %d candidates, restart %d — no reuse win",
+					reuseStats.Concrete.Enumerated, restStats.Concrete.Enumerated)
+			}
+			if reuseStats.Concrete.Enumerated > 4*restStats.Concrete.Enumerated {
+				t.Errorf("bank reuse enumerated %d candidates, restart %d — fallback cost unbounded",
+					reuseStats.Concrete.Enumerated, restStats.Concrete.Enumerated)
+			}
+			if restStats.Concrete.Restarts != 0 {
+				t.Errorf("NoBankReuse run reports %d fallback restarts", restStats.Concrete.Restarts)
+			}
+		})
+	}
+}
+
+// TestBankReuseWorkerParity crosses both tentpole axes: 4 tier workers
+// with bank reuse against the fully sequential restart path.
+func TestBankReuseWorkerParity(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range parityProblems(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			fast := tc.limits
+			fast.EnumWorkers = 4
+			slow := tc.limits
+			slow.EnumWorkers = 1
+			slow.NoBankReuse = true
+			fastExpr, fastStats, err := SolveConcolicCtx(ctx, tc.p, tc.examples, fast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slowExpr, slowStats, err := SolveConcolicCtx(ctx, tc.p, tc.examples, slow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fastExpr.String() != slowExpr.String() {
+				t.Fatalf("result parity: fast=%s slow=%s", fastExpr, slowExpr)
+			}
+			sameTrace(t, slowStats.Trace, fastStats.Trace)
+		})
+	}
+}
+
+// TestMaxExprsExactBudget is the regression test for the charge()
+// off-by-one: a budget of exactly the winning candidate's index must
+// still succeed, and a budget one short must fail.
+func TestMaxExprsExactBudget(t *testing.T) {
+	ctx := context.Background()
+	p, exs := maxConcrete(t)
+	want, full, err := SolveConcreteCtx(ctx, p, exs, Limits{MaxSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 4} {
+		got, stats, err := SolveConcreteCtx(ctx, p, exs,
+			Limits{MaxSize: 8, MaxExprs: full.Enumerated, EnumWorkers: w})
+		if err != nil {
+			t.Fatalf("workers=%d, budget %d (the winner's index): %v", w, full.Enumerated, err)
+		}
+		if got.String() != want.String() || stats.Enumerated != full.Enumerated {
+			t.Fatalf("workers=%d: got %s after %d, want %s after %d",
+				w, got, stats.Enumerated, want, full.Enumerated)
+		}
+		if _, _, err := SolveConcreteCtx(ctx, p, exs,
+			Limits{MaxSize: 8, MaxExprs: full.Enumerated - 1, EnumWorkers: w}); !errors.Is(err, ErrNoExpression) {
+			t.Fatalf("workers=%d, budget one short: err = %v, want ErrNoExpression", w, err)
+		}
+	}
+}

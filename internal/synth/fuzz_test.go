@@ -1,0 +1,111 @@
+package synth
+
+import (
+	"bytes"
+	"testing"
+
+	"transit/internal/expr"
+)
+
+// sigKeyCase is one decoded (type, value-vector) pair for the injectivity
+// fuzz target, built canonically so that semantic equality of two cases is
+// exactly Go equality of their components.
+type sigKeyCase struct {
+	t   expr.Type
+	sig []expr.Value
+}
+
+func (c sigKeyCase) equal(o sigKeyCase) bool {
+	if c.t != o.t || len(c.sig) != len(o.sig) {
+		return false
+	}
+	for i := range c.sig {
+		if c.sig[i] != o.sig[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// decodeSigKeyCase consumes bytes from data (returning the remainder) and
+// builds one canonical case over the given universe and enums. Every byte
+// pattern maps to a valid case, so the fuzzer explores the full space.
+func decodeSigKeyCase(u *expr.Universe, enums []*expr.EnumType, data []byte) (sigKeyCase, []byte) {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	next64 := func() uint64 {
+		var x uint64
+		for i := 0; i < 8; i++ {
+			x |= uint64(next()) << (8 * uint(i))
+		}
+		return x
+	}
+	types := []expr.Type{expr.BoolType, expr.IntType, expr.PIDType, expr.SetType,
+		expr.EnumOf(enums[0]), expr.EnumOf(enums[1])}
+	mkVal := func(t expr.Type, raw uint64) expr.Value {
+		switch t.Kind {
+		case expr.KindBool:
+			return expr.BoolVal(raw&1 == 1)
+		case expr.KindInt:
+			return expr.IntVal(u, int64(raw))
+		case expr.KindPID:
+			return expr.PIDVal(int(raw % uint64(u.NumCaches())))
+		case expr.KindSet:
+			return expr.SetVal(raw & u.SetMask())
+		default:
+			return expr.EnumVal(t.Enum, int(raw%uint64(len(t.Enum.Values))))
+		}
+	}
+	c := sigKeyCase{t: types[int(next())%len(types)]}
+	n := int(next()) % 6
+	for i := 0; i < n; i++ {
+		vt := types[int(next())%len(types)]
+		c.sig = append(c.sig, mkVal(vt, next64()))
+	}
+	return c, data
+}
+
+// FuzzSigKeyInjective fuzzes the signature-key encoding the enumerator's
+// pruning table and the parallel tier merge both depend on: two
+// (type, value-vector) pairs must produce equal keys exactly when they are
+// semantically equal. A collision between distinct pairs would silently
+// fuse two distinguishable candidate classes.
+func FuzzSigKeyInjective(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 1, 7, 0, 0, 0, 0, 0, 0, 0, 0, 3, 1, 4, 9})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := expr.NewUniverseWidth(3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e1, err := u.DeclareEnum("fuzzState", "I", "S", "M")
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := u.DeclareEnum("fuzzMode", "A", "B")
+		if err != nil {
+			t.Fatal(err)
+		}
+		enums := []*expr.EnumType{e1, e2}
+		a, rest := decodeSigKeyCase(u, enums, data)
+		b, _ := decodeSigKeyCase(u, enums, rest)
+		ka := appendSigKey(nil, a.t, a.sig)
+		kb := appendSigKey(nil, b.t, b.sig)
+		if got, want := bytes.Equal(ka, kb), a.equal(b); got != want {
+			t.Fatalf("key equality %v, semantic equality %v\na: %v %v\nb: %v %v\nka: %x\nkb: %x",
+				got, want, a.t, a.sig, b.t, b.sig, ka, kb)
+		}
+		// The key must also be deterministic and prefix-composable: keying
+		// the same case twice, or reusing a's buffer, changes nothing.
+		if again := appendSigKey(ka[:0], a.t, a.sig); !bytes.Equal(again, ka) {
+			t.Fatalf("re-encoding differs: %x vs %x", again, ka)
+		}
+	})
+}

@@ -25,7 +25,8 @@ func maxProblem() (Problem, []ConcolicExample) {
 
 func TestWithDefaultsResolvesZeroFields(t *testing.T) {
 	got := Limits{}.WithDefaults()
-	want := Limits{MaxSize: DefaultMaxSize, MaxExprs: DefaultMaxExprs, MaxIters: DefaultMaxIters}
+	want := Limits{MaxSize: DefaultMaxSize, MaxExprs: DefaultMaxExprs, MaxIters: DefaultMaxIters,
+		EnumWorkers: 1}
 	if got != want {
 		t.Errorf("Limits{}.WithDefaults() = %+v, want %+v", got, want)
 	}
@@ -40,7 +41,8 @@ func TestWithDefaultsIdempotent(t *testing.T) {
 
 func TestWithDefaultsPreservesExplicitFields(t *testing.T) {
 	in := Limits{MaxSize: 7, MaxExprs: 123, MaxIters: 3,
-		Timeout: time.Second, SMTConflicts: 9, NoPrune: true}
+		Timeout: time.Second, SMTConflicts: 9, NoPrune: true,
+		EnumWorkers: 2, NoBankReuse: true}
 	if got := in.WithDefaults(); got != in {
 		t.Errorf("WithDefaults clobbered explicit fields: %+v -> %+v", in, got)
 	}

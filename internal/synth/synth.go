@@ -89,6 +89,24 @@ type Limits struct {
 	// hatch and for differential testing, and is deliberately excluded
 	// from the engine's memoization key.
 	NoIncremental bool
+	// EnumWorkers sizes SolveConcrete's per-size-tier worker pool. Values
+	// <= 1 (and 0, which resolves to 1) run the enumeration sequentially.
+	// Any worker count returns the same expression and the same
+	// ConcreteStats as the sequential search — the parallel tiers merge
+	// through a deterministic minimum-index reduction (see DESIGN.md §10) —
+	// so the field is an execution detail and, like NoIncremental, is
+	// excluded from the engine's memoization key.
+	EnumWorkers int
+	// NoBankReuse makes SolveConcolic rebuild the expression bank from
+	// size 1 on every CEGIS round instead of extending the previous
+	// round's bank with the new concretization and resuming enumeration
+	// at the previous winner's position. Reuse never yields an expression
+	// inconsistent with the examples (every answer still passes the full
+	// SMT consistency check) and falls back to a full restart when the
+	// resumed search exhausts the size bound; the flag is the escape
+	// hatch and the differential-testing lever for that path. Ignored
+	// (reuse disabled) under NoPrune.
+	NoBankReuse bool
 }
 
 // Default limits, applied by Limits.WithDefaults.
@@ -112,6 +130,9 @@ func (l Limits) WithDefaults() Limits {
 	}
 	if l.MaxIters == 0 {
 		l.MaxIters = DefaultMaxIters
+	}
+	if l.EnumWorkers == 0 {
+		l.EnumWorkers = 1
 	}
 	return l
 }
@@ -137,7 +158,12 @@ type ConcreteStats struct {
 	Kept int64
 	// MaxSizeSeen is the largest size tier the search entered.
 	MaxSizeSeen int
-	Elapsed     time.Duration
+	// Restarts counts bank-resumed searches that exhausted the size bound
+	// and transparently fell back to a fresh search (the stale-pool case;
+	// always 0 outside CEGIS bank reuse). Enumerated and Kept include the
+	// work of both attempts.
+	Restarts int
+	Elapsed  time.Duration
 }
 
 // IterRecord traces one CEGIS iteration; Table 2 of the paper is a
@@ -159,6 +185,11 @@ type Stats struct {
 	Iterations int
 	Elapsed    time.Duration
 	Trace      []IterRecord
+
+	// BankReuses counts CEGIS rounds that resumed enumeration from the
+	// previous round's expression bank instead of restarting at size 1
+	// (always 0 with Limits.NoBankReuse or Limits.NoPrune).
+	BankReuses int
 
 	// SMTClauses and SMTClausesReused sum the per-query encoding work:
 	// clauses newly bit-blasted and cached-circuit clauses reused by the

@@ -1,0 +1,339 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"transit/internal/expr"
+)
+
+// The tier-parallel search partitions one size tier's composition work —
+// (function symbol × size-split × argument-pool chunk) — into units. Each
+// unit covers a contiguous range of the tier's canonical sequential
+// enumeration order, so every candidate has a tier-local index computable
+// from its unit's base offset; the deterministic merge in runTierPar
+// reduces worker-local tables by minimum index, reproducing the
+// sequential search exactly (DESIGN.md §10).
+
+// unitChunk is the target candidate count per unit: large enough to
+// amortize claim overhead, small enough to balance a tier across workers
+// and to bound the fast-forward cost when resuming mid-unit.
+const unitChunk = 4096
+
+// tierUnit is one deterministic slice of a size tier: function symbol f
+// applied to arguments from pools (one per parameter, fixed by the size
+// split shares), restricted to rows [lo, hi) of the outermost pool.
+type tierUnit struct {
+	f      *expr.Func
+	shares []int
+	pools  [][]entry
+	lo, hi int
+	// inner is the candidate count per outer-pool row; base the tier-local
+	// 0-based index of the unit's first candidate; count the unit total.
+	inner, base, count int64
+}
+
+// decode positions the odometer at the unit-local offset off: pools are
+// iterated outermost-first, each in retention order, exactly like the
+// sequential recursion.
+func (u *tierUnit) decode(off int64, pos []int) {
+	for j := len(u.pools) - 1; j >= 1; j-- {
+		n := int64(len(u.pools[j]))
+		pos[j] = int(off % n)
+		off /= n
+	}
+	pos[0] = u.lo + int(off)
+}
+
+// advance steps the odometer to the next candidate (caller guarantees one
+// exists).
+func (u *tierUnit) advance(pos []int) {
+	for j := len(u.pools) - 1; ; j-- {
+		pos[j]++
+		if j == 0 || pos[j] < len(u.pools[j]) {
+			return
+		}
+		pos[j] = 0
+	}
+}
+
+// buildUnits lays out one tier's units in canonical order — function
+// symbols in vocabulary order, size splits in the recursion order of the
+// original compose, outer-pool rows ascending — and returns them with the
+// tier's total candidate count. Empty products contribute nothing, again
+// like the sequential recursion.
+func (en *enumerator) buildUnits(size int) ([]tierUnit, int64) {
+	var units []tierUnit
+	var base int64
+	for _, f := range en.p.Vocab.Funcs() {
+		m := f.Arity()
+		if m == 0 {
+			continue
+		}
+		budget := size - 1
+		if budget < m {
+			continue
+		}
+		if cap(en.shareBuf) < m {
+			en.shareBuf = make([]int, m)
+		}
+		shares := en.shareBuf[:m]
+		var rec func(i, remaining int)
+		rec = func(i, remaining int) {
+			if i == m-1 {
+				shares[i] = remaining
+				pools := make([][]entry, m)
+				inner := int64(1)
+				for j := 0; j < m; j++ {
+					pools[j] = en.perSize[shares[j]][f.Params[j]]
+					if j > 0 {
+						inner *= int64(len(pools[j]))
+					}
+				}
+				outer := len(pools[0])
+				if outer == 0 || inner == 0 {
+					return
+				}
+				rows := 1
+				if inner < unitChunk {
+					rows = int((unitChunk + inner - 1) / inner)
+				}
+				for lo := 0; lo < outer; lo += rows {
+					hi := min(lo+rows, outer)
+					u := tierUnit{f: f, shares: append([]int(nil), shares...),
+						pools: pools, lo: lo, hi: hi, inner: inner, base: base}
+					u.count = int64(hi-lo) * inner
+					units = append(units, u)
+					base += u.count
+				}
+				return
+			}
+			for s := 1; s <= remaining-(m-1-i); s++ {
+				shares[i] = s
+				rec(i+1, remaining-s)
+			}
+		}
+		rec(0, budget)
+	}
+	return units, base
+}
+
+// tierHit is a worker-local first occurrence of a signature class within
+// the tier: the candidate's tier-local 1-based index, its materialized
+// expression, and an owned copy of its signature.
+type tierHit struct {
+	idx int64
+	e   expr.Expr
+	sig []expr.Value
+}
+
+// tierWorker is the per-goroutine state of one parallel tier: private
+// signature table and evaluation buffers, so the only shared mutable
+// state is the unit-claim counter and the cutoff index.
+type tierWorker struct {
+	en        *enumerator
+	table     map[string]tierHit
+	sigBuf    []expr.Value
+	keyBuf    []byte
+	argBuf    []expr.Value
+	args      []entry
+	pos       []int
+	processed int64
+	err       error
+}
+
+// runTierPar fans one tier out over en.workers goroutines and merges
+// their tables into exactly the sequential outcome. skip and total are
+// tier-local candidate counts (already consumed / overall).
+func (en *enumerator) runTierPar(size int, units []tierUnit, total, skip int64) (expr.Expr, error) {
+	remaining := en.limits.MaxExprs - en.stats.Enumerated
+	if remaining <= 0 {
+		en.stats.Elapsed = time.Since(en.start)
+		return nil, errStop{reason: fmt.Sprintf("expression budget %d exhausted", en.limits.MaxExprs)}
+	}
+	// budgetCut is the largest tier-local index the budget admits;
+	// workers additionally lower the shared cutoff to the smallest
+	// goal-signature index seen, pruning work past any known winner.
+	// Skipping is purely an optimization — correctness comes from the
+	// merge below.
+	budgetCut := total
+	if c := skip + remaining; c < total && c > 0 {
+		budgetCut = c
+	}
+	var cutoff atomic.Int64
+	cutoff.Store(budgetCut)
+	var next atomic.Int64
+	workers := make([]*tierWorker, en.workers)
+	var wg sync.WaitGroup
+	for i := range workers {
+		w := &tierWorker{en: en, table: make(map[string]tierHit),
+			sigBuf: make([]expr.Value, len(en.examples))}
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run(units, skip, &next, &cutoff)
+		}()
+	}
+	wg.Wait()
+
+	for _, w := range workers {
+		if w.err != nil {
+			// Best-effort accounting on abort (cancellation/timeout);
+			// exact-stats parity is only promised for completed tiers.
+			for _, v := range workers {
+				en.stats.Enumerated += v.processed
+			}
+			en.stats.Elapsed = time.Since(en.start)
+			return nil, w.err
+		}
+	}
+
+	// Deterministic reduction: minimum-index survivor per signature.
+	merged := make(map[string]tierHit)
+	for _, w := range workers {
+		for k, h := range w.table {
+			if old, ok := merged[k]; !ok || h.idx < old.idx {
+				merged[k] = h
+			}
+		}
+	}
+	winner, hasWin := merged[en.goalKey]
+	stop := budgetCut
+	if hasWin && winner.idx <= stop {
+		stop = winner.idx
+	} else {
+		hasWin = false
+	}
+	en.stats.Enumerated += stop - skip
+
+	// Survivors at or before the stop index enter the pools and the
+	// signature table in index order — pool order is enumeration order
+	// for every later tier.
+	type keyedHit struct {
+		key string
+		tierHit
+	}
+	survivors := make([]keyedHit, 0, len(merged))
+	for k, h := range merged {
+		if h.idx <= stop {
+			survivors = append(survivors, keyedHit{key: k, tierHit: h})
+		}
+	}
+	sort.Slice(survivors, func(i, j int) bool { return survivors[i].idx < survivors[j].idx })
+	for _, h := range survivors {
+		en.sigSeen[h.key] = struct{}{}
+		en.stats.Kept++
+		t := h.e.Type()
+		en.perSize[size][t] = append(en.perSize[size][t], entry{e: h.e, sig: h.sig})
+	}
+
+	if hasWin {
+		en.curSize, en.curIdx = size, winner.idx
+		en.stats.Elapsed = time.Since(en.start)
+		return winner.e, nil
+	}
+	if stop < total {
+		en.stats.Elapsed = time.Since(en.start)
+		return nil, errStop{reason: fmt.Sprintf("expression budget %d exhausted", en.limits.MaxExprs)}
+	}
+	return nil, nil
+}
+
+// run claims units off the shared counter until none remain or every
+// further candidate lies past the cutoff. Units are claimed in canonical
+// order, so each worker's candidate stream has strictly increasing
+// indices and its table's first occurrence per key is its local minimum.
+func (w *tierWorker) run(units []tierUnit, skip int64, next, cutoff *atomic.Int64) {
+	for {
+		ui := next.Add(1) - 1
+		if ui >= int64(len(units)) {
+			return
+		}
+		u := &units[ui]
+		if u.base+u.count <= skip {
+			continue
+		}
+		if u.base >= cutoff.Load() {
+			return
+		}
+		if !w.unit(u, skip, cutoff) {
+			return
+		}
+	}
+}
+
+// unit processes one unit's candidates against the worker-local table.
+// It mirrors the sequential considerApply hot path: evaluate the
+// signature pointwise from child signatures into reusable buffers, check
+// the frozen pre-tier signature table, then the local one, and
+// materialize the expression only on a first local occurrence.
+func (w *tierWorker) unit(u *tierUnit, skip int64, cutoff *atomic.Int64) bool {
+	en := w.en
+	m := len(u.shares)
+	if cap(w.args) < m {
+		w.args = make([]entry, m)
+		w.argBuf = make([]expr.Value, m)
+		w.pos = make([]int, m)
+	}
+	args, argv, pos := w.args[:m], w.argBuf[:m], w.pos[:m]
+	off := int64(0)
+	if skip > u.base {
+		off = skip - u.base
+	}
+	u.decode(off, pos)
+	for {
+		idx := u.base + off + 1
+		if idx > cutoff.Load() {
+			return true
+		}
+		w.processed++
+		if w.processed%4096 == 0 {
+			if err := en.ctx.Err(); err != nil {
+				w.err = fmt.Errorf("synth: enumeration aborted: %w", err)
+				return false
+			}
+			if en.limits.Timeout > 0 && time.Since(en.start) > en.limits.Timeout {
+				w.err = errStop{reason: "timeout"}
+				return false
+			}
+		}
+		for j := 0; j < m; j++ {
+			args[j] = u.pools[j][pos[j]]
+		}
+		for k := range en.examples {
+			for j := range args {
+				argv[j] = args[j].sig[k]
+			}
+			w.sigBuf[k] = u.f.Apply(en.p.U, argv)
+		}
+		w.keyBuf = appendSigKey(w.keyBuf[:0], u.f.Ret, w.sigBuf)
+		if _, seen := en.sigSeen[string(w.keyBuf)]; !seen {
+			if _, dup := w.table[string(w.keyBuf)]; !dup {
+				childExprs := make([]expr.Expr, m)
+				for j, a := range args {
+					childExprs[j] = a.e
+				}
+				key := string(w.keyBuf)
+				w.table[key] = tierHit{idx: idx, e: expr.NewApply(u.f, childExprs...),
+					sig: append([]expr.Value(nil), w.sigBuf...)}
+				if key == en.goalKey {
+					for {
+						c := cutoff.Load()
+						if idx >= c || cutoff.CompareAndSwap(c, idx) {
+							break
+						}
+					}
+				}
+			}
+		}
+		off++
+		if off == u.count {
+			return true
+		}
+		u.advance(pos)
+	}
+}

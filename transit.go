@@ -274,6 +274,10 @@ type SynthesisOptions struct {
 	// the sequential order (byte-identical output to the historical
 	// implementation; larger pools infer identical expressions faster).
 	Workers int
+	// EnumWorkers sizes the tier-parallel enumeration fan-out inside each
+	// inference job; <= 1 runs tiers sequentially. Like Workers it never
+	// changes the inferred expressions, only wall-clock time.
+	EnumWorkers int
 	// Timeout bounds the whole synthesis run; 0 means none.
 	Timeout time.Duration
 	// Telemetry, when non-nil, receives the engine's structured events.
@@ -301,6 +305,7 @@ func SynthesizeCtx(ctx context.Context, proto *Protocol, opts SynthesisOptions) 
 		Limits:         opts.Limits,
 		SkipGuardCheck: opts.SkipGuardCheck,
 		Workers:        opts.Workers,
+		EnumWorkers:    opts.EnumWorkers,
 		Timeout:        opts.Timeout,
 		Telemetry:      opts.Telemetry,
 		Cache:          opts.Cache,
