@@ -17,8 +17,10 @@
 //
 // Observability flags apply to whichever benchmarks run: -trace out.json
 // writes a Chrome trace-event file (open at ui.perfetto.dev),
-// -stats-summary prints the end-of-run span tree, and
-// -cpuprofile/-memprofile/-pprof enable the Go profilers.
+// -stats-summary prints the end-of-run span tree,
+// -cpuprofile/-memprofile/-pprof enable the Go profilers, -serve ADDR
+// exposes the live introspection endpoints while benchmarks run, and
+// -flight F arms the flight recorder.
 //
 // Absolute numbers depend on the machine; the shapes to compare against
 // the paper are described in EXPERIMENTS.md.
@@ -30,10 +32,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"transit/internal/bench"
 	"transit/internal/obs"
+	"transit/internal/obs/serve"
 )
 
 func main() {
@@ -58,6 +63,8 @@ func main() {
 
 		tracePath    = flag.String("trace", "", "write a Chrome trace-event JSON file (view at ui.perfetto.dev)")
 		statsSummary = flag.Bool("stats-summary", false, "print an end-of-run span tree and metrics table to stderr")
+		serveAddr    = flag.String("serve", "", "serve live introspection on this address (e.g. localhost:6969)")
+		flightPath   = flag.String("flight", "", "arm the flight recorder, dumping to this file on panic/cancel/SIGINT")
 		profiling    obs.Profiling
 	)
 	flag.StringVar(&profiling.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
@@ -76,22 +83,46 @@ func main() {
 	if *statsSummary {
 		summary = os.Stderr
 	}
-	sess, err := obs.NewSession(obs.Options{
-		TracePath: *tracePath,
-		Summary:   summary,
-		Profiling: profiling,
-	})
+	var srv *serve.Server
+	if *serveAddr != "" {
+		srv = serve.New(*serveAddr)
+		if *flightPath == "" {
+			*flightPath = obs.DefaultFlightPath()
+		}
+	}
+	oopts := obs.Options{
+		TracePath:  *tracePath,
+		Summary:    summary,
+		FlightPath: *flightPath,
+		Profiling:  profiling,
+	}
+	if srv != nil {
+		oopts.Extra = srv.Exporters()
+	}
+	sess, err := obs.NewSession(oopts)
 	check(err)
-	// Exit through fail() so the session flushes even on benchmark errors.
+	if srv != nil {
+		srv.Attach(sess)
+		check(srv.Start())
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "transit-bench: live introspection on http://%s/\n", srv.Addr())
+	}
+	// Exit through fail() so the session flushes even on benchmark errors,
+	// and dumps the flight ring when the failure was a cancellation.
 	fail := func(err error) {
 		if err == nil {
 			return
+		}
+		if path, derr := sess.DumpFlight(err.Error()); derr == nil && path != "" {
+			fmt.Fprintf(os.Stderr, "transit-bench: flight dump written to %s\n", path)
 		}
 		_ = sess.Close()
 		fmt.Fprintln(os.Stderr, "transit-bench:", err)
 		os.Exit(1)
 	}
-	ctx := sess.Context(context.Background())
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx := sess.Context(sigCtx)
 
 	if *table2 {
 		rows, final, stats, err := bench.Table2Ctx(ctx)

@@ -18,6 +18,7 @@
 //	transit-infer [-max-size K] [-timeout D] [-no-incremental]
 //	              [-enum-workers N] [-cegis-trace] [-stats]
 //	              [-trace out.json] [-stats-summary]
+//	              [-serve ADDR] [-flight F]
 //	              [-cpuprofile F] [-memprofile F] [-pprof ADDR] file
 //
 // With no file the spec is read from stdin. -cegis-trace prints the
@@ -31,14 +32,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"transit"
 	"transit/internal/expr"
 	"transit/internal/lang"
 	"transit/internal/obs"
+	"transit/internal/obs/serve"
 )
 
 // inferOptions is the CLI configuration for one inference run.
@@ -51,6 +55,8 @@ type inferOptions struct {
 	stats        bool
 	tracePath    string
 	statsSummary bool
+	serveAddr    string
+	flightPath   string
 	profiling    obs.Profiling
 }
 
@@ -64,6 +70,8 @@ func main() {
 	flag.BoolVar(&opts.stats, "stats", false, "stream statistics and trace spans as JSON lines to stderr")
 	flag.StringVar(&opts.tracePath, "trace", "", "write a Chrome trace-event JSON file (view at ui.perfetto.dev)")
 	flag.BoolVar(&opts.statsSummary, "stats-summary", false, "print an end-of-run span tree and metrics table to stderr")
+	flag.StringVar(&opts.serveAddr, "serve", "", "serve live introspection on this address (e.g. localhost:6969)")
+	flag.StringVar(&opts.flightPath, "flight", "", "arm the flight recorder, dumping to this file on panic/cancel/SIGINT")
 	flag.StringVar(&opts.profiling.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&opts.profiling.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
 	flag.StringVar(&opts.profiling.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -264,18 +272,41 @@ func run(src string, opts inferOptions) error {
 	if opts.statsSummary {
 		summary = os.Stderr
 	}
-	sess, err := obs.NewSession(obs.Options{
-		NDJSON:    ndjson,
-		TracePath: opts.tracePath,
-		Summary:   summary,
-		Profiling: opts.profiling,
-	})
+	var srv *serve.Server
+	flightPath := opts.flightPath
+	if opts.serveAddr != "" {
+		srv = serve.New(opts.serveAddr)
+		if flightPath == "" {
+			flightPath = obs.DefaultFlightPath()
+		}
+	}
+	oopts := obs.Options{
+		NDJSON:     ndjson,
+		TracePath:  opts.tracePath,
+		Summary:    summary,
+		FlightPath: flightPath,
+		Profiling:  opts.profiling,
+	}
+	if srv != nil {
+		oopts.Extra = srv.Exporters()
+	}
+	sess, err := obs.NewSession(oopts)
 	if err != nil {
 		return err
 	}
 	defer sess.Close()
+	if srv != nil {
+		srv.Attach(sess)
+		if err := srv.Start(); err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "transit-infer: live introspection on http://%s/\n", srv.Addr())
+	}
 
-	ctx := sess.Context(context.Background())
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx := sess.Context(sigCtx)
 	if opts.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.timeout)
@@ -285,6 +316,9 @@ func run(src string, opts inferOptions) error {
 		transit.Limits{MaxSize: opts.maxSize, NoIncremental: opts.noIncr,
 			EnumWorkers: opts.enumWorkers})
 	if err != nil {
+		if path, derr := sess.DumpFlight(err.Error()); derr == nil && path != "" {
+			fmt.Fprintf(os.Stderr, "transit-infer: flight dump written to %s\n", path)
+		}
 		return err
 	}
 	if opts.cegisTrace {

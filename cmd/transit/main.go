@@ -28,7 +28,18 @@
 //	-stats-summary  print an end-of-run span tree and metrics table
 //	-cpuprofile F   write a CPU profile to F
 //	-memprofile F   write a heap profile to F at exit
-//	-pprof ADDR     serve net/http/pprof on ADDR (e.g. localhost:6060)
+//	-pprof ADDR     serve pprof on a private mux on ADDR (e.g. localhost:6060)
+//	-serve ADDR     serve live introspection on ADDR: /metrics (Prometheus),
+//	                /vars, /runs, /trace/live (SSE), /flight, /debug/pprof/
+//	-flight F       arm the flight recorder, dumping the event tail to F on
+//	                panic, cancellation, or SIGINT (-serve arms it too,
+//	                defaulting to transit-flight-<pid>.ndjson)
+//	-mc-progress D  model-checker heartbeat interval (default 1s, 0 disables)
+//
+// Subcommands:
+//
+//	transit obs report FILE   render a flight dump or -stats NDJSON capture
+//	                          as the -stats-summary tree and metrics table
 package main
 
 import (
@@ -37,15 +48,25 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"transit"
 	"transit/internal/export"
 	"transit/internal/expr"
 	"transit/internal/obs"
+	"transit/internal/obs/serve"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "obs" {
+		if err := runObs(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "transit:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var opts options
 	flag.IntVar(&opts.numCaches, "n", 3, "number of caches")
 	flag.IntVar(&opts.maxSize, "max-size", 12, "expression-size bound for inference")
@@ -64,7 +85,10 @@ func main() {
 	flag.BoolVar(&opts.statsSummary, "stats-summary", false, "print an end-of-run span tree and metrics table to stderr")
 	flag.StringVar(&opts.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&opts.memProfile, "memprofile", "", "write a heap profile to this file at exit")
-	flag.StringVar(&opts.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.StringVar(&opts.pprofAddr, "pprof", "", "serve pprof on this address (e.g. localhost:6060)")
+	flag.StringVar(&opts.serveAddr, "serve", "", "serve live introspection on this address (e.g. localhost:6969)")
+	flag.StringVar(&opts.flightPath, "flight", "", "arm the flight recorder, dumping to this file on panic/cancel/SIGINT")
+	flag.DurationVar(&opts.mcProgress, "mc-progress", time.Second, "model-checker heartbeat interval (0 disables)")
 	flag.Parse()
 	opts.args = flag.Args()
 	code, err := run(opts)
@@ -97,7 +121,32 @@ type options struct {
 	cpuProfile   string
 	memProfile   string
 	pprofAddr    string
+	serveAddr    string
+	flightPath   string
+	mcProgress   time.Duration
 	args         []string
+}
+
+// runObs handles the "transit obs" subcommand family.
+func runObs(args []string) error {
+	if len(args) != 2 || args[0] != "report" {
+		return fmt.Errorf("usage: transit obs report <flight-dump-or-ndjson-file>")
+	}
+	f, err := os.Open(args[1])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return obs.Report(f, os.Stdout)
+}
+
+// mcInterval maps the -mc-progress flag to mc's convention: the flag's 0
+// means "off", mc's 0 means "default", negative means "off".
+func mcInterval(d time.Duration) time.Duration {
+	if d == 0 {
+		return -1
+	}
+	return d
 }
 
 // run executes the pipeline and returns the process exit code (0 ok, 2
@@ -128,20 +177,70 @@ func run(opts options) (int, error) {
 	if opts.statsSummary {
 		summary = os.Stderr
 	}
-	sess, err := obs.NewSession(obs.Options{
-		NDJSON:    ndjson,
-		TracePath: opts.tracePath,
-		Summary:   summary,
+
+	// The introspection server's exporters must join the session fan-out,
+	// so it is built first and attached after. Serving also arms the
+	// flight recorder: a run someone is watching is a run whose death
+	// should leave evidence.
+	var srv *serve.Server
+	flightPath := opts.flightPath
+	if opts.serveAddr != "" {
+		srv = serve.New(opts.serveAddr)
+		if flightPath == "" {
+			flightPath = obs.DefaultFlightPath()
+		}
+	}
+	oopts := obs.Options{
+		NDJSON:     ndjson,
+		TracePath:  opts.tracePath,
+		Summary:    summary,
+		FlightPath: flightPath,
 		Profiling: obs.Profiling{
 			CPUProfile: opts.cpuProfile,
 			MemProfile: opts.memProfile,
 			PprofAddr:  opts.pprofAddr,
 		},
-	})
+	}
+	if srv != nil {
+		oopts.Extra = srv.Exporters()
+	}
+	sess, err := obs.NewSession(oopts)
 	if err != nil {
 		return 0, err
 	}
-	code, err := pipeline(sess.Context(context.Background()), proto, sopts, opts)
+	if srv != nil {
+		srv.Attach(sess)
+		if err := srv.Start(); err != nil {
+			_ = sess.Close()
+			return 0, err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "transit: live introspection on http://%s/\n", srv.Addr())
+	}
+
+	// SIGINT/SIGTERM cancel the pipeline context; the partial-result paths
+	// return what was explored so far and the flight recorder keeps the
+	// event tail.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// A panic anywhere in the pipeline dumps the flight ring before the
+	// process dies — the dump is the post-mortem the stack trace lacks.
+	defer func() {
+		if r := recover(); r != nil {
+			if path, err := sess.DumpFlight(fmt.Sprintf("panic: %v", r)); err == nil && path != "" {
+				fmt.Fprintf(os.Stderr, "transit: flight dump written to %s\n", path)
+			}
+			panic(r)
+		}
+	}()
+
+	code, err := pipeline(sess.Context(ctx), proto, sopts, opts)
+	if ctx.Err() != nil {
+		if path, derr := sess.DumpFlight(ctx.Err().Error()); derr == nil && path != "" {
+			fmt.Fprintf(os.Stderr, "transit: flight dump written to %s\n", path)
+		}
+	}
 	if cerr := sess.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
@@ -210,8 +309,9 @@ func pipeline(ctx context.Context, proto *transit.Protocol, sopts transit.Synthe
 	}
 
 	res, chart, err := transit.VerifyWithChartCtx(ctx, proto, transit.VerifyOptions{
-		MaxStates:     opts.maxStates,
-		CheckDeadlock: opts.deadlock,
+		MaxStates:        opts.maxStates,
+		CheckDeadlock:    opts.deadlock,
+		ProgressInterval: mcInterval(opts.mcProgress),
 	})
 	if err != nil {
 		return 0, fmt.Errorf("model checking: %w", err)

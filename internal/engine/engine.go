@@ -197,13 +197,15 @@ func (e *Engine) Run(ctx context.Context, jobs []*Job) (RunStats, error) {
 	e.emit(Event{Type: "engine_start", Workers: e.cfg.Workers, Jobs: len(jobs)})
 	ctx, runSpan := obs.Start(ctx, "engine.run",
 		obs.Int("workers", e.cfg.Workers), obs.Int("jobs", len(jobs)))
+	rs := registerRun(e.cfg.Workers, len(jobs))
+	defer rs.unregister()
 
 	var wg sync.WaitGroup
 	for w := 0; w < e.cfg.Workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			e.work(ctx, cancel, worker)
+			e.work(ctx, cancel, worker, rs)
 		}(w)
 	}
 	wg.Wait()
@@ -265,7 +267,7 @@ func (e *Engine) Run(ctx context.Context, jobs []*Job) (RunStats, error) {
 // work is one worker's loop: pop the lowest-id ready job, execute it (or
 // skip it when a dependency failed / the run is cancelled), release its
 // dependents.
-func (e *Engine) work(ctx context.Context, cancel context.CancelFunc, worker int) {
+func (e *Engine) work(ctx context.Context, cancel context.CancelFunc, worker int, rs *runState) {
 	for {
 		e.mu.Lock()
 		for len(e.ready) == 0 && e.remaining > 0 {
@@ -279,7 +281,9 @@ func (e *Engine) work(ctx context.Context, cancel context.CancelFunc, worker int
 		j := heap.Pop(&e.ready).(*Job)
 		e.mu.Unlock()
 
+		rs.jobStarted(j, worker+1)
 		j.Err = e.execute(ctx, j, worker)
+		rs.jobEnded(j, j.Err != nil)
 		if j.Err != nil {
 			cancel() // fail fast: stop in-flight siblings
 		}

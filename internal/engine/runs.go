@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the engine's live-introspection surface: a process-wide
+// registry of in-flight Runs and their currently executing jobs, read by
+// the /runs endpoint of the obs introspection server. Engines register a
+// run when Run starts and withdraw it when Run returns; within a run,
+// workers mark jobs active around execute. The bookkeeping is one mutexed
+// map update per job start/end — noise against the SMT solving a job
+// performs — and exists whether or not anything is watching, so a server
+// attached mid-run sees the full picture immediately.
+
+// JobStatus describes one currently executing job.
+type JobStatus struct {
+	Run       uint64  `json:"run"`
+	Job       string  `json:"job"`
+	Kind      string  `json:"kind"`
+	Worker    int     `json:"worker"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// RunStatus describes one in-flight engine Run and its active jobs.
+type RunStatus struct {
+	ID        uint64      `json:"run"`
+	Workers   int         `json:"workers"`
+	Jobs      int         `json:"jobs"`
+	Done      int         `json:"done"`
+	Failed    int         `json:"failed"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+	Active    []JobStatus `json:"active,omitempty"`
+}
+
+// runState is the registry entry for one in-flight Run.
+type runState struct {
+	id      uint64
+	workers int
+	jobs    int
+	started time.Time
+
+	mu     sync.Mutex
+	active map[*Job]jobEntry
+	done   int
+	failed int
+}
+
+type jobEntry struct {
+	worker  int
+	started time.Time
+}
+
+var (
+	liveRunsMu sync.Mutex
+	liveRuns   = map[uint64]*runState{}
+	nextRunID  atomic.Uint64
+)
+
+func registerRun(workers, jobs int) *runState {
+	rs := &runState{id: nextRunID.Add(1), workers: workers, jobs: jobs,
+		started: time.Now(), active: map[*Job]jobEntry{}}
+	liveRunsMu.Lock()
+	liveRuns[rs.id] = rs
+	liveRunsMu.Unlock()
+	return rs
+}
+
+func (rs *runState) unregister() {
+	liveRunsMu.Lock()
+	delete(liveRuns, rs.id)
+	liveRunsMu.Unlock()
+}
+
+func (rs *runState) jobStarted(j *Job, worker int) {
+	if rs == nil {
+		return
+	}
+	rs.mu.Lock()
+	rs.active[j] = jobEntry{worker: worker, started: time.Now()}
+	rs.mu.Unlock()
+}
+
+func (rs *runState) jobEnded(j *Job, failed bool) {
+	if rs == nil {
+		return
+	}
+	rs.mu.Lock()
+	delete(rs.active, j)
+	rs.done++
+	if failed {
+		rs.failed++
+	}
+	rs.mu.Unlock()
+}
+
+// ActiveRuns snapshots every in-flight engine Run in this process, oldest
+// first, each with its currently executing jobs sorted by worker. An
+// empty slice means no engine is running (the pipeline is parsing, model
+// checking, or idle).
+func ActiveRuns() []RunStatus {
+	liveRunsMu.Lock()
+	states := make([]*runState, 0, len(liveRuns))
+	for _, rs := range liveRuns {
+		states = append(states, rs)
+	}
+	liveRunsMu.Unlock()
+	sort.Slice(states, func(i, j int) bool { return states[i].id < states[j].id })
+
+	now := time.Now()
+	out := make([]RunStatus, 0, len(states))
+	for _, rs := range states {
+		st := RunStatus{ID: rs.id, Workers: rs.workers, Jobs: rs.jobs,
+			ElapsedMS: float64(now.Sub(rs.started)) / float64(time.Millisecond)}
+		rs.mu.Lock()
+		st.Done = rs.done
+		st.Failed = rs.failed
+		for j, e := range rs.active {
+			st.Active = append(st.Active, JobStatus{Run: rs.id, Job: j.Label, Kind: j.Kind,
+				Worker: e.worker, ElapsedMS: float64(now.Sub(e.started)) / float64(time.Millisecond)})
+		}
+		rs.mu.Unlock()
+		sort.Slice(st.Active, func(i, j int) bool { return st.Active[i].Worker < st.Active[j].Worker })
+		out = append(out, st)
+	}
+	return out
+}

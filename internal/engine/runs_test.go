@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"context"
+	"testing"
+)
+
+// TestActiveRunsLifecycle covers the live-run registry: while a job is
+// executing the registry reports it, and after Run returns the run is
+// withdrawn.
+func TestActiveRunsLifecycle(t *testing.T) {
+	release := make(chan struct{})
+	observed := make(chan []RunStatus, 1)
+	j := &Job{Label: "probe", Kind: "test", Run: func(ctx context.Context) error {
+		observed <- ActiveRuns()
+		<-release
+		return nil
+	}}
+	e := New(Config{Workers: 1})
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Run(context.Background(), []*Job{j})
+		done <- err
+	}()
+
+	runs := <-observed
+	if len(runs) != 1 {
+		t.Fatalf("ActiveRuns mid-job = %d runs, want 1", len(runs))
+	}
+	r := runs[0]
+	if r.Jobs != 1 || r.Workers != 1 || r.Done != 0 {
+		t.Errorf("run status = %+v, want jobs=1 workers=1 done=0", r)
+	}
+	if len(r.Active) != 1 || r.Active[0].Job != "probe" || r.Active[0].Kind != "test" || r.Active[0].Worker != 1 {
+		t.Errorf("active jobs = %+v, want one 'probe' on worker 1", r.Active)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if runs := ActiveRuns(); len(runs) != 0 {
+		t.Errorf("ActiveRuns after Run = %+v, want empty", runs)
+	}
+}

@@ -1,0 +1,76 @@
+package mc
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"transit/internal/efsm"
+	"transit/internal/obs"
+)
+
+// slowCheck builds an invariant that always holds but burns wall-clock
+// time on every state, simulating a protocol whose transition relation is
+// slow: far fewer than 1024 dequeues happen per heartbeat interval, so
+// only the wall-clock ticker can keep the heartbeat alive.
+func slowCheck(d time.Duration) Invariant {
+	return Invariant{Name: "slow", Check: func(r *efsm.Runtime, st *efsm.State) (bool, string) {
+		time.Sleep(d)
+		return true, ""
+	}}
+}
+
+// TestHeartbeatWallClock asserts that a slow search still emits
+// mc.progress marks on the wall-clock interval, and that the marks carry
+// the live-gauge attributes /runs and the flight recorder feed on.
+func TestHeartbeatWallClock(t *testing.T) {
+	sys, _, _ := tokenSystem(t, tokenOpts{})
+	col := obs.NewCollect()
+	ctx := obs.WithTracer(context.Background(), obs.NewTracer(col))
+
+	_, err := CheckCtx(ctx, mustRuntime(t, sys), []Invariant{slowCheck(2 * time.Millisecond)},
+		Options{ProgressInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var beats []obs.SpanData
+	for _, m := range col.Marks() {
+		if m.Name == "mc.progress" {
+			beats = append(beats, m)
+		}
+	}
+	if len(beats) == 0 {
+		t.Fatal("no mc.progress marks from a slow search; wall-clock heartbeat missing")
+	}
+	attrs := map[string]any{}
+	for _, a := range beats[len(beats)-1].Attrs {
+		attrs[a.Key] = a.Value
+	}
+	for _, key := range []string{"states", "transitions", "queue", "depth", "states_per_sec"} {
+		if _, ok := attrs[key]; !ok {
+			t.Errorf("mc.progress mark missing attr %q (attrs: %v)", key, attrs)
+		}
+	}
+	if s, ok := attrs["states"].(int64); !ok || s < 1 {
+		t.Errorf("states attr = %v, want >= 1", attrs["states"])
+	}
+}
+
+// TestHeartbeatDisabled asserts a negative interval turns heartbeats off
+// entirely, even on a slow search.
+func TestHeartbeatDisabled(t *testing.T) {
+	sys, _, _ := tokenSystem(t, tokenOpts{})
+	col := obs.NewCollect()
+	ctx := obs.WithTracer(context.Background(), obs.NewTracer(col))
+
+	_, err := CheckCtx(ctx, mustRuntime(t, sys), []Invariant{slowCheck(time.Millisecond)},
+		Options{ProgressInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range col.Marks() {
+		if m.Name == "mc.progress" {
+			t.Fatalf("mc.progress mark emitted with heartbeats disabled: %+v", m)
+		}
+	}
+}

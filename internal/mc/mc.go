@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"transit/internal/efsm"
@@ -32,6 +33,12 @@ type Options struct {
 	MaxDepth int
 	// CheckDeadlock reports states with no enabled action as violations.
 	CheckDeadlock bool
+	// ProgressInterval paces the mc.progress heartbeat marks (states,
+	// states/sec, queue depth). 0 means the 1s default; negative disables
+	// heartbeats. Marks are emitted both from the BFS loop (paced by
+	// state count) and from a wall-clock ticker, so protocols with slow
+	// transition or invariant functions still heartbeat on time.
+	ProgressInterval time.Duration
 }
 
 // ViolationKind classifies a counterexample.
@@ -137,6 +144,10 @@ func CheckCtx(ctx context.Context, r *efsm.Runtime, invs []Invariant, opts Optio
 	ctx, span := obs.Start(ctx, "mc.bfs",
 		obs.Int("max_states", maxStates), obs.Int("max_depth", opts.MaxDepth))
 	start := time.Now()
+	// repStates/repTransitions track what the heartbeat has already
+	// published to the metrics registry, so running updates and the final
+	// settle add exact deltas instead of double-counting.
+	var repStates, repTransitions atomic.Int64
 	defer func() {
 		res.Elapsed = time.Since(start)
 		if secs := res.Elapsed.Seconds(); secs > 0 {
@@ -151,8 +162,13 @@ func CheckCtx(ctx context.Context, r *efsm.Runtime, invs []Invariant, opts Optio
 		span.End()
 		if reg := obs.MetricsFrom(ctx); reg != nil {
 			reg.Counter("mc.runs").Inc()
-			reg.Counter("mc.states").Add(int64(res.States))
-			reg.Counter("mc.transitions").Add(int64(res.Transitions))
+			// The heartbeat publishes running deltas; settle the remainder.
+			if d := int64(res.States) - repStates.Swap(int64(res.States)); d > 0 {
+				reg.Counter("mc.states").Add(d)
+			}
+			if d := int64(res.Transitions) - repTransitions.Swap(int64(res.Transitions)); d > 0 {
+				reg.Counter("mc.transitions").Add(d)
+			}
 			reg.Histogram("mc.check_ms").Observe(res.Elapsed)
 		}
 	}()
@@ -185,8 +201,66 @@ func CheckCtx(ctx context.Context, r *efsm.Runtime, invs []Invariant, opts Optio
 		return res, nil
 	}
 
+	// Heartbeat plumbing: the BFS loop mirrors its counters into atomics,
+	// and mc.progress marks fire whenever ProgressInterval has elapsed —
+	// checked both from the loop (every 1024 dequeues, the cheap path)
+	// and from a wall-clock ticker goroutine, so protocols whose
+	// transition or invariant functions are slow still heartbeat on time
+	// for /runs and the flight recorder. The CAS on lastBeat keeps the
+	// two emitters from double-marking an interval.
+	interval := opts.ProgressInterval
+	if interval == 0 {
+		interval = time.Second
+	}
+	var progStates, progTransitions, progDepth, progQueue atomic.Int64
+	progStates.Store(1)
+	progQueue.Store(1)
+	var lastBeat atomic.Int64
+	lastBeat.Store(start.UnixNano())
+	reg := obs.MetricsFrom(ctx)
+	beat := func(now time.Time) {
+		last := lastBeat.Load()
+		if now.UnixNano()-last < int64(interval) || !lastBeat.CompareAndSwap(last, now.UnixNano()) {
+			return
+		}
+		states := progStates.Load()
+		transitions := progTransitions.Load()
+		span.Mark("mc.progress",
+			obs.Int64("states", states),
+			obs.Int64("transitions", transitions),
+			obs.Int64("queue", progQueue.Load()),
+			obs.Int64("depth", progDepth.Load()),
+			obs.Float("states_per_sec", float64(states)/now.Sub(start).Seconds()))
+		// Mirror the running totals into the metrics registry so /metrics
+		// scrapes see mc.states advance during the search, not only after.
+		// Deltas guard monotonicity against a beat racing the final settle.
+		if reg != nil {
+			if d := states - repStates.Swap(states); d > 0 {
+				reg.Counter("mc.states").Add(d)
+			}
+			if d := transitions - repTransitions.Swap(transitions); d > 0 {
+				reg.Counter("mc.transitions").Add(d)
+			}
+		}
+	}
+	if span != nil && interval > 0 {
+		stopHB := make(chan struct{})
+		defer close(stopHB)
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case now := <-t.C:
+					beat(now)
+				case <-stopHB:
+					return
+				}
+			}
+		}()
+	}
+
 	var dequeued int
-	lastProgress := start
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
@@ -195,16 +269,8 @@ func CheckCtx(ctx context.Context, r *efsm.Runtime, invs []Invariant, opts Optio
 			if err := ctx.Err(); err != nil {
 				return res, fmt.Errorf("mc: search aborted after %d states: %w", res.States, err)
 			}
-			// Heartbeat roughly once a second so long searches show
-			// their exploration rate live in the trace.
-			if span != nil {
-				if now := time.Now(); now.Sub(lastProgress) >= time.Second {
-					lastProgress = now
-					span.Mark("mc.progress",
-						obs.Int("states", res.States),
-						obs.Int("transitions", res.Transitions),
-						obs.Float("states_per_sec", float64(res.States)/now.Sub(start).Seconds()))
-				}
+			if span != nil && interval > 0 {
+				beat(time.Now())
 			}
 		}
 		depth := visited[cur.key].depth
@@ -246,6 +312,10 @@ func CheckCtx(ctx context.Context, r *efsm.Runtime, invs []Invariant, opts Optio
 			}
 			queue = append(queue, qent{st: next, key: key})
 		}
+		progStates.Store(int64(res.States))
+		progTransitions.Store(int64(res.Transitions))
+		progDepth.Store(int64(res.Depth))
+		progQueue.Store(int64(len(queue)))
 	}
 	res.OK = true
 	res.Complete = true

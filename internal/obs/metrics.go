@@ -138,6 +138,9 @@ type HistogramSnapshot struct {
 	Max     time.Duration     `json:"-"`
 	SumMS   float64           `json:"sum_ms"`
 	MaxMS   float64           `json:"max_ms"`
+	P50MS   float64           `json:"p50_ms"`
+	P95MS   float64           `json:"p95_ms"`
+	P99MS   float64           `json:"p99_ms"`
 	Buckets [numBuckets]int64 `json:"buckets"`
 }
 
@@ -147,6 +150,48 @@ func (h HistogramSnapshot) Mean() time.Duration {
 		return 0
 	}
 	return h.Sum / time.Duration(h.Count)
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket
+// counts, interpolating linearly inside the winning bucket. Estimates are
+// capped by the observed Max (which also stands in for the open-ended
+// overflow bucket's upper bound), so Quantile(1) == Max exactly and no
+// estimate exceeds a value that was actually observed.
+func (h HistogramSnapshot) Quantile(q float64) time.Duration {
+	if h.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	for i, c := range h.Buckets {
+		prev := cum
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = histBounds[i-1]
+		}
+		hi := h.Max
+		if i < len(histBounds) && histBounds[i] < hi {
+			hi = histBounds[i]
+		}
+		if hi < lo {
+			// Every observation in this bucket is <= Max < lo; Max is the
+			// tightest honest answer.
+			return h.Max
+		}
+		est := lo + time.Duration((rank-float64(prev))/float64(c)*float64(hi-lo))
+		if est > h.Max {
+			est = h.Max
+		}
+		return est
+	}
+	return h.Max
 }
 
 // Snapshot is a consistent-enough point-in-time copy of a registry
@@ -178,6 +223,9 @@ func (r *Registry) Snapshot() Snapshot {
 		for i := range hs.Buckets {
 			hs.Buckets[i] = h.buckets[i].Load()
 		}
+		hs.P50MS = float64(hs.Quantile(0.50)) / float64(time.Millisecond)
+		hs.P95MS = float64(hs.Quantile(0.95)) / float64(time.Millisecond)
+		hs.P99MS = float64(hs.Quantile(0.99)) / float64(time.Millisecond)
 		s.Histograms = append(s.Histograms, hs)
 	}
 	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
@@ -213,7 +261,7 @@ func (s Snapshot) Format() string {
 		}
 	}
 	if len(s.Histograms) > 0 {
-		sb.WriteString("histograms (count / mean / max):\n")
+		sb.WriteString("histograms (count / mean / p50 / p95 / p99 / max):\n")
 		width := 0
 		for _, h := range s.Histograms {
 			if len(h.Name) > width {
@@ -221,8 +269,12 @@ func (s Snapshot) Format() string {
 			}
 		}
 		for _, h := range s.Histograms {
-			fmt.Fprintf(&sb, "  %-*s %9d %12s %12s\n", width, h.Name, h.Count,
-				h.Mean().Round(time.Microsecond), h.Max.Round(time.Microsecond))
+			fmt.Fprintf(&sb, "  %-*s %9d %12s %12s %12s %12s %12s\n", width, h.Name, h.Count,
+				h.Mean().Round(time.Microsecond),
+				h.Quantile(0.50).Round(time.Microsecond),
+				h.Quantile(0.95).Round(time.Microsecond),
+				h.Quantile(0.99).Round(time.Microsecond),
+				h.Max.Round(time.Microsecond))
 		}
 	}
 	return sb.String()

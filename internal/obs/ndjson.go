@@ -45,6 +45,26 @@ type ndjsonRecord struct {
 	Attrs      map[string]any `json:"attrs,omitempty"`
 }
 
+// MarshalRecord renders one span or mark in the NDJSON line schema
+// (without trailing newline), timestamped against epoch. It is the shared
+// wire format of the -stats stream, the flight recorder, and the live
+// SSE trace endpoint, so a consumer parses all three identically.
+func MarshalRecord(typ string, d SpanData, epoch time.Time) ([]byte, error) {
+	rec := ndjsonRecord{
+		Type:    typ,
+		Name:    d.Name,
+		Span:    d.ID,
+		Parent:  d.Parent,
+		Track:   d.Track,
+		StartMS: float64(d.Start.Sub(epoch)) / float64(time.Millisecond),
+		Attrs:   attrMap(d.Attrs),
+	}
+	if d.Duration > 0 {
+		rec.DurationMS = float64(d.Duration) / float64(time.Millisecond)
+	}
+	return json.Marshal(rec)
+}
+
 // NDJSONExporter streams finished spans and marks as one JSON object per
 // line, timestamped in milliseconds since the exporter's epoch. Encoding
 // errors are dropped (telemetry is best-effort, matching engine.Sink).

@@ -4,10 +4,13 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -20,13 +23,118 @@ type Profiling struct {
 	// MemProfile, when non-empty, writes a heap profile to this file at
 	// stop time (after a forced GC, so it reflects live objects).
 	MemProfile string
-	// PprofAddr, when non-empty, serves net/http/pprof on this address
-	// (e.g. "localhost:6060") for live inspection of long runs.
+	// PprofAddr, when non-empty, serves the pprof endpoints on this
+	// address (e.g. "localhost:6060") for live inspection of long runs.
 	PprofAddr string
 }
 
 func (p Profiling) enabled() bool {
 	return p.CPUProfile != "" || p.MemProfile != "" || p.PprofAddr != ""
+}
+
+// NewPprofMux builds a private ServeMux carrying the /debug/pprof/
+// endpoints. Every call returns an independent mux, and nothing is ever
+// registered on http.DefaultServeMux: two concurrent runs in one process
+// (the engine tests do this) each get their own listener and mux, and no
+// stray package import can silently add handlers to ours. The handlers
+// are implemented directly over runtime/pprof and runtime/trace rather
+// than net/http/pprof, whose import would itself mutate DefaultServeMux.
+func NewPprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprofHandler)
+	return mux
+}
+
+// pprofHandler dispatches /debug/pprof/<name> like net/http/pprof does:
+// an index at the root, the CPU profile and execution trace as timed
+// captures, cmdline as plain text, and every runtime/pprof named profile
+// (heap, goroutine, allocs, block, mutex, threadcreate) by lookup.
+func pprofHandler(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/debug/pprof/")
+	switch name {
+	case "":
+		profiles := pprof.Profiles()
+		names := make([]string, 0, len(profiles))
+		for _, p := range profiles {
+			names = append(names, fmt.Sprintf("%s (%d)", p.Name(), p.Count()))
+		}
+		sort.Strings(names)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "transit pprof\n\nprofiles:\n")
+		for _, n := range names {
+			fmt.Fprintf(w, "  %s\n", n)
+		}
+		fmt.Fprintf(w, "  profile?seconds=N (CPU)\n  trace?seconds=N (execution trace)\n  cmdline\n")
+	case "cmdline":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, strings.Join(os.Args, "\x00"))
+	case "profile":
+		sec := durationSeconds(r, 30)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="profile"`)
+		if err := pprof.StartCPUProfile(w); err != nil {
+			// Another CPU profile (e.g. -cpuprofile) is already running.
+			http.Error(w, err.Error(), http.StatusForbidden)
+			return
+		}
+		sleepCtx(r, sec)
+		pprof.StopCPUProfile()
+	case "trace":
+		sec := durationSeconds(r, 1)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace"`)
+		if err := trace.Start(w); err != nil {
+			http.Error(w, err.Error(), http.StatusForbidden)
+			return
+		}
+		sleepCtx(r, sec)
+		trace.Stop()
+	default:
+		p := pprof.Lookup(name)
+		if p == nil {
+			http.NotFound(w, r)
+			return
+		}
+		debug, _ := strconv.Atoi(r.URL.Query().Get("debug"))
+		if debug > 0 {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		} else {
+			w.Header().Set("Content-Type", "application/octet-stream")
+		}
+		_ = p.WriteTo(w, debug)
+	}
+}
+
+func durationSeconds(r *http.Request, def float64) time.Duration {
+	if s := r.URL.Query().Get("seconds"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			def = v
+		}
+	}
+	return time.Duration(def * float64(time.Second))
+}
+
+// sleepCtx waits for d or for the client to give up, whichever is first.
+func sleepCtx(r *http.Request, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-r.Context().Done():
+	}
+}
+
+// servePprof starts an HTTP server on addr with a private pprof mux and
+// returns its listener (whose Addr reports the bound port, so ":0" works
+// in tests). The server shuts down when the listener closes.
+func servePprof(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: pprof listener: %w", err)
+	}
+	srv := &http.Server{Handler: NewPprofMux(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
 }
 
 // Start begins the configured profilers and returns a stop function that
@@ -57,13 +165,11 @@ func (p Profiling) Start() (stop func() error, err error) {
 		}
 	}
 	if p.PprofAddr != "" {
-		ln, err = net.Listen("tcp", p.PprofAddr)
+		ln, err = servePprof(p.PprofAddr)
 		if err != nil {
 			cleanup()
-			return nil, fmt.Errorf("obs: pprof listener: %w", err)
+			return nil, err
 		}
-		srv := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
-		go func() { _ = srv.Serve(ln) }()
 	}
 	memPath := p.MemProfile
 	return func() error {

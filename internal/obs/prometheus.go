@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// promName maps a registry metric name to a Prometheus-legal series name:
+// "mc.states" → "transit_mc_states". Dots and dashes become underscores;
+// any other character outside [a-zA-Z0-9_] is dropped.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("transit_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		case r == '.', r == '-', r == '/':
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promFloat renders a float in the exposition format (no exponent for the
+// magnitudes we emit; %g keeps integers free of trailing zeros).
+func promFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4, the format every Prometheus-compatible scraper
+// accepts). Counters become counter families; each latency histogram
+// becomes a histogram family with cumulative le buckets in milliseconds
+// (matching the registry's *_ms naming) plus _sum and _count, and the
+// derived p50/p95/p99/max estimates are emitted as companion gauges so
+// dashboards agree with -stats-summary without a histogram_quantile query.
+// Output order is deterministic: the snapshot is sorted by name and bucket
+// bounds are fixed.
+func WritePrometheus(s Snapshot, w io.Writer) error {
+	var sb strings.Builder
+	for _, c := range s.Counters {
+		n := promName(c.Name)
+		fmt.Fprintf(&sb, "# HELP %s transit counter %s\n", n, c.Name)
+		fmt.Fprintf(&sb, "# TYPE %s counter\n", n)
+		fmt.Fprintf(&sb, "%s %d\n", n, c.Value)
+	}
+	for _, h := range s.Histograms {
+		n := promName(h.Name)
+		fmt.Fprintf(&sb, "# HELP %s transit latency histogram %s (milliseconds)\n", n, h.Name)
+		fmt.Fprintf(&sb, "# TYPE %s histogram\n", n)
+		var cum int64
+		for i, c := range h.Buckets {
+			cum += c
+			le := "+Inf"
+			if i < len(histBounds) {
+				le = promFloat(float64(histBounds[i]) / float64(time.Millisecond))
+			}
+			fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", n, le, cum)
+		}
+		fmt.Fprintf(&sb, "%s_sum %s\n", n, promFloat(h.SumMS))
+		fmt.Fprintf(&sb, "%s_count %d\n", n, h.Count)
+		for _, q := range [...]struct {
+			suffix string
+			value  float64
+		}{
+			{"p50", h.P50MS}, {"p95", h.P95MS}, {"p99", h.P99MS}, {"max", h.MaxMS},
+		} {
+			qn := n + "_" + q.suffix
+			fmt.Fprintf(&sb, "# TYPE %s gauge\n", qn)
+			fmt.Fprintf(&sb, "%s %s\n", qn, promFloat(q.value))
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"transit/internal/obs"
+)
+
+// MCLive is the model checker's live gauge set, fed by mc.progress
+// heartbeat marks and finalized by the closing mc.bfs span.
+type MCLive struct {
+	States       int64   `json:"states"`
+	Transitions  int64   `json:"transitions"`
+	Queue        int64   `json:"queue"`
+	Depth        int64   `json:"depth"`
+	StatesPerSec float64 `json:"states_per_sec"`
+	Done         bool    `json:"done"`
+	UpdatedMS    float64 `json:"updated_ms"`
+}
+
+// SynthLive is one display track's (engine worker's) live synthesis
+// gauges: the CEGIS round in flight (synth.round marks) and the
+// enumeration tier it is grinding through (synth.tier marks).
+type SynthLive struct {
+	Track            int     `json:"track"`
+	Iteration        int64   `json:"cegis_iteration"`
+	ConcreteExamples int64   `json:"concrete_examples"`
+	Tier             int64   `json:"tier"`
+	Enumerated       int64   `json:"candidates"`
+	UpdatedMS        float64 `json:"updated_ms"`
+}
+
+// Live aggregates the instant marks and span closes that matter for the
+// /runs view into a point-in-time gauge set. It implements obs.Exporter
+// and keeps O(workers) state: per-track synthesis gauges plus one model
+// checker entry.
+type Live struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	mc     *MCLive
+	tracks map[int]*SynthLive
+}
+
+// NewLive builds an empty aggregator.
+func NewLive() *Live {
+	return &Live{epoch: time.Now(), tracks: map[int]*SynthLive{}}
+}
+
+// SetEpoch aligns UpdatedMS timestamps with the tracer's clock.
+func (l *Live) SetEpoch(t time.Time) { l.epoch = t }
+
+func attrInt(attrs []obs.Attr, key string) (int64, bool) {
+	for _, a := range attrs {
+		if a.Key == key {
+			if v, ok := a.Value.(int64); ok {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func attrFloat(attrs []obs.Attr, key string) (float64, bool) {
+	for _, a := range attrs {
+		if a.Key == key {
+			if v, ok := a.Value.(float64); ok {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func (l *Live) track(n int) *SynthLive {
+	t := l.tracks[n]
+	if t == nil {
+		t = &SynthLive{Track: n}
+		l.tracks[n] = t
+	}
+	return t
+}
+
+func (l *Live) now(start time.Time) float64 {
+	return float64(start.Sub(l.epoch)) / float64(time.Millisecond)
+}
+
+// Mark implements obs.Exporter: mc.progress feeds the model-checker
+// gauges, synth.round and synth.tier the per-track synthesis gauges.
+func (l *Live) Mark(d obs.SpanData) {
+	switch d.Name {
+	case "mc.progress":
+		l.mu.Lock()
+		mc := &MCLive{UpdatedMS: l.now(d.Start)}
+		mc.States, _ = attrInt(d.Attrs, "states")
+		mc.Transitions, _ = attrInt(d.Attrs, "transitions")
+		mc.Queue, _ = attrInt(d.Attrs, "queue")
+		mc.Depth, _ = attrInt(d.Attrs, "depth")
+		mc.StatesPerSec, _ = attrFloat(d.Attrs, "states_per_sec")
+		l.mc = mc
+		l.mu.Unlock()
+	case "synth.round":
+		l.mu.Lock()
+		t := l.track(d.Track)
+		t.Iteration, _ = attrInt(d.Attrs, "iteration")
+		t.ConcreteExamples, _ = attrInt(d.Attrs, "concrete_examples")
+		t.Tier, t.Enumerated = 0, 0 // a new round restarts the tier climb
+		t.UpdatedMS = l.now(d.Start)
+		l.mu.Unlock()
+	case "synth.tier":
+		l.mu.Lock()
+		t := l.track(d.Track)
+		t.Tier, _ = attrInt(d.Attrs, "size")
+		t.Enumerated, _ = attrInt(d.Attrs, "enumerated")
+		t.UpdatedMS = l.now(d.Start)
+		l.mu.Unlock()
+	}
+}
+
+// Span implements obs.Exporter: a closing engine.job retires its track's
+// gauges, a closing mc.bfs marks the checker done with final totals.
+func (l *Live) Span(d obs.SpanData) {
+	switch d.Name {
+	case "engine.job":
+		l.mu.Lock()
+		delete(l.tracks, d.Track)
+		l.mu.Unlock()
+	case "mc.bfs":
+		l.mu.Lock()
+		mc := &MCLive{Done: true, UpdatedMS: l.now(d.Start.Add(d.Duration))}
+		mc.States, _ = attrInt(d.Attrs, "states")
+		mc.Transitions, _ = attrInt(d.Attrs, "transitions")
+		mc.Depth, _ = attrInt(d.Attrs, "depth")
+		mc.StatesPerSec, _ = attrFloat(d.Attrs, "states_per_sec")
+		l.mc = mc
+		l.mu.Unlock()
+	}
+}
+
+// Flush implements obs.Exporter (nothing to finalize).
+func (l *Live) Flush() error { return nil }
+
+// Snapshot copies the current gauges: the model checker entry (nil if no
+// check ran yet) and the per-track synthesis entries sorted by track.
+func (l *Live) Snapshot() (*MCLive, []SynthLive) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var mc *MCLive
+	if l.mc != nil {
+		c := *l.mc
+		mc = &c
+	}
+	tracks := make([]SynthLive, 0, len(l.tracks))
+	for _, t := range l.tracks {
+		tracks = append(tracks, *t)
+	}
+	for i := 1; i < len(tracks); i++ {
+		for j := i; j > 0 && tracks[j-1].Track > tracks[j].Track; j-- {
+			tracks[j-1], tracks[j] = tracks[j], tracks[j-1]
+		}
+	}
+	return mc, tracks
+}

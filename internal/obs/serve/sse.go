@@ -1,0 +1,107 @@
+// Package serve is the live introspection server: while synthesis or
+// model checking runs, it exposes Prometheus metrics (/metrics), a JSON
+// variable snapshot (/vars), the active engine jobs with live gauges
+// (/runs), a server-sent-events stream of trace spans (/trace/live), an
+// on-demand flight-recorder dump (/flight), and the Go profilers
+// (/debug/pprof/) on one address, so a stuck CEGIS round or a blown-up
+// BFS frontier can be watched — and profiled — without restarting the
+// run. The server attaches to the obs layer as two extra exporters (the
+// SSE broadcaster and the live-gauge aggregator); with no server
+// configured neither exists and the span hot path is untouched.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"transit/internal/obs"
+)
+
+// sseBuffer is each subscriber's channel depth; a subscriber that falls
+// further behind than this loses events (counted, never blocking the
+// span hot path).
+const sseBuffer = 256
+
+type subscriber struct {
+	ch      chan []byte
+	dropped atomic.Int64
+}
+
+// Broadcast fans finished spans and marks out to any number of SSE
+// subscribers as NDJSON-schema lines. It implements obs.Exporter; span
+// closes happen on every worker goroutine, so delivery is non-blocking:
+// a slow or stalled HTTP client drops events rather than stalling the
+// pipeline.
+type Broadcast struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	nextID int
+	subs   map[int]*subscriber
+}
+
+// NewBroadcast builds an empty broadcaster (epoch now until the session
+// aligns it).
+func NewBroadcast() *Broadcast {
+	return &Broadcast{epoch: time.Now(), subs: map[int]*subscriber{}}
+}
+
+// SetEpoch aligns streamed t_ms timestamps with the tracer's clock.
+func (b *Broadcast) SetEpoch(t time.Time) { b.epoch = t }
+
+// Subscribe registers a new consumer. The returned cancel must be called
+// when the consumer goes away; the channel is closed by cancel.
+func (b *Broadcast) Subscribe() (<-chan []byte, func()) {
+	s := &subscriber{ch: make(chan []byte, sseBuffer)}
+	b.mu.Lock()
+	id := b.nextID
+	b.nextID++
+	b.subs[id] = s
+	b.mu.Unlock()
+	cancel := func() {
+		b.mu.Lock()
+		if _, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(s.ch)
+		}
+		b.mu.Unlock()
+	}
+	return s.ch, cancel
+}
+
+// Subscribers reports the current consumer count (for /vars).
+func (b *Broadcast) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+func (b *Broadcast) send(typ string, d obs.SpanData) {
+	b.mu.Lock()
+	if len(b.subs) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	line, err := obs.MarshalRecord(typ, d, b.epoch)
+	if err != nil {
+		b.mu.Unlock()
+		return
+	}
+	for _, s := range b.subs {
+		select {
+		case s.ch <- line:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Span implements obs.Exporter.
+func (b *Broadcast) Span(d obs.SpanData) { b.send("span", d) }
+
+// Mark implements obs.Exporter.
+func (b *Broadcast) Mark(d obs.SpanData) { b.send("mark", d) }
+
+// Flush implements obs.Exporter (streaming has nothing to finalize).
+func (b *Broadcast) Flush() error { return nil }

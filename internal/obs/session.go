@@ -5,6 +5,8 @@ import (
 	"errors"
 	"io"
 	"os"
+	"sync/atomic"
+	"time"
 )
 
 // Options configures a CLI observability Session — the one-stop wiring
@@ -21,21 +23,40 @@ type Options struct {
 	// table to this writer at Close.
 	Summary io.Writer
 	// Metrics enables the metrics registry. It is forced on when Summary
-	// is set (the summary reports it).
+	// is set (the summary reports it) or when the flight recorder is
+	// enabled (the dump trailer reports it).
 	Metrics bool
+	// FlightPath, when non-empty, arms the flight recorder: spans and
+	// marks feed a fixed-size ring, and Session.DumpFlight writes the
+	// tail to this file when the run dies (panic, cancellation, SIGINT).
+	// Nothing is written on a clean run.
+	FlightPath string
+	// FlightEvents sizes the recorder ring (0 = default 4096).
+	FlightEvents int
+	// Extra exporters join the tracer fan-out (the introspection server's
+	// SSE broadcaster and live-gauge aggregator ride here).
+	Extra []Exporter
 	// Profiling configures CPU/heap/pprof profiling for the run.
 	Profiling Profiling
 }
 
-// Session bundles a configured Tracer, Registry, and profiler lifetime.
-// A Session built from zero Options is inert: Context returns its
-// argument unchanged and Close is a no-op.
-type Session struct {
-	Tracer  *Tracer
-	Metrics *Registry
+// epochSetter is implemented by exporters whose timestamps must align
+// with the tracer's clock (NDJSON, Chrome, the flight recorder, and the
+// introspection server's broadcaster).
+type epochSetter interface{ SetEpoch(t time.Time) }
 
-	traceFile *os.File
-	stopProf  func() error
+// Session bundles a configured Tracer, Registry, flight Recorder, and
+// profiler lifetime. A Session built from zero Options is inert: Context
+// returns its argument unchanged and Close is a no-op.
+type Session struct {
+	Tracer   *Tracer
+	Metrics  *Registry
+	Recorder *Recorder
+
+	flightPath string
+	dumped     atomic.Bool
+	traceFile  *os.File
+	stopProf   func() error
 }
 
 // NewSession builds the observability stack described by opts. Callers
@@ -43,10 +64,18 @@ type Session struct {
 // trace file).
 func NewSession(opts Options) (*Session, error) {
 	s := &Session{}
-	if opts.Metrics || opts.Summary != nil {
+	if opts.Metrics || opts.Summary != nil || opts.FlightPath != "" {
 		s.Metrics = NewRegistry()
 	}
 	var exporters []Exporter
+	if opts.FlightPath != "" {
+		s.Recorder = NewRecorder(opts.FlightEvents)
+		s.Recorder.Metrics = s.Metrics
+		s.flightPath = opts.FlightPath
+		// The recorder goes first: on a crash the freshest events matter
+		// most, and its hot path is the cheapest of the exporters.
+		exporters = append(exporters, s.Recorder)
+	}
 	if opts.NDJSON != nil {
 		exporters = append(exporters, NewNDJSON(opts.NDJSON))
 	}
@@ -63,15 +92,13 @@ func NewSession(opts Options) (*Session, error) {
 		sum.Metrics = s.Metrics
 		exporters = append(exporters, sum)
 	}
+	exporters = append(exporters, opts.Extra...)
 	if len(exporters) > 0 {
 		s.Tracer = NewTracer(exporters...)
 		// Align every exporter's clock with the tracer's.
 		for _, e := range exporters {
-			switch x := e.(type) {
-			case *NDJSONExporter:
-				x.SetEpoch(s.Tracer.Epoch)
-			case *ChromeExporter:
-				x.SetEpoch(s.Tracer.Epoch)
+			if es, ok := e.(epochSetter); ok {
+				es.SetEpoch(s.Tracer.Epoch)
 			}
 		}
 	}
@@ -96,6 +123,24 @@ func (s *Session) Context(ctx context.Context) context.Context {
 		ctx = WithMetrics(ctx, s.Metrics)
 	}
 	return ctx
+}
+
+// DumpFlight writes the flight-recorder ring to the session's configured
+// flight path, once: the first caller (SIGINT handler, panic recovery,
+// deadline path — they can race) wins and later calls are no-ops. It
+// returns the path written, or "" when the recorder is disarmed or the
+// dump already happened.
+func (s *Session) DumpFlight(reason string) (string, error) {
+	if s.Recorder == nil || s.flightPath == "" {
+		return "", nil
+	}
+	if !s.dumped.CompareAndSwap(false, true) {
+		return "", nil
+	}
+	if err := s.Recorder.DumpFile(s.flightPath, reason); err != nil {
+		return "", err
+	}
+	return s.flightPath, nil
 }
 
 // Close flushes exporters, closes the trace file, and stops profilers.

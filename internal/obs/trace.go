@@ -105,10 +105,13 @@ func (s *Span) SetAttr(attrs ...Attr) {
 }
 
 // Mark emits an instant event parented to s — e.g. the model checker's
-// periodic states/sec heartbeat. Safe to call from the span's goroutine
-// at any time before End.
+// periodic states/sec heartbeat. Unlike SetAttr, Mark is safe to call
+// from any goroutine (the model checker's wall-clock heartbeat ticker
+// marks the BFS span it did not start): it reads only immutable span
+// fields, and a mark racing with End is dropped best-effort rather than
+// delivered after the span closed.
 func (s *Span) Mark(name string, attrs ...Attr) {
-	if s == nil {
+	if s == nil || s.ended.Load() {
 		return
 	}
 	data := SpanData{ID: s.tr.nextID.Add(1), Parent: s.id, Name: name,

@@ -107,6 +107,13 @@ func cegisIteration(ctx context.Context, p Problem, examples []ConcolicExample,
 	concrete *[]ConcreteExample, limits Limits, be *smtBackend,
 	stats *Stats, iter int, bk **bank) (candidate expr.Expr, consistent bool, err error) {
 	ctx, span := obs.Start(ctx, "synth.iteration", obs.Int("iteration", iter))
+	if span != nil {
+		// Spans export only on close, so a long round is invisible to a
+		// live attacher; this instant mark is the "CEGIS is now on round
+		// N" gauge for /runs and the flight recorder.
+		span.Mark("synth.round", obs.Int("iteration", iter),
+			obs.Int("concrete_examples", len(*concrete)))
+	}
 	defer func() {
 		span.SetAttr(obs.Bool("consistent", consistent))
 		if candidate != nil {

@@ -244,6 +244,12 @@ func (en *enumerator) runSize(size int, skip int64) (found expr.Expr, err error)
 	before := en.stats.Enumerated
 	tierStart := time.Now()
 	_, span := obs.Start(en.ctx, "synth.size", obs.Int("size", size))
+	if span != nil {
+		// Live "now enumerating tier k" gauge; the closing span carries
+		// the totals, this mark makes the current tier visible mid-tier.
+		span.Mark("synth.tier", obs.Int("size", size),
+			obs.Int64("skip", skip), obs.Int64("enumerated", before))
+	}
 	workersUsed := 1
 	defer func() {
 		span.SetAttr(obs.Int64("enumerated", en.stats.Enumerated-before),

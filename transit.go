@@ -319,6 +319,11 @@ type VerifyOptions struct {
 	MaxStates int
 	// CheckDeadlock reports stuck states as violations.
 	CheckDeadlock bool
+	// ProgressInterval sets the model checker's wall-clock heartbeat: how
+	// often it emits an mc.progress mark (live gauges for the -serve
+	// introspection endpoint) regardless of exploration speed. 0 means the
+	// 1s default; negative disables the heartbeat.
+	ProgressInterval time.Duration
 }
 
 // Verify model checks a synthesized protocol against its invariants,
@@ -329,8 +334,9 @@ func Verify(proto *Protocol, opts VerifyOptions) (*CheckResult, error) {
 		return nil, err
 	}
 	return mc.Check(rt, proto.Invariants, mc.Options{
-		MaxStates:     opts.MaxStates,
-		CheckDeadlock: opts.CheckDeadlock,
+		MaxStates:        opts.MaxStates,
+		CheckDeadlock:    opts.CheckDeadlock,
+		ProgressInterval: opts.ProgressInterval,
 	})
 }
 
@@ -342,8 +348,9 @@ func VerifyCtx(ctx context.Context, proto *Protocol, opts VerifyOptions) (*Check
 		return nil, err
 	}
 	return mc.CheckCtx(ctx, rt, proto.Invariants, mc.Options{
-		MaxStates:     opts.MaxStates,
-		CheckDeadlock: opts.CheckDeadlock,
+		MaxStates:        opts.MaxStates,
+		CheckDeadlock:    opts.CheckDeadlock,
+		ProgressInterval: opts.ProgressInterval,
 	})
 }
 
@@ -356,8 +363,9 @@ func VerifyWithChart(proto *Protocol, opts VerifyOptions) (*CheckResult, string,
 		return nil, "", err
 	}
 	return mc.CheckWithMSC(rt, proto.Invariants, mc.Options{
-		MaxStates:     opts.MaxStates,
-		CheckDeadlock: opts.CheckDeadlock,
+		MaxStates:        opts.MaxStates,
+		CheckDeadlock:    opts.CheckDeadlock,
+		ProgressInterval: opts.ProgressInterval,
 	})
 }
 
@@ -370,8 +378,9 @@ func VerifyWithChartCtx(ctx context.Context, proto *Protocol, opts VerifyOptions
 		return nil, "", err
 	}
 	return mc.CheckWithMSCCtx(ctx, rt, proto.Invariants, mc.Options{
-		MaxStates:     opts.MaxStates,
-		CheckDeadlock: opts.CheckDeadlock,
+		MaxStates:        opts.MaxStates,
+		CheckDeadlock:    opts.CheckDeadlock,
+		ProgressInterval: opts.ProgressInterval,
 	})
 }
 
