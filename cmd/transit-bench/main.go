@@ -13,7 +13,12 @@
 //	transit-bench -enum [-enum-workers N] [-enum-trials T] [-enum-out F]
 //	                               sequential vs. parallel bank-reusing
 //	                               enumerative search
-//	transit-bench -all             everything (short variants)
+//	transit-bench -serve-url URL [-clients N] [-serve-requests N] [-serve-out F]
+//	                               client load against a running
+//	                               `transit serve` instance: cold vs.
+//	                               warm-cache latency and throughput
+//	transit-bench -all             everything (short variants; -serve-url
+//	                               is separate — it needs a live server)
 //
 // Observability flags apply to whichever benchmarks run: -trace out.json
 // writes a Chrome trace-event file (open at ui.perfetto.dev),
@@ -60,6 +65,10 @@ func main() {
 		enumWorkers = flag.Int("enum-workers", 4, "tier worker count for -enum")
 		enumTrials  = flag.Int("enum-trials", 3, "timing trials per mode for -enum (minimum is reported)")
 		enumOut     = flag.String("enum-out", "BENCH_enum.json", "JSON artifact path for -enum (empty = none)")
+		serveURL    = flag.String("serve-url", "", "client mode: load-test a running `transit serve` at this URL (e.g. http://localhost:7878)")
+		clients     = flag.Int("clients", 4, "concurrent clients for -serve-url")
+		serveReqs   = flag.Int("serve-requests", 8, "distinct solve requests per pass for -serve-url")
+		serveOut    = flag.String("serve-out", "BENCH_serve.json", "JSON artifact path for -serve-url (empty = none)")
 
 		tracePath    = flag.String("trace", "", "write a Chrome trace-event JSON file (view at ui.perfetto.dev)")
 		statsSummary = flag.Bool("stats-summary", false, "print an end-of-run span tree and metrics table to stderr")
@@ -71,7 +80,7 @@ func main() {
 	flag.StringVar(&profiling.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
 	flag.StringVar(&profiling.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
-	if !*table2 && !*table3 && !*fig5 && !*table4 && !*table5 && !*eng && !*smt && !*enum && !*all {
+	if !*table2 && !*table3 && !*fig5 && !*table4 && !*table5 && !*eng && !*smt && !*enum && !*all && *serveURL == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -181,6 +190,15 @@ func main() {
 		if *enumOut != "" {
 			fail(bench.WriteEnumArtifact(*enumOut, res))
 			fmt.Printf("wrote %s\n", *enumOut)
+		}
+	}
+	if *serveURL != "" {
+		res, err := bench.ServeBenchCtx(ctx, *serveURL, *clients, *serveReqs)
+		fail(err)
+		fmt.Println(bench.FormatServe(res))
+		if *serveOut != "" {
+			fail(bench.WriteServeArtifact(*serveOut, res))
+			fmt.Printf("wrote %s\n", *serveOut)
 		}
 	}
 	check(sess.Close())

@@ -40,6 +40,13 @@
 //
 //	transit obs report FILE   render a flight dump or -stats NDJSON capture
 //	                          as the -stats-summary tree and metrics table
+//	transit serve [flags]     run the synthesis job server: POST /v1/jobs
+//	                          (solve and complete requests), GET
+//	                          /v1/jobs/{id}, SSE at /v1/jobs/{id}/events,
+//	                          /v1/stats, plus the introspection endpoints,
+//	                          all on one address; -cache-dir persists the
+//	                          memo cache across restarts (see `transit
+//	                          serve -h` and the README's Serving section)
 package main
 
 import (
@@ -62,6 +69,13 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "obs" {
 		if err := runObs(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "transit:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "transit:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// Header is the shared preamble of every BENCH_*.json artifact: which
+// benchmark produced it and the machine parallelism it ran with. One
+// writer fills it for all artifacts, so consumers can dispatch on
+// "benchmark" and normalize by "gomaxprocs" without per-file variation
+// (GOMAXPROCS used to be recorded by some artifacts and hardcoded into
+// their result structs; now the header carries it uniformly).
+type Header struct {
+	Benchmark  string `json:"benchmark"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	// Workers is the benchmark's own parallelism knob, when it has one.
+	Workers int `json:"workers,omitempty"`
+}
+
+// NewHeader fills the machine fields.
+func NewHeader(benchmark string, workers int) Header {
+	return Header{
+		Benchmark:  benchmark,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Workers:    workers,
+	}
+}
+
+// WriteArtifact writes header ∪ body as one flat, indented JSON object
+// (keys sorted). body must marshal to a JSON object; a body field named
+// like a header field is a schema bug and fails loudly rather than
+// silently shadowing.
+func WriteArtifact(path string, hdr Header, body any) error {
+	merged := map[string]json.RawMessage{}
+	hb, err := json.Marshal(hdr)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(hb, &merged); err != nil {
+		return err
+	}
+	bb, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	var bm map[string]json.RawMessage
+	if err := json.Unmarshal(bb, &bm); err != nil {
+		return fmt.Errorf("artifact body must be a JSON object: %w", err)
+	}
+	for k, v := range bm {
+		if _, clash := merged[k]; clash {
+			return fmt.Errorf("artifact body field %q collides with the shared header", k)
+		}
+		merged[k] = v
+	}
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -2,9 +2,7 @@ package bench
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"os"
 	"strings"
 	"time"
 
@@ -160,14 +158,6 @@ func FormatEngine(rows []EngineRow) string {
 // WriteEngineArtifact writes the comparison as a JSON artifact
 // (BENCH_engine.json by convention) for machine consumption.
 func WriteEngineArtifact(path string, workers int, rows []EngineRow) error {
-	art := struct {
-		Benchmark string      `json:"benchmark"`
-		Workers   int         `json:"workers"`
-		Rows      []EngineRow `json:"rows"`
-	}{Benchmark: "engine_serial_vs_parallel", Workers: workers, Rows: rows}
-	data, err := json.MarshalIndent(art, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return WriteArtifact(path, NewHeader("engine_serial_vs_parallel", workers),
+		map[string]any{"rows": rows})
 }

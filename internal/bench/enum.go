@@ -2,10 +2,8 @@ package bench
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"math"
-	"os"
 	"runtime"
 	"strings"
 	"time"
@@ -51,8 +49,9 @@ type EnumBenchResult struct {
 	// GOMAXPROCS records the scheduler parallelism the run had available.
 	// Tier-parallel speedup needs real cores: with GOMAXPROCS=1 the
 	// worker fan-out timeshares one CPU and the measured speedup reflects
-	// bank reuse alone.
-	GOMAXPROCS int       `json:"gomaxprocs"`
+	// bank reuse alone. The artifact's shared header carries it on the
+	// wire; this field only feeds the text rendering.
+	GOMAXPROCS int       `json:"-"`
 	Trials     int       `json:"trials"`
 	Rows       []EnumRow `json:"rows"`
 	// GeomeanSpeedup is the geometric mean of the per-row speedups — the
@@ -181,15 +180,9 @@ func FormatEnum(res *EnumBenchResult) string {
 }
 
 // WriteEnumArtifact writes the comparison as a JSON artifact
-// (BENCH_enum.json by convention) for machine consumption.
+// (BENCH_enum.json by convention) for machine consumption. The shared
+// header supplies the scheduler parallelism the result struct used to
+// duplicate.
 func WriteEnumArtifact(path string, res *EnumBenchResult) error {
-	art := struct {
-		Benchmark string `json:"benchmark"`
-		*EnumBenchResult
-	}{Benchmark: "enum_sequential_vs_parallel_bank", EnumBenchResult: res}
-	data, err := json.MarshalIndent(art, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return WriteArtifact(path, NewHeader("enum_sequential_vs_parallel_bank", res.Workers), res)
 }

@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"transit/internal/server"
+)
+
+// ServePassStats is one pass of the client load over the request set.
+type ServePassStats struct {
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	WallMS      float64 `json:"wall_ms"`
+	Throughput  float64 `json:"throughput_rps"`
+	MeanMS      float64 `json:"mean_ms"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	MaxMS       float64 `json:"max_ms"`
+}
+
+// ServeBenchResult compares a cold pass (every request is a distinct
+// problem, so the server's memo cache starts empty for each) against a
+// warm pass resubmitting the same problems, which the server answers
+// from the shared cache. The latency gap is the price of synthesis the
+// persistent cache removes.
+type ServeBenchResult struct {
+	URL      string         `json:"url"`
+	Clients  int            `json:"clients"`
+	Requests int            `json:"requests"`
+	Cold     ServePassStats `json:"cold"`
+	Warm     ServePassStats `json:"warm"`
+	// WarmSpeedup is cold p50 / warm p50 — the end-to-end latency win a
+	// client sees when the answer is already in the cache.
+	WarmSpeedup float64 `json:"warm_speedup"`
+}
+
+// serveProblems builds n distinct solve requests of near-identical cost.
+// Distinctness comes from alternating two base problems (max and min of
+// two ints) and bumping MaxIters, which is part of the engine's canonical
+// key but never reached by these tiny problems — so every request misses
+// a cold cache while doing the same amount of search work.
+func serveProblems(n int) []server.JobRequest {
+	reqs := make([]server.JobRequest, 0, n)
+	for i := 0; i < n; i++ {
+		post := "o >= a & o >= b & (o = a | o = b)" // max(a, b)
+		if i%2 == 1 {
+			post = "a >= o & b >= o & (o = a | o = b)" // min(a, b)
+		}
+		reqs = append(reqs, server.JobRequest{
+			Kind: "solve",
+			Solve: &server.SolveRequest{
+				NumCaches: 3,
+				Vars: []server.VarDecl{
+					{Name: "a", Type: "Int"},
+					{Name: "b", Type: "Int"},
+				},
+				Output:   server.VarDecl{Name: "o", Type: "Int"},
+				Examples: []server.ExampleDecl{{Post: post}},
+				MaxSize:  8,
+				MaxIters: 32 + i/2,
+			},
+		})
+	}
+	return reqs
+}
+
+// submitAndWait posts one job and polls it to a terminal state, returning
+// the terminal envelope. Latency is submit-to-terminal as the client
+// sees it, poll interval included — the number a real caller experiences.
+func submitAndWait(ctx context.Context, hc *http.Client, baseURL, client string, req server.JobRequest) (*server.JobEnvelope, error) {
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, err
+	}
+	post, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	post.Header.Set("Content-Type", "application/json")
+	post.Header.Set("X-Transit-Client", client)
+	resp, err := hc.Do(post)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	var env server.JobEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, err
+	}
+	for !terminalStatus(env.Status) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+		get, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/jobs/"+env.ID, nil)
+		if err != nil {
+			return nil, err
+		}
+		get.Header.Set("X-Transit-Client", client)
+		resp, err := hc.Do(get)
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("poll %s: %s: %s", env.ID, resp.Status, strings.TrimSpace(string(data)))
+		}
+		if err := json.Unmarshal(data, &env); err != nil {
+			return nil, err
+		}
+	}
+	if env.Status != "done" {
+		return nil, fmt.Errorf("job %s ended %s: %s", env.ID, env.Status, env.Error)
+	}
+	return &env, nil
+}
+
+func terminalStatus(s string) bool {
+	return s == "done" || s == "failed" || s == "canceled"
+}
+
+// runPass drives the request set through `clients` concurrent workers
+// (round-robin assignment) and aggregates the latencies.
+func runPass(ctx context.Context, hc *http.Client, baseURL string, clients int, reqs []server.JobRequest) (ServePassStats, error) {
+	latencies := make([]float64, len(reqs))
+	var (
+		mu    sync.Mutex
+		stats ServePassStats
+		first error
+		wg    sync.WaitGroup
+	)
+	stats.Requests = len(reqs)
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			name := fmt.Sprintf("bench-%d", c)
+			for i := c; i < len(reqs); i += clients {
+				start := time.Now()
+				env, err := submitAndWait(ctx, hc, baseURL, name, reqs[i])
+				d := time.Since(start)
+				mu.Lock()
+				if err != nil {
+					stats.Errors++
+					if first == nil {
+						first = fmt.Errorf("bench: request %d: %w", i, err)
+					}
+				} else {
+					latencies[i] = ms(d)
+					stats.CacheHits += env.CacheHits
+					stats.CacheMisses += env.CacheMisses
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if first != nil {
+		return stats, first
+	}
+	wall := time.Since(t0)
+	stats.WallMS = ms(wall)
+	if wall > 0 {
+		stats.Throughput = float64(len(reqs)) / wall.Seconds()
+	}
+	sort.Float64s(latencies)
+	sum := 0.0
+	for _, l := range latencies {
+		sum += l
+	}
+	stats.MeanMS = sum / float64(len(latencies))
+	stats.P50MS = percentile(latencies, 0.50)
+	stats.P95MS = percentile(latencies, 0.95)
+	stats.MaxMS = latencies[len(latencies)-1]
+	return stats, nil
+}
+
+// percentile reads the p-quantile from sorted values (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// ServeBenchCtx load-tests a running `transit serve` instance at baseURL:
+// a cold pass of `requests` distinct solve problems across `clients`
+// concurrent clients, then a warm pass resubmitting the same problems.
+// With a persistent -cache-dir the warm numbers survive server restarts,
+// which is the point of the disk tier.
+func ServeBenchCtx(ctx context.Context, baseURL string, clients, requests int) (*ServeBenchResult, error) {
+	if clients < 1 {
+		clients = 1
+	}
+	if requests < 1 {
+		requests = 8
+	}
+	baseURL = strings.TrimRight(baseURL, "/")
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	hc := &http.Client{Timeout: 2 * time.Minute}
+	reqs := serveProblems(requests)
+	res := &ServeBenchResult{URL: baseURL, Clients: clients, Requests: requests}
+	var err error
+	if res.Cold, err = runPass(ctx, hc, baseURL, clients, reqs); err != nil {
+		return nil, err
+	}
+	if res.Warm, err = runPass(ctx, hc, baseURL, clients, reqs); err != nil {
+		return nil, err
+	}
+	if res.Warm.P50MS > 0 {
+		res.WarmSpeedup = res.Cold.P50MS / res.Warm.P50MS
+	}
+	return res, nil
+}
+
+// FormatServe renders the cold-vs-warm comparison.
+func FormatServe(res *ServeBenchResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Serve: %d requests through %d concurrent clients against %s\n",
+		res.Requests, res.Clients, res.URL)
+	fmt.Fprintf(&sb, "%-5s | %8s %6s | %8s %8s %8s %8s | %10s | %5s %5s\n",
+		"Pass", "Reqs", "Errs",
+		"Mean", "p50", "p95", "Max",
+		"Thruput", "Hits", "Miss")
+	row := func(name string, p ServePassStats) {
+		fmt.Fprintf(&sb, "%-5s | %8d %6d | %7.1fms %6.1fms %6.1fms %6.1fms | %8.1f/s | %5d %5d\n",
+			name, p.Requests, p.Errors,
+			p.MeanMS, p.P50MS, p.P95MS, p.MaxMS,
+			p.Throughput, p.CacheHits, p.CacheMisses)
+	}
+	row("cold", res.Cold)
+	row("warm", res.Warm)
+	fmt.Fprintf(&sb, "warm-cache p50 speedup: %.2fx\n", res.WarmSpeedup)
+	sb.WriteString("(cold submits distinct problems so every job synthesizes; warm resubmits the\n same problems and the server answers from the shared memo cache — with a\n persistent -cache-dir the warm numbers survive server restarts)\n")
+	return sb.String()
+}
+
+// WriteServeArtifact writes the comparison as a JSON artifact
+// (BENCH_serve.json by convention) for machine consumption.
+func WriteServeArtifact(path string, res *ServeBenchResult) error {
+	return WriteArtifact(path, NewHeader("serve_client_load", res.Clients), res)
+}

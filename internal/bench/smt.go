@@ -2,9 +2,7 @@ package bench
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"os"
 	"strings"
 	"time"
 
@@ -124,14 +122,6 @@ func FormatSMT(rows []SMTRow) string {
 // WriteSMTArtifact writes the comparison as a JSON artifact
 // (BENCH_smt.json by convention) for machine consumption.
 func WriteSMTArtifact(path string, workers int, rows []SMTRow) error {
-	art := struct {
-		Benchmark string   `json:"benchmark"`
-		Workers   int      `json:"workers"`
-		Rows      []SMTRow `json:"rows"`
-	}{Benchmark: "smt_incremental_vs_one_shot", Workers: workers, Rows: rows}
-	data, err := json.MarshalIndent(art, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return WriteArtifact(path, NewHeader("smt_incremental_vs_one_shot", workers),
+		map[string]any{"rows": rows})
 }

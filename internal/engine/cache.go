@@ -78,20 +78,53 @@ type CacheEntry struct {
 	Stats synth.Stats
 }
 
+// CacheBackend is a persistent second tier behind a Cache: a key-value
+// store of wire-encoded entries (see EncodeEntry/DecodeEntry), typically
+// disk-backed and shared across processes. Implementations must be safe
+// for concurrent use; Put is best-effort (a backend that cannot persist
+// an entry simply forfeits the future hit). The engine/diskcache package
+// provides the content-addressed segment-file implementation.
+type CacheBackend interface {
+	// Get returns the encoded entry stored for key, if any.
+	Get(key string) ([]byte, bool)
+	// Put stores the encoded entry for key. Keys are content hashes, so
+	// racing writers always carry identical payloads.
+	Put(key string, val []byte)
+	// Close flushes and releases the backend.
+	Close() error
+}
+
 // Cache is a concurrency-safe memoization table for solved sub-problems.
 // Only successful solves are stored. A Cache may be shared across engine
 // runs (e.g. across CEGIS iterations of a case study, or across the four
-// case-study protocols) to exploit repeated sub-problems.
+// case-study protocols) to exploit repeated sub-problems. With a backend
+// attached, the in-memory table becomes the first tier of a two-tier
+// store: Fetch falls through to the backend on a memory miss, and Put
+// writes through, so entries survive process restarts and are shared by
+// every front-end on the same backend.
 type Cache struct {
 	mu           sync.Mutex
 	m            map[string]CacheEntry
+	backend      CacheBackend
 	hits, misses int64
+	diskHits     int64
 }
 
-// NewCache creates an empty cache.
+// NewCache creates an empty cache with no backend.
 func NewCache() *Cache { return &Cache{m: make(map[string]CacheEntry)} }
 
-// Get looks up a key, counting a hit or miss.
+// NewCacheWithBackend creates an empty cache reading through to (and
+// writing through to) the given backend. The caller retains ownership of
+// the backend and closes it after the cache's last use.
+func NewCacheWithBackend(b CacheBackend) *Cache {
+	return &Cache{m: make(map[string]CacheEntry), backend: b}
+}
+
+// Backend reports the attached backend (nil without one).
+func (c *Cache) Backend() CacheBackend { return c.backend }
+
+// Get looks up a key in the in-memory tier only, counting a hit or miss.
+// Spec-aware callers use Fetch, which also consults the backend.
 func (c *Cache) Get(key string) (CacheEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -104,13 +137,68 @@ func (c *Cache) Get(key string) (CacheEntry, bool) {
 	return ent, ok
 }
 
-// Put stores a successful solve. Concurrent writers racing on one key
-// store identical entries (the solver is deterministic), so last-write-
-// wins is safe.
-func (c *Cache) Put(key string, ent CacheEntry) {
+// Fetch is the spec-aware two-tier lookup: it derives the canonical key,
+// consults the in-memory table (rehydrating the entry into spec's world,
+// exactly as SolveConcolic always has), then falls through to the backend,
+// whose entries decode directly against the spec. Backend hits are
+// promoted into memory so the decode cost is paid once per process. One
+// hit or miss is counted per call; an entry that cannot be rebound (a key
+// collision or stale vocabulary) counts as a miss and is re-solved.
+func (c *Cache) Fetch(spec SolveSpec) (res expr.Expr, stats synth.Stats, key string, ok bool) {
+	key = spec.Key()
+	c.mu.Lock()
+	ent, inMem := c.m[key]
+	backend := c.backend
+	c.mu.Unlock()
+	if inMem {
+		if re, rok := spec.rehydrate(ent.Expr); rok {
+			c.count(true, false)
+			return re, ent.Stats, key, true
+		}
+	}
+	if backend != nil {
+		if raw, bok := backend.Get(key); bok {
+			if dec, dok := DecodeEntry(raw, spec); dok {
+				c.mu.Lock()
+				c.m[key] = dec
+				c.mu.Unlock()
+				c.count(true, true)
+				return dec.Expr, dec.Stats, key, true
+			}
+		}
+	}
+	c.count(false, false)
+	return nil, synth.Stats{}, key, false
+}
+
+func (c *Cache) count(hit, disk bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if hit {
+		c.hits++
+		if disk {
+			c.diskHits++
+		}
+	} else {
+		c.misses++
+	}
+}
+
+// Put stores a successful solve in memory and, when a backend is
+// attached, writes the encoded entry through to it. Concurrent writers
+// racing on one key store identical entries (the solver is
+// deterministic), so last-write-wins is safe. Entries whose expressions
+// cannot be encoded (never the case for solver output) stay memory-only.
+func (c *Cache) Put(key string, ent CacheEntry) {
+	c.mu.Lock()
 	c.m[key] = ent
+	backend := c.backend
+	c.mu.Unlock()
+	if backend != nil {
+		if raw, err := EncodeEntry(ent); err == nil {
+			backend.Put(key, raw)
+		}
+	}
 }
 
 // Len reports the number of memoized problems.
@@ -125,6 +213,14 @@ func (c *Cache) Counters() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// DiskHits reports how many of the hits were served by the backend (a
+// subset of Counters' hits; 0 without a backend).
+func (c *Cache) DiskHits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.diskHits
 }
 
 // HitRate is hits / lookups, or 0 before any lookup.

@@ -1,0 +1,549 @@
+// Package diskcache is the persistent tier behind the engine's memo
+// cache: a content-addressed, disk-backed key-value store of wire-encoded
+// solve results, shared across engine runs and across process restarts.
+//
+// Layout: the directory holds numbered NDJSON segment files
+// (seg-000001.ndjson, …). Each record is one line
+//
+//	{"key":"<hex sha-256>","crc":"<crc32c of val>","val":{…}}
+//
+// appended to the active segment in a single write. Appends are
+// crash-safe by construction: a record is visible only if its line parses
+// and its checksum matches, so a torn final write is detected on reopen
+// and the file is truncated back to the last good record. Keys are
+// content hashes of the sub-problem (engine.SolveSpec.Key), which makes
+// the store content-addressed: racing or repeated writers of one key
+// always carry byte-equivalent payloads, and last-write-wins replay at
+// recovery is sound.
+//
+// The in-memory index (key → segment/offset/length) is rebuilt by
+// scanning the segments at Open; an index file written on clean Close
+// short-circuits the scan when the segment files are provably unchanged.
+// Total live bytes are capped: inserting past the cap evicts
+// least-recently-used entries (eviction only drops index entries — the
+// bytes die in place), and a sealed segment more than half dead is
+// compacted by re-appending its live records to the active segment and
+// deleting the file.
+package diskcache
+
+import (
+	"bufio"
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Defaults for Options zero fields.
+const (
+	DefaultMaxBytes     = 256 << 20
+	DefaultSegmentBytes = 4 << 20
+)
+
+const (
+	segPrefix = "seg-"
+	segSuffix = ".ndjson"
+	indexName = "index.json"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a Store.
+type Options struct {
+	// MaxBytes caps live (indexed) bytes; 0 means DefaultMaxBytes.
+	MaxBytes int64
+	// SegmentBytes is the rotation threshold for the active segment;
+	// 0 means DefaultSegmentBytes.
+	SegmentBytes int64
+	// Sync fsyncs every append. Off by default: the cache is a cache —
+	// losing the tail of the log on power failure costs re-solving, not
+	// correctness — and the checksum scan keeps a torn tail harmless.
+	Sync bool
+}
+
+// record is the wire form of one NDJSON line.
+type record struct {
+	Key string          `json:"key"`
+	CRC string          `json:"crc"`
+	Val json.RawMessage `json:"val"`
+}
+
+// segment is one on-disk file.
+type segment struct {
+	id   int
+	path string
+	f    *os.File
+	size int64 // file bytes
+	live int64 // bytes of lines still referenced by the index
+}
+
+// entry is one index slot.
+type entry struct {
+	seg  *segment
+	off  int64
+	n    int64 // line length including trailing newline
+	elem *list.Element
+}
+
+// Stats is a point-in-time summary of the store.
+type Stats struct {
+	Entries     int   `json:"entries"`
+	LiveBytes   int64 `json:"live_bytes"`
+	FileBytes   int64 `json:"file_bytes"`
+	Segments    int   `json:"segments"`
+	Evictions   int64 `json:"evictions"`
+	Compactions int64 `json:"compactions"`
+}
+
+// Store is the disk-backed cache. It implements engine.CacheBackend and
+// is safe for concurrent use by any number of front-ends in one process.
+// Cross-process sharing is sequential: one writing process at a time owns
+// a directory (the TRANSIT serve workflow — a daemon restart picks up the
+// previous daemon's entries).
+type Store struct {
+	dir  string
+	opts Options
+
+	mu          sync.Mutex
+	index       map[string]*entry
+	lru         *list.List // front = most recently used; values are keys
+	segs        map[int]*segment
+	active      *segment
+	liveBytes   int64
+	evictions   int64
+	compactions int64
+	closed      bool
+}
+
+// Open opens (creating if needed) the store in dir.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = DefaultMaxBytes
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		index: make(map[string]*entry),
+		lru:   list.New(),
+		segs:  make(map[int]*segment),
+	}
+	if err := s.load(); err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	return s, nil
+}
+
+// load opens every segment, recovers their records, and prepares the
+// active segment for appends.
+func (s *Store) load() error {
+	names, err := filepath.Glob(filepath.Join(s.dir, segPrefix+"*"+segSuffix))
+	if err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	ids := make([]int, 0, len(names))
+	for _, name := range names {
+		base := filepath.Base(name)
+		var id int
+		if _, err := fmt.Sscanf(base, segPrefix+"%d"+segSuffix, &id); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	idx := s.loadIndexFile(ids)
+	for _, id := range ids {
+		seg, err := s.openSegment(id)
+		if err != nil {
+			return err
+		}
+		s.segs[id] = seg
+		if idx != nil {
+			continue // index file vouches for this segment's layout
+		}
+		if err := s.recoverSegment(seg); err != nil {
+			return err
+		}
+	}
+	if idx != nil {
+		s.installIndex(idx)
+	}
+	// The highest existing segment continues as the active one; with none,
+	// the first append creates seg-000001.
+	if len(ids) > 0 {
+		s.active = s.segs[ids[len(ids)-1]]
+	}
+	// The index file is only trusted once: any crash between now and the
+	// next clean Close must force a scan.
+	_ = os.Remove(filepath.Join(s.dir, indexName))
+	return nil
+}
+
+func (s *Store) openSegment(id int) (*segment, error) {
+	path := s.segPath(id)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	return &segment{id: id, path: path, f: f, size: st.Size()}, nil
+}
+
+func (s *Store) segPath(id int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%06d%s", segPrefix, id, segSuffix))
+}
+
+// recoverSegment scans one segment, indexing every valid record
+// (later records override earlier ones — compaction and racing writers
+// both rely on last-write-wins). The scan stops at the first malformed or
+// checksum-failing line; everything from there on is a torn tail from a
+// crash, and the file is truncated back to the last good record so the
+// next append starts clean.
+func (s *Store) recoverSegment(seg *segment) error {
+	if _, err := seg.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	r := bufio.NewReaderSize(seg.f, 1<<16)
+	var off int64
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 && err == nil {
+			var rec record
+			if jerr := json.Unmarshal(line, &rec); jerr != nil || !rec.valid() {
+				break
+			}
+			s.indexRecord(rec.Key, seg, off, int64(len(line)))
+			off += int64(len(line))
+			continue
+		}
+		// EOF with a partial line (no trailing newline) is a torn write;
+		// EOF with nothing left is a clean end.
+		break
+	}
+	if off < seg.size {
+		if err := seg.f.Truncate(off); err != nil {
+			return fmt.Errorf("diskcache: truncating torn tail of %s: %w", seg.path, err)
+		}
+		seg.size = off
+	}
+	return nil
+}
+
+// valid checks the record's checksum.
+func (r record) valid() bool {
+	return r.Key != "" && r.CRC == crcHex(r.Val)
+}
+
+func crcHex(b []byte) string {
+	return fmt.Sprintf("%08x", crc32.Checksum(b, castagnoli))
+}
+
+// indexRecord installs one recovered record, displacing any earlier
+// version of the key.
+func (s *Store) indexRecord(key string, seg *segment, off, n int64) {
+	if old, ok := s.index[key]; ok {
+		old.seg.live -= old.n
+		s.liveBytes -= old.n
+		s.lru.Remove(old.elem)
+	}
+	e := &entry{seg: seg, off: off, n: n}
+	e.elem = s.lru.PushFront(key)
+	s.index[key] = e
+	seg.live += n
+	s.liveBytes += n
+}
+
+// indexFile is the clean-shutdown fast path: the index plus the segment
+// sizes it describes. A reopen whose directory matches the recorded sizes
+// exactly can trust the offsets without scanning.
+type indexFile struct {
+	Version  int              `json:"version"`
+	SegSizes map[string]int64 `json:"seg_sizes"` // id (decimal) → file size
+	Entries  []indexFileEntry `json:"entries"`   // in LRU order, oldest first
+}
+
+type indexFileEntry struct {
+	Key string `json:"key"`
+	Seg int    `json:"seg"`
+	Off int64  `json:"off"`
+	N   int64  `json:"n"`
+}
+
+// loadIndexFile reads and validates the index file against the discovered
+// segment ids; nil means "scan instead".
+func (s *Store) loadIndexFile(ids []int) *indexFile {
+	data, err := os.ReadFile(filepath.Join(s.dir, indexName))
+	if err != nil {
+		return nil
+	}
+	var idx indexFile
+	if json.Unmarshal(data, &idx) != nil || idx.Version != 1 {
+		return nil
+	}
+	if len(idx.SegSizes) != len(ids) {
+		return nil
+	}
+	for _, id := range ids {
+		st, err := os.Stat(s.segPath(id))
+		if err != nil || idx.SegSizes[fmt.Sprint(id)] != st.Size() {
+			return nil
+		}
+	}
+	return &idx
+}
+
+// installIndex replays a validated index file into the in-memory maps.
+func (s *Store) installIndex(idx *indexFile) {
+	for _, e := range idx.Entries {
+		seg, ok := s.segs[e.Seg]
+		if !ok || e.Off+e.N > seg.size {
+			continue
+		}
+		s.indexRecord(e.Key, seg, e.Off, e.N)
+	}
+}
+
+// writeIndexFile persists the current index for the clean-reopen fast
+// path. Failures are ignored: the scan path recovers everything.
+func (s *Store) writeIndexFile() {
+	idx := indexFile{Version: 1, SegSizes: map[string]int64{}}
+	for id, seg := range s.segs {
+		idx.SegSizes[fmt.Sprint(id)] = seg.size
+	}
+	for elem := s.lru.Back(); elem != nil; elem = elem.Prev() {
+		key := elem.Value.(string)
+		e := s.index[key]
+		idx.Entries = append(idx.Entries, indexFileEntry{Key: key, Seg: e.seg.id, Off: e.off, N: e.n})
+	}
+	data, err := json.Marshal(idx)
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(s.dir, indexName+".tmp")
+	if os.WriteFile(tmp, data, 0o644) == nil {
+		_ = os.Rename(tmp, filepath.Join(s.dir, indexName))
+	}
+}
+
+// Get returns the encoded entry for key, if present and intact. A record
+// that fails re-validation (bit rot, foreign truncation) is dropped from
+// the index and reported as a miss.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[key]
+	if !ok || s.closed {
+		return nil, false
+	}
+	buf := make([]byte, e.n)
+	if _, err := e.seg.f.ReadAt(buf, e.off); err != nil {
+		s.dropLocked(key, e)
+		return nil, false
+	}
+	var rec record
+	if json.Unmarshal(buf, &rec) != nil || rec.Key != key || !rec.valid() {
+		s.dropLocked(key, e)
+		return nil, false
+	}
+	s.lru.MoveToFront(e.elem)
+	return rec.Val, true
+}
+
+// Put appends the encoded entry for key. The store is content-addressed,
+// so a key already present is only touched in the LRU order; persistence
+// failures are swallowed (the entry just stays memory-only upstream).
+func (s *Store) Put(key string, val []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if e, ok := s.index[key]; ok {
+		s.lru.MoveToFront(e.elem)
+		return
+	}
+	seg, off, n, err := s.appendLocked(key, val)
+	if err != nil {
+		return
+	}
+	s.indexRecord(key, seg, off, n)
+	s.evictLocked()
+	s.compactLocked()
+}
+
+// appendLocked writes one record line to the active segment, rotating
+// first when the line would overflow it.
+func (s *Store) appendLocked(key string, val []byte) (*segment, int64, int64, error) {
+	line, err := json.Marshal(record{Key: key, CRC: crcHex(val), Val: val})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	line = append(line, '\n')
+	if s.active == nil || (s.active.size > 0 && s.active.size+int64(len(line)) > s.opts.SegmentBytes) {
+		if err := s.rotateLocked(); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	seg := s.active
+	off := seg.size
+	if _, err := seg.f.WriteAt(line, off); err != nil {
+		// A partial write leaves a torn tail; truncate back so the next
+		// append does not interleave with garbage.
+		_ = seg.f.Truncate(off)
+		return nil, 0, 0, err
+	}
+	if s.opts.Sync {
+		_ = seg.f.Sync()
+	}
+	seg.size += int64(len(line))
+	return seg, off, int64(len(line)), nil
+}
+
+func (s *Store) rotateLocked() error {
+	next := 1
+	if s.active != nil {
+		next = s.active.id + 1
+	}
+	seg, err := s.openSegment(next)
+	if err != nil {
+		return err
+	}
+	s.segs[next] = seg
+	s.active = seg
+	return nil
+}
+
+// evictLocked enforces the live-byte cap by dropping least-recently-used
+// entries. The bytes stay in their segments until compaction reclaims
+// them.
+func (s *Store) evictLocked() {
+	for s.liveBytes > s.opts.MaxBytes && s.lru.Len() > 1 {
+		elem := s.lru.Back()
+		key := elem.Value.(string)
+		s.dropLocked(key, s.index[key])
+		s.evictions++
+	}
+}
+
+func (s *Store) dropLocked(key string, e *entry) {
+	delete(s.index, key)
+	s.lru.Remove(e.elem)
+	e.seg.live -= e.n
+	s.liveBytes -= e.n
+}
+
+// compactLocked rewrites sealed segments that are more than half dead:
+// their live records are re-appended to the active segment (keeping their
+// index slots and LRU positions) and the file is deleted.
+func (s *Store) compactLocked() {
+	for id, seg := range s.segs {
+		if seg == s.active || seg.live*2 >= seg.size {
+			continue
+		}
+		if seg.live > 0 {
+			s.rewriteLocked(seg)
+		}
+		if seg.live == 0 {
+			seg.f.Close()
+			_ = os.Remove(seg.path)
+			delete(s.segs, id)
+			s.compactions++
+		}
+	}
+}
+
+// rewriteLocked moves every live record of seg into the active segment.
+func (s *Store) rewriteLocked(seg *segment) {
+	// Collect this segment's live keys first: indexRecord mutates the
+	// index while we move them.
+	var keys []string
+	for key, e := range s.index {
+		if e.seg == seg {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys) // deterministic rewrite order
+	for _, key := range keys {
+		e := s.index[key]
+		buf := make([]byte, e.n)
+		if _, err := e.seg.f.ReadAt(buf, e.off); err != nil {
+			s.dropLocked(key, e)
+			continue
+		}
+		var rec record
+		if json.Unmarshal(buf, &rec) != nil || !rec.valid() {
+			s.dropLocked(key, e)
+			continue
+		}
+		nseg, off, n, err := s.appendLocked(key, rec.Val)
+		if err != nil {
+			return // keep the old record; the segment stays until it works
+		}
+		// Move the slot without disturbing its LRU position.
+		e.seg.live -= e.n
+		s.liveBytes -= e.n
+		e.seg, e.off, e.n = nseg, off, n
+		nseg.live += n
+		s.liveBytes += n
+	}
+}
+
+// Len reports the number of live entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Entries:     len(s.index),
+		LiveBytes:   s.liveBytes,
+		Segments:    len(s.segs),
+		Evictions:   s.evictions,
+		Compactions: s.compactions,
+	}
+	for _, seg := range s.segs {
+		st.FileBytes += seg.size
+	}
+	return st
+}
+
+// Close writes the reopen index and releases every file. The store
+// rejects use after Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.writeIndexFile()
+	s.closeFiles()
+	return nil
+}
+
+func (s *Store) closeFiles() {
+	for _, seg := range s.segs {
+		if seg.f != nil {
+			seg.f.Close()
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package diskcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func val(i int) []byte { return []byte(fmt.Sprintf(`{"payload":%d}`, i)) }
+func key(i int) string { return fmt.Sprintf("%064x", i) }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	defer s.Close()
+	for i := 0; i < 100; i++ {
+		s.Put(key(i), val(i))
+	}
+	for i := 0; i < 100; i++ {
+		got, ok := s.Get(key(i))
+		if !ok {
+			t.Fatalf("key %d missing", i)
+		}
+		if !bytes.Equal(got, val(i)) {
+			t.Fatalf("key %d: got %s want %s", i, got, val(i))
+		}
+	}
+	if _, ok := s.Get(key(1000)); ok {
+		t.Fatal("absent key reported present")
+	}
+}
+
+func TestReopenSeesEntries(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	for i := 0; i < 50; i++ {
+		s.Put(key(i), val(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean reopen rides the index file.
+	s2 := open(t, dir, Options{})
+	defer s2.Close()
+	if s2.Len() != 50 {
+		t.Fatalf("after clean reopen: %d entries, want 50", s2.Len())
+	}
+	for i := 0; i < 50; i++ {
+		got, ok := s2.Get(key(i))
+		if !ok || !bytes.Equal(got, val(i)) {
+			t.Fatalf("key %d lost across reopen", i)
+		}
+	}
+}
+
+func TestReopenWithoutIndexScans(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	for i := 0; i < 50; i++ {
+		s.Put(key(i), val(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash after the writes but before a clean Close: the
+	// index file is gone and the scan path must recover everything.
+	if err := os.Remove(filepath.Join(dir, indexName)); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, Options{})
+	defer s2.Close()
+	if s2.Len() != 50 {
+		t.Fatalf("after scan reopen: %d entries, want 50", s2.Len())
+	}
+}
+
+// TestCrashSafeAppend truncates the log mid-record — the torn tail a
+// crash during an append leaves — and checks that reopening recovers
+// every whole record, drops the torn one, and appends cleanly after it.
+func TestCrashSafeAppend(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		s.Put(key(i), val(i))
+	}
+	s.Close()
+	_ = os.Remove(filepath.Join(dir, indexName))
+
+	segs, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	seg := segs[len(segs)-1]
+	st, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop half of the final record off.
+	if err := os.Truncate(seg, st.Size()-20); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir, Options{})
+	defer s2.Close()
+	if s2.Len() != 9 {
+		t.Fatalf("after torn-tail recovery: %d entries, want 9", s2.Len())
+	}
+	for i := 0; i < 9; i++ {
+		if _, ok := s2.Get(key(i)); !ok {
+			t.Fatalf("whole record %d lost to recovery", i)
+		}
+	}
+	if _, ok := s2.Get(key(9)); ok {
+		t.Fatal("torn record served")
+	}
+	// The tail was truncated back, so a fresh append lands on a record
+	// boundary and survives another reopen.
+	s2.Put(key(9), val(9))
+	s2.Close()
+	_ = os.Remove(filepath.Join(dir, indexName))
+	s3 := open(t, dir, Options{})
+	defer s3.Close()
+	if got, ok := s3.Get(key(9)); !ok || !bytes.Equal(got, val(9)) {
+		t.Fatal("append after recovery lost")
+	}
+}
+
+// TestCorruptRecordIgnored flips bytes inside a record's value; the
+// checksum must fail and recovery must stop at the corruption.
+func TestCorruptRecordIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		s.Put(key(i), val(i))
+	}
+	s.Close()
+	_ = os.Remove(filepath.Join(dir, indexName))
+
+	segs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the payload of the second record.
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	lines[1] = bytes.Replace(lines[1], []byte("payload"), []byte("pwnload"), 1)
+	if err := os.WriteFile(segs[0], bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir, Options{})
+	defer s2.Close()
+	if _, ok := s2.Get(key(0)); !ok {
+		t.Fatal("record before corruption lost")
+	}
+	if _, ok := s2.Get(key(1)); ok {
+		t.Fatal("corrupt record served")
+	}
+}
+
+// TestLRUEviction fills the store past its cap and checks that the
+// least-recently-used entries (and only those) are gone.
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	// Records are ~100 bytes; cap at roughly 20 of them.
+	s := open(t, dir, Options{MaxBytes: 2000, SegmentBytes: 500})
+	defer s.Close()
+	n := 60
+	for i := 0; i < n; i++ {
+		s.Put(key(i), val(i))
+		// Keep key 0 hot so recency, not insertion order, decides.
+		if _, ok := s.Get(key(0)); !ok && i < 10 {
+			t.Fatalf("hot key evicted early at %d", i)
+		}
+	}
+	st := s.Stats()
+	if st.LiveBytes > 2000 {
+		t.Fatalf("live bytes %d over cap", st.LiveBytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	if _, ok := s.Get(key(0)); !ok {
+		t.Fatal("most-recently-used key evicted")
+	}
+	if _, ok := s.Get(key(n - 1)); !ok {
+		t.Fatal("newest key evicted")
+	}
+	// The coldest middle keys must be gone.
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("cold key survived past the cap")
+	}
+	// Compaction must have reclaimed dead segments: file bytes stay within
+	// a few segments of the live set rather than growing with n.
+	if st.FileBytes > 4*2000 {
+		t.Fatalf("file bytes %d not reclaimed (live %d)", st.FileBytes, st.LiveBytes)
+	}
+	if st.Compactions == 0 {
+		t.Fatal("no compactions recorded")
+	}
+}
+
+// TestSegmentRotationAndCompactionKeepsData churns the same keys with
+// rotation-sized payloads and verifies every live key still reads back
+// after compactions.
+func TestSegmentRotationAndCompactionKeepsData(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{MaxBytes: 1 << 20, SegmentBytes: 256})
+	defer s.Close()
+	for i := 0; i < 200; i++ {
+		s.Put(key(i%20), val(i%20))
+		if _, ok := s.Get(key(i % 7)); i >= 7 && !ok {
+			t.Fatalf("key %d missing during churn", i%7)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		got, ok := s.Get(key(i))
+		if !ok || !bytes.Equal(got, val(i)) {
+			t.Fatalf("key %d wrong after churn", i)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"testing"
+
+	"transit/internal/expr"
+	"transit/internal/synth"
+)
+
+// goldenSpec is a fixed, fully explicit solve spec covering every key
+// ingredient: universe parameters (cache count, non-default width, a
+// declared enum), vocabulary options, variables, output, a concolic
+// example, and explicit limits.
+func goldenSpec(t *testing.T) SolveSpec {
+	t.Helper()
+	u, err := expr.NewUniverseWidth(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := u.MustDeclareEnum("State", "INVALID", "SHARED", "MODIFIED")
+	voc := expr.CoherenceVocabulary(u, expr.CoherenceOptions{
+		Enums: []*expr.EnumType{st}, WithEnumConstants: true, WithoutEnumIte: true,
+	})
+	a := expr.V("a", expr.IntType)
+	b := expr.V("b", expr.IntType)
+	o := expr.V("o", expr.IntType)
+	return SolveSpec{
+		Problem: synth.Problem{U: u, Vocab: voc, Vars: []*expr.Var{a, b}, Output: o},
+		Examples: []synth.ConcolicExample{{
+			Pre: expr.True(),
+			Post: expr.And(expr.Ge(o, a), expr.And(expr.Ge(o, b),
+				expr.Or(expr.Eq(o, a), expr.Eq(o, b)))),
+		}},
+		Limits: synth.Limits{MaxSize: 8},
+	}
+}
+
+// TestSolveSpecKeyGolden pins the canonical cache key for the golden
+// spec. With the disk-backed cache, SolveSpec.Key is a persistence and
+// compatibility surface: entries written by one build are looked up by
+// later builds, so any change to the key derivation silently orphans
+// every existing cache (and, worse, an unintended collision could serve
+// wrong expressions). If this test fails, either revert the accidental
+// key drift, or — for a deliberate format change — update the golden
+// value AND bump the codec wireVersion so stale disk entries are
+// rejected rather than misread.
+func TestSolveSpecKeyGolden(t *testing.T) {
+	const golden = "1223ea59f358773bb923c836a819a76f89f29401a697a5e3bf7917fb2cab7ffc"
+	if got := goldenSpec(t).Key(); got != golden {
+		t.Fatalf("SolveSpec.Key drifted:\n got  %s\n want %s", got, golden)
+	}
+}
+
+// TestSolveSpecKeyStableAcrossInstances rebuilds the same spec from
+// scratch and demands the same key — the property cross-process cache
+// sharing rests on.
+func TestSolveSpecKeyStableAcrossInstances(t *testing.T) {
+	if a, b := goldenSpec(t).Key(), goldenSpec(t).Key(); a != b {
+		t.Fatalf("key not a pure function of the spec: %s vs %s", a, b)
+	}
+}

@@ -38,14 +38,13 @@ func growLimits(l synth.Limits) synth.Limits {
 func (e *Engine) SolveConcolic(ctx context.Context, spec SolveSpec) (res expr.Expr, stats synth.Stats, cached bool, retries int, err error) {
 	var key string
 	if e.cfg.Cache != nil {
-		key = spec.Key()
-		if ent, ok := e.cfg.Cache.Get(key); ok {
-			// The entry may have been recorded against another Universe
-			// instance; re-bind its symbols to this spec's world first.
-			if re, ok := spec.rehydrate(ent.Expr); ok {
-				return re, ent.Stats, true, 0, nil
-			}
+		// Fetch consults memory first (re-binding the entry's symbols to
+		// this spec's world) and then the persistent backend, if any.
+		re, st, k, ok := e.cfg.Cache.Fetch(spec)
+		if ok {
+			return re, st, true, 0, nil
 		}
+		key = k
 	}
 	attempts := e.cfg.Retry.Attempts
 	if attempts < 1 {

@@ -36,6 +36,21 @@ type Server struct {
 	started time.Time
 	ln      net.Listener
 	srv     *http.Server
+	extra   []route
+}
+
+type route struct {
+	pattern string
+	handler http.Handler
+}
+
+// Handle mounts an additional handler on the server's mux. It must be
+// called before Start; patterns use net/http ServeMux syntax (method and
+// wildcard patterns included). The job server mounts its /v1/ API this
+// way so one address serves both the job API and the introspection
+// endpoints.
+func (s *Server) Handle(pattern string, handler http.Handler) {
+	s.extra = append(s.extra, route{pattern, handler})
 }
 
 // New builds an unstarted server for addr (host:port; ":0" picks a free
@@ -73,6 +88,9 @@ func (s *Server) Start() error {
 	mux.HandleFunc("/trace/live", s.handleTraceLive)
 	mux.HandleFunc("/flight", s.handleFlight)
 	mux.Handle("/debug/pprof/", obs.NewPprofMux())
+	for _, rt := range s.extra {
+		mux.Handle(rt.pattern, rt.handler)
+	}
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = s.srv.Serve(ln) }()
 	return nil

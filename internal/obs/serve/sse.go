@@ -97,6 +97,22 @@ func (b *Broadcast) send(typ string, d obs.SpanData) {
 	b.mu.Unlock()
 }
 
+// Publish fans a pre-marshaled NDJSON line out to every subscriber,
+// letting layers above the tracer (the job server's per-job event buses)
+// inject their own records into the same streams. Delivery follows the
+// span rules: non-blocking, slow subscribers drop.
+func (b *Broadcast) Publish(line []byte) {
+	b.mu.Lock()
+	for _, s := range b.subs {
+		select {
+		case s.ch <- line:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+	b.mu.Unlock()
+}
+
 // Span implements obs.Exporter.
 func (b *Broadcast) Span(d obs.SpanData) { b.send("span", d) }
 

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// limiter is a per-client token bucket: each client key refills at rate
+// tokens per second up to burst, and one token pays for one submission.
+// Buckets are created on first sight and pruned once they have been idle
+// long enough to be indistinguishable from full.
+type limiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(rate float64, burst int) *limiter {
+	b := float64(burst)
+	if b < 1 {
+		b = math.Max(1, math.Ceil(rate))
+	}
+	return &limiter{rate: rate, burst: b, buckets: map[string]*bucket{}}
+}
+
+// allow spends one token for key if available.
+func (l *limiter) allow(key string, now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bk, ok := l.buckets[key]
+	if !ok {
+		// Opportunistic prune: a bucket idle long enough to have refilled
+		// completely carries no information.
+		idle := time.Duration(l.burst/l.rate*float64(time.Second)) + time.Minute
+		for k, old := range l.buckets {
+			if now.Sub(old.last) > idle {
+				delete(l.buckets, k)
+			}
+		}
+		bk = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = bk
+	}
+	bk.tokens = math.Min(l.burst, bk.tokens+l.rate*now.Sub(bk.last).Seconds())
+	bk.last = now
+	if bk.tokens < 1 {
+		return false
+	}
+	bk.tokens--
+	return true
+}

@@ -1,0 +1,515 @@
+// Package server is the synthesis-as-a-service layer: a job server that
+// exposes the engine's two entry points — SolveConcolic on a wire-encoded
+// solve spec, and whole-skeleton completion on TRANSIT source — over an
+// HTTP/JSON API, in front of one shared memoization cache (optionally
+// disk-backed, so answers persist across jobs, clients, and restarts).
+//
+// The request path is: per-client token-bucket rate limiting, then
+// in-flight dedup on the engine's canonical structural key (a resubmit of
+// a queued or running problem joins the existing job instead of spawning
+// a duplicate), then a bounded admission queue drained by a fixed worker
+// pool. Each job carries its own event bus; subscribers replay the
+// history and then stream live engine telemetry as SSE.
+//
+// The server itself is HTTP-framework-free: it exposes handlers that the
+// caller mounts on a mux — in cmd/transit they share the live
+// introspection server's address, so /metrics, /runs, and /v1/jobs are
+// one endpoint.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"transit/internal/engine"
+	"transit/internal/engine/diskcache"
+	"transit/internal/obs"
+	"transit/internal/obs/serve"
+)
+
+// Config configures a job server. The zero value works: an in-memory
+// cache, 2 workers, a 64-deep queue, and no rate limiting.
+type Config struct {
+	// Cache is the shared memoization cache consulted and populated by
+	// every job; give it a disk backend to persist across restarts. Nil
+	// gets a fresh in-memory cache.
+	Cache *engine.Cache
+	// MaxInflight is the worker-pool size: how many jobs run at once.
+	// Values <= 0 mean 2.
+	MaxInflight int
+	// QueueDepth bounds the admission queue; submissions beyond it are
+	// rejected with 503. Values <= 0 mean 64.
+	QueueDepth int
+	// Rate is the per-client token-bucket refill rate in requests per
+	// second; 0 disables rate limiting. Burst is the bucket size
+	// (defaults to max(1, ceil(Rate))).
+	Rate  float64
+	Burst int
+	// JobTimeout bounds each job's run; 0 means none.
+	JobTimeout time.Duration
+	// Workers and EnumWorkers are passed to completion jobs (the core
+	// worker pool and the per-job enumeration fan-out). They are
+	// execution details: excluded from dedup keys, invisible in results.
+	Workers     int
+	EnumWorkers int
+	// Metrics, when non-nil, receives the server counters (submissions,
+	// dedup hits, rejections, cache hits) and the job-latency histogram.
+	Metrics *obs.Registry
+	// BaseContext, when non-nil, parents every job context. cmd/transit
+	// threads the observability session through it, so job spans reach the
+	// flight recorder and solver counters reach /metrics.
+	BaseContext context.Context
+}
+
+// jobState is a job's position in its lifecycle.
+type jobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued jobState = "queued"
+	// JobRunning: a worker is solving it.
+	JobRunning jobState = "running"
+	// JobDone: finished with a result.
+	JobDone jobState = "done"
+	// JobFailed: finished with an error.
+	JobFailed jobState = "failed"
+	// JobCanceled: canceled before or during the run.
+	JobCanceled jobState = "canceled"
+)
+
+// terminal reports whether a state is final.
+func (s jobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// eventCap bounds each job's replayable event history; beyond it the
+// oldest lines are dropped (live subscribers still see everything).
+const eventCap = 4096
+
+// job is one unit of work and its full lifecycle record.
+type job struct {
+	id   string
+	kind string
+	key  string
+	run  func(ctx context.Context, j *job) (json.RawMessage, jobCache, error)
+
+	mu        sync.Mutex
+	state     jobState
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	err       string
+	result    json.RawMessage
+	cache     jobCache
+	cancel    context.CancelFunc
+	dedups    int
+
+	bus    *serve.Broadcast
+	events [][]byte
+	done   chan struct{}
+}
+
+// jobCache records how the memo cache served a job.
+type jobCache struct {
+	Hits   int64
+	Misses int64
+}
+
+// publish appends one NDJSON event line to the job's history and fans it
+// out to live subscribers. The payload map must be JSON-marshalable.
+func (j *job) publish(typ string, fields map[string]any) {
+	rec := map[string]any{"type": typ, "job": j.id, "t": time.Now().UnixMilli()}
+	for k, v := range fields {
+		rec[k] = v
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	j.mu.Lock()
+	if len(j.events) >= eventCap {
+		j.events = append(j.events[:0], j.events[1:]...)
+	}
+	j.events = append(j.events, line)
+	j.bus.Publish(line)
+	j.mu.Unlock()
+}
+
+// snapshotEvents returns the replay history and a live subscription,
+// atomically with respect to publish, so SSE consumers see every event
+// exactly once and in order.
+func (j *job) snapshotEvents() (history [][]byte, live <-chan []byte, cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	history = append([][]byte(nil), j.events...)
+	live, cancel = j.bus.Subscribe()
+	return history, live, cancel
+}
+
+// Server is the job server. Create with New, mount its API with Mount or
+// Handler, Start the worker pool, and Drain on shutdown.
+type Server struct {
+	cfg   Config
+	cache *engine.Cache
+	reg   *obs.Registry
+	rl    *limiter
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	byKey    map[string]*job // queued/running jobs only
+	queue    chan *job
+	draining bool
+	nextID   int
+	diskSeen int64 // last Cache.DiskHits synced into the registry
+
+	wg sync.WaitGroup
+
+	// now is the clock, swappable in tests.
+	now func() time.Time
+}
+
+// New builds an unstarted server.
+func New(cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = engine.NewCache()
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: cache,
+		reg:   reg,
+		jobs:  map[string]*job{},
+		byKey: map[string]*job{},
+		queue: make(chan *job, cfg.QueueDepth),
+		now:   time.Now,
+	}
+	if cfg.Rate > 0 {
+		s.rl = newLimiter(cfg.Rate, cfg.Burst)
+	}
+	return s
+}
+
+// Cache exposes the shared memo cache (for stats and tests).
+func (s *Server) Cache() *engine.Cache { return s.cache }
+
+// Metrics exposes the registry the server counts into.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.MaxInflight; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+}
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admission (submissions get 503), lets the workers finish
+// every queued and running job, and returns when the pool is idle. If
+// timeout elapses first, running jobs are canceled and Drain waits for
+// the cancellations to land. Safe to call more than once.
+func (s *Server) Drain(timeout time.Duration) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	// Every send happens under mu with the draining flag checked first,
+	// so closing here cannot race a send.
+	close(s.queue)
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() { s.wg.Wait(); close(idle) }()
+	var t <-chan time.Time
+	if timeout > 0 {
+		tm := time.NewTimer(timeout)
+		defer tm.Stop()
+		t = tm.C
+	}
+	select {
+	case <-idle:
+	case <-t:
+		s.cancelAll()
+		<-idle
+	}
+}
+
+// cancelAll cancels every non-terminal job.
+func (s *Server) cancelAll() {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		s.cancelJob(j)
+	}
+}
+
+// errSubmit carries an HTTP status with a submission failure.
+type errSubmit struct {
+	status int
+	msg    string
+}
+
+func (e *errSubmit) Error() string { return e.msg }
+
+// submit validates, rate-limits, dedups, and enqueues one request.
+// The returned bool reports dedup: true means the job was already in
+// flight and the caller joined it.
+func (s *Server) submit(req *JobRequest, client string) (*job, bool, error) {
+	if s.rl != nil && !s.rl.allow(client, s.now()) {
+		s.reg.Counter("server.rate_limited").Inc()
+		return nil, false, &errSubmit{http.StatusTooManyRequests, "rate limit exceeded"}
+	}
+	key, runner, err := s.prepare(req)
+	if err != nil {
+		return nil, false, &errSubmit{http.StatusBadRequest, err.Error()}
+	}
+	s.reg.Counter("server.jobs_submitted").Inc()
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, false, &errSubmit{http.StatusServiceUnavailable, "server is draining"}
+	}
+	if live, ok := s.byKey[key]; ok {
+		live.mu.Lock()
+		live.dedups++
+		live.mu.Unlock()
+		s.mu.Unlock()
+		s.reg.Counter("server.dedup_hits").Inc()
+		return live, true, nil
+	}
+	s.nextID++
+	j := &job{
+		id:        fmt.Sprintf("j-%06d", s.nextID),
+		kind:      req.Kind,
+		key:       key,
+		run:       runner,
+		state:     JobQueued,
+		submitted: s.now(),
+		bus:       serve.NewBroadcast(),
+		done:      make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.reg.Counter("server.queue_rejected").Inc()
+		return nil, false, &errSubmit{http.StatusServiceUnavailable, "admission queue full"}
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.byKey[key] = j
+	s.mu.Unlock()
+	s.reg.Counter("server.jobs_enqueued").Inc()
+	j.publish("job.state", map[string]any{"state": string(JobQueued), "key": key})
+	return j, false, nil
+}
+
+// get looks a job up by ID.
+func (s *Server) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// runJob executes one dequeued job end to end.
+func (s *Server) runJob(j *job) {
+	s.reg.Counter("server.jobs_dequeued").Inc()
+	j.mu.Lock()
+	if j.state != JobQueued { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = JobRunning
+	j.started = s.now()
+	base := s.cfg.BaseContext
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(base, s.cfg.JobTimeout)
+	}
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+	j.publish("job.state", map[string]any{"state": string(JobRunning)})
+
+	result, cinfo, err := j.run(ctx, j)
+
+	j.mu.Lock()
+	j.finished = s.now()
+	j.cache = cinfo
+	switch {
+	case j.state == JobCanceled || errors.Is(err, context.Canceled):
+		j.state = JobCanceled
+		j.err = "canceled"
+	case err != nil:
+		j.state = JobFailed
+		j.err = err.Error()
+	default:
+		j.state = JobDone
+		j.result = result
+	}
+	state, errMsg := j.state, j.err
+	elapsed := j.finished.Sub(j.started)
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	if s.byKey[j.key] == j {
+		delete(s.byKey, j.key)
+	}
+	// Fold the cache's disk-hit counter into the registry as a delta, so
+	// /metrics shows persistent-cache traffic without double counting.
+	if d := s.cache.DiskHits(); d > s.diskSeen {
+		s.reg.Counter("server.cache_disk_hits").Add(d - s.diskSeen)
+		s.diskSeen = d
+	}
+	s.mu.Unlock()
+
+	switch state {
+	case JobDone:
+		s.reg.Counter("server.jobs_completed").Inc()
+	case JobFailed:
+		s.reg.Counter("server.jobs_failed").Inc()
+	case JobCanceled:
+		s.reg.Counter("server.jobs_canceled").Inc()
+	}
+	s.reg.Counter("server.cache_hits").Add(cinfo.Hits)
+	s.reg.Counter("server.cache_misses").Add(cinfo.Misses)
+	s.reg.Histogram("server.job_ms").Observe(elapsed)
+
+	fields := map[string]any{"state": string(state)}
+	if errMsg != "" {
+		fields["error"] = errMsg
+	}
+	j.publish("job.state", fields)
+	close(j.done)
+}
+
+// cancelJob cancels a job in any non-terminal state.
+func (s *Server) cancelJob(j *job) bool {
+	j.mu.Lock()
+	switch j.state {
+	case JobQueued:
+		// The worker will observe the state and skip it; finish it here.
+		j.state = JobCanceled
+		j.err = "canceled"
+		j.finished = s.now()
+		j.mu.Unlock()
+		s.mu.Lock()
+		if s.byKey[j.key] == j {
+			delete(s.byKey, j.key)
+		}
+		s.mu.Unlock()
+		s.reg.Counter("server.jobs_canceled").Inc()
+		j.publish("job.state", map[string]any{"state": string(JobCanceled)})
+		close(j.done)
+		return true
+	case JobRunning:
+		j.state = JobCanceled
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	default:
+		j.mu.Unlock()
+		return false
+	}
+}
+
+// StatsSnapshot is the /v1/stats response.
+type StatsSnapshot struct {
+	Draining    bool    `json:"draining"`
+	Queued      int     `json:"queued"`
+	Running     int     `json:"running"`
+	Jobs        int     `json:"jobs"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	DiskHits    int64   `json:"cache_disk_hits"`
+	CacheLen    int     `json:"cache_entries"`
+	HitRate     float64 `json:"cache_hit_rate"`
+
+	// Disk is present when the cache has a diskcache backend.
+	Disk *diskcache.Stats `json:"disk,omitempty"`
+}
+
+// stats gathers the live gauges the counter-only registry cannot hold.
+func (s *Server) stats() StatsSnapshot {
+	s.mu.Lock()
+	var queued, running int
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case JobQueued:
+			queued++
+		case JobRunning:
+			running++
+		}
+		j.mu.Unlock()
+	}
+	snap := StatsSnapshot{
+		Draining: s.draining,
+		Queued:   queued,
+		Running:  running,
+		Jobs:     len(s.jobs),
+	}
+	s.mu.Unlock()
+	snap.CacheHits, snap.CacheMisses = s.cache.Counters()
+	snap.DiskHits = s.cache.DiskHits()
+	snap.CacheLen = s.cache.Len()
+	snap.HitRate = s.cache.HitRate()
+	if store, ok := s.cache.Backend().(*diskcache.Store); ok {
+		st := store.Stats()
+		snap.Disk = &st
+	}
+	return snap
+}
+
+// completeKey derives the dedup key for a completion request: a SHA-256
+// over the canonicalized request (after defaulting), kind-prefixed so
+// solve and complete keys cannot collide.
+func completeKey(req *CompleteRequest) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "complete:%q:%q:%d:%d", req.Source, req.Builtin, req.NumCaches, req.MaxSize)
+	return "complete:" + hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,454 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"transit/internal/engine"
+	"transit/internal/engine/diskcache"
+)
+
+// maxReq is the standing test problem: max(a, b) from one concolic
+// example, solvable in well under a second.
+func maxReq() *JobRequest {
+	return &JobRequest{
+		Kind: "solve",
+		Solve: &SolveRequest{
+			NumCaches: 3,
+			Vars:      []VarDecl{{Name: "a", Type: "Int"}, {Name: "b", Type: "Int"}},
+			Output:    VarDecl{Name: "o", Type: "Int"},
+			Examples: []ExampleDecl{{
+				Pre:  "true",
+				Post: "o >= a & o >= b & (o = a | o = b)",
+			}},
+			MaxSize: 8,
+		},
+	}
+}
+
+// minReq is a distinct problem (min instead of max) for tests needing
+// two different keys.
+func minReq() *JobRequest {
+	r := maxReq()
+	r.Solve.Examples[0].Post = "a >= o & b >= o & (o = a | o = b)"
+	return r
+}
+
+func post(t *testing.T, ts *httptest.Server, req *JobRequest, hdr map[string]string) (*http.Response, JobEnvelope) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		hr.Header.Set(k, v)
+	}
+	resp, err := ts.Client().Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env JobEnvelope
+	_ = json.NewDecoder(resp.Body).Decode(&env)
+	return resp, env
+}
+
+func await(t *testing.T, ts *httptest.Server, id string) JobEnvelope {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env JobEnvelope
+		err = json.NewDecoder(resp.Body).Decode(&env)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jobState(env.Status).terminal() {
+			return env
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("job did not finish")
+	return JobEnvelope{}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Drain(5 * time.Second)
+	})
+	return s, ts
+}
+
+func TestSolveJobEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, env := post(t, ts, maxReq(), nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if env.ID == "" || env.Key == "" || !strings.HasPrefix(env.Key, "solve:") {
+		t.Fatalf("bad envelope: %+v", env)
+	}
+	done := await(t, ts, env.ID)
+	if done.Status != string(JobDone) {
+		t.Fatalf("status %s, error %q", done.Status, done.Error)
+	}
+	var res SolveResult
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Expr, "ite") {
+		t.Fatalf("unexpected expression %q", res.Expr)
+	}
+	if res.Stats.Enumerated == 0 || res.Stats.SMTQueries == 0 {
+		t.Fatalf("empty stats: %+v", res.Stats)
+	}
+	if done.CacheMisses != 1 || done.CacheHits != 0 {
+		t.Fatalf("cold job cache info: %+v", done)
+	}
+
+	// A resubmission after completion is a fresh job served from cache,
+	// with a byte-identical result.
+	_, env2 := post(t, ts, maxReq(), nil)
+	if env2.ID == env.ID {
+		t.Fatal("completed job must not dedup")
+	}
+	done2 := await(t, ts, env2.ID)
+	if done2.CacheHits != 1 {
+		t.Fatalf("warm job cache info: %+v", done2)
+	}
+	if !bytes.Equal(done.Result, done2.Result) {
+		t.Fatalf("warm result differs:\n%s\n%s", done.Result, done2.Result)
+	}
+	if hits, _ := s.Cache().Counters(); hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+	if got := s.Metrics().Get("server.cache_hits"); got != 1 {
+		t.Fatalf("metrics cache_hits = %d", got)
+	}
+}
+
+func TestDedupWhileInFlight(t *testing.T) {
+	// No workers started: the first submission stays queued, so the
+	// second deterministically joins it.
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp1, env1 := post(t, ts, maxReq(), nil)
+	if resp1.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp1.StatusCode)
+	}
+	resp2, env2 := post(t, ts, maxReq(), nil)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("dedup submit status %d, want 200", resp2.StatusCode)
+	}
+	if !env2.Deduped || env2.ID != env1.ID {
+		t.Fatalf("dedup did not join: %+v vs %+v", env2, env1)
+	}
+	// A different problem is not deduped.
+	resp3, env3 := post(t, ts, minReq(), nil)
+	if resp3.StatusCode != http.StatusAccepted || env3.ID == env1.ID {
+		t.Fatalf("distinct problem joined: %d %+v", resp3.StatusCode, env3)
+	}
+	if got := s.Metrics().Get("server.dedup_hits"); got != 1 {
+		t.Fatalf("dedup_hits = %d", got)
+	}
+	s.Start()
+	if env := await(t, ts, env1.ID); env.Status != string(JobDone) {
+		t.Fatalf("deduped job failed: %+v", env)
+	}
+	s.Drain(5 * time.Second)
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	s := New(Config{QueueDepth: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if resp, _ := post(t, ts, maxReq(), nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	resp, _ := post(t, ts, minReq(), nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-queue submit status %d, want 503", resp.StatusCode)
+	}
+	if got := s.Metrics().Get("server.queue_rejected"); got != 1 {
+		t.Fatalf("queue_rejected = %d", got)
+	}
+	s.Start()
+	s.Drain(5 * time.Second)
+}
+
+func TestRateLimitPerClient(t *testing.T) {
+	s := New(Config{Rate: 1, Burst: 1})
+	now := time.Unix(1000, 0)
+	s.now = func() time.Time { return now }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	alice := map[string]string{"X-Transit-Client": "alice"}
+	bob := map[string]string{"X-Transit-Client": "bob"}
+	if resp, _ := post(t, ts, maxReq(), alice); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first: %d", resp.StatusCode)
+	}
+	// Same instant, same client: bucket empty.
+	if resp, _ := post(t, ts, maxReq(), alice); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second same-client should be limited, got %d", resp.StatusCode)
+	}
+	// Another client has its own bucket. (Same problem — dedup joins it,
+	// which must still spend Bob's token first.)
+	if resp, _ := post(t, ts, maxReq(), bob); resp.StatusCode != http.StatusOK {
+		t.Fatalf("other client should pass, got %d", resp.StatusCode)
+	}
+	// A second later Alice's bucket has refilled.
+	now = now.Add(time.Second)
+	if resp, _ := post(t, ts, maxReq(), alice); resp.StatusCode != http.StatusOK {
+		t.Fatalf("refilled client, got %d", resp.StatusCode)
+	}
+	if got := s.Metrics().Get("server.rate_limited"); got != 1 {
+		t.Fatalf("rate_limited = %d", got)
+	}
+	s.Start()
+	s.Drain(5 * time.Second)
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	_, env := post(t, ts, maxReq(), nil)
+
+	hr, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+env.ID, nil)
+	resp, err := ts.Client().Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got JobEnvelope
+	_ = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || got.Status != string(JobCanceled) {
+		t.Fatalf("cancel: %d %+v", resp.StatusCode, got)
+	}
+	// Canceling again conflicts.
+	hr, _ = http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+env.ID, nil)
+	resp, err = ts.Client().Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double cancel status %d", resp.StatusCode)
+	}
+	// The canceled key no longer blocks resubmission by dedup.
+	if _, env2 := post(t, ts, maxReq(), nil); env2.Deduped {
+		t.Fatal("canceled job still dedups")
+	}
+	s.Start()
+	s.Drain(5 * time.Second)
+}
+
+func TestDrainRejectsLateSubmissions(t *testing.T) {
+	s := New(Config{})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	_, env := post(t, ts, maxReq(), nil)
+	await(t, ts, env.ID)
+
+	s.Drain(10 * time.Second)
+	resp, _ := post(t, ts, maxReq(), nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit status %d, want 503", resp.StatusCode)
+	}
+	// Drain is idempotent.
+	s.Drain(time.Second)
+}
+
+func TestEventsStreamReplaysHistory(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, env := post(t, ts, maxReq(), nil)
+	await(t, ts, env.ID)
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + env.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var states []string
+	engineEvents := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var rec struct {
+			Type  string `json:"type"`
+			Job   string `json:"job"`
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &rec); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		if rec.Job != env.ID {
+			t.Fatalf("foreign job in stream: %+v", rec)
+		}
+		switch rec.Type {
+		case "job.state":
+			states = append(states, rec.State)
+		case "engine":
+			engineEvents++
+		}
+	}
+	want := []string{"queued", "running", "done"}
+	if fmt.Sprint(states) != fmt.Sprint(want) {
+		t.Fatalf("states %v, want %v", states, want)
+	}
+	if engineEvents == 0 {
+		t.Fatal("no engine telemetry on the stream")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, req := range map[string]*JobRequest{
+		"unknown kind":    {Kind: "frobnicate"},
+		"missing payload": {Kind: "solve"},
+		"bad type": {Kind: "solve", Solve: &SolveRequest{
+			NumCaches: 3,
+			Vars:      []VarDecl{{Name: "a", Type: "Quux"}},
+			Output:    VarDecl{Name: "o", Type: "Int"},
+			Examples:  []ExampleDecl{{Post: "true"}},
+		}},
+		"bad syntax": {Kind: "solve", Solve: &SolveRequest{
+			NumCaches: 3,
+			Vars:      []VarDecl{{Name: "a", Type: "Int"}},
+			Output:    VarDecl{Name: "o", Type: "Int"},
+			Examples:  []ExampleDecl{{Post: "o = ) a"}},
+		}},
+		"no examples": {Kind: "solve", Solve: &SolveRequest{
+			NumCaches: 3,
+			Output:    VarDecl{Name: "o", Type: "Int"},
+		}},
+		"both sources": {Kind: "complete", Complete: &CompleteRequest{Source: "x", Builtin: "vi"}},
+		"bad builtin":  {Kind: "complete", Complete: &CompleteRequest{Builtin: "nope"}},
+	} {
+		resp, _ := post(t, ts, req, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestCompleteBuiltinJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	_, env := post(t, ts, &JobRequest{
+		Kind:     "complete",
+		Complete: &CompleteRequest{Builtin: "vi", NumCaches: 3},
+	}, nil)
+	done := await(t, ts, env.ID)
+	if done.Status != string(JobDone) {
+		t.Fatalf("status %s: %s", done.Status, done.Error)
+	}
+	var res CompleteResult
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol != "VI" || res.Transitions == 0 || len(res.TransitionsText) == 0 {
+		t.Fatalf("thin result: %+v", res)
+	}
+}
+
+// TestPersistentCacheAcrossServers is the PR's e2e acceptance test: two
+// sequential server processes share a -cache-dir; the second answers the
+// same request from the persistent cache — verified by the Counters()
+// hit delta and a DiskHits count — with a byte-identical result.
+func TestPersistentCacheAcrossServers(t *testing.T) {
+	dir := t.TempDir()
+
+	openServer := func() (*Server, *httptest.Server, *diskcache.Store) {
+		store, err := diskcache.Open(dir, diskcache.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(Config{Cache: engine.NewCacheWithBackend(store)})
+		s.Start()
+		return s, httptest.NewServer(s.Handler()), store
+	}
+
+	// First server lifetime: cold solve, then clean shutdown.
+	s1, ts1, store1 := openServer()
+	_, env1 := post(t, ts1, maxReq(), nil)
+	cold := await(t, ts1, env1.ID)
+	if cold.Status != string(JobDone) || cold.CacheMisses != 1 {
+		t.Fatalf("cold run: %+v", cold)
+	}
+	ts1.Close()
+	s1.Drain(10 * time.Second)
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second server lifetime over the same directory.
+	s2, ts2, store2 := openServer()
+	defer func() { ts2.Close(); s2.Drain(5 * time.Second); store2.Close() }()
+	preHits, _ := s2.Cache().Counters()
+	_, env2 := post(t, ts2, maxReq(), nil)
+	warm := await(t, ts2, env2.ID)
+	if warm.Status != string(JobDone) {
+		t.Fatalf("warm run: %+v", warm)
+	}
+	if warm.CacheHits != 1 || warm.CacheMisses != 0 {
+		t.Fatalf("warm run not served from cache: %+v", warm)
+	}
+	postHits, _ := s2.Cache().Counters()
+	if postHits-preHits != 1 {
+		t.Fatalf("Counters() hit delta = %d, want 1", postHits-preHits)
+	}
+	if s2.Cache().DiskHits() != 1 {
+		t.Fatalf("DiskHits = %d, want 1", s2.Cache().DiskHits())
+	}
+	if !bytes.Equal(cold.Result, warm.Result) {
+		t.Fatalf("results differ across restart:\ncold %s\nwarm %s", cold.Result, warm.Result)
+	}
+	// The hit surfaced in /metrics via the registry.
+	if got := s2.Metrics().Get("server.cache_disk_hits"); got != 1 {
+		t.Fatalf("cache_disk_hits metric = %d", got)
+	}
+
+	var stats StatsSnapshot
+	resp, err := ts2.Client().Get(ts2.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Disk == nil || stats.Disk.Entries == 0 {
+		t.Fatalf("stats missing disk backend: %+v", stats)
+	}
+}
