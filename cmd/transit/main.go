@@ -40,13 +40,19 @@
 //
 //	transit obs report FILE   render a flight dump or -stats NDJSON capture
 //	                          as the -stats-summary tree and metrics table
+//	transit obs report -job   render a job trace (the JSON body of GET
+//	                          /v1/jobs/{id}/trace, from a file or stdin)
+//	                          as an indented span tree with durations
 //	transit serve [flags]     run the synthesis job server: POST /v1/jobs
 //	                          (solve and complete requests), GET
 //	                          /v1/jobs/{id}, SSE at /v1/jobs/{id}/events,
+//	                          per-job traces at /v1/jobs/{id}/trace,
 //	                          /v1/stats, plus the introspection endpoints,
 //	                          all on one address; -cache-dir persists the
-//	                          memo cache across restarts (see `transit
-//	                          serve -h` and the README's Serving section)
+//	                          memo cache across restarts, -access-log
+//	                          writes per-job NDJSON latency lines (see
+//	                          `transit serve -h` and the README's Serving
+//	                          section)
 package main
 
 import (
@@ -143,15 +149,38 @@ type options struct {
 
 // runObs handles the "transit obs" subcommand family.
 func runObs(args []string) error {
-	if len(args) != 2 || args[0] != "report" {
-		return fmt.Errorf("usage: transit obs report <flight-dump-or-ndjson-file>")
+	usage := fmt.Errorf("usage: transit obs report [-job] <file, or stdin with -job>")
+	if len(args) < 1 || args[0] != "report" {
+		return usage
 	}
-	f, err := os.Open(args[1])
-	if err != nil {
+	fs := flag.NewFlagSet("obs report", flag.ExitOnError)
+	jobTrace := fs.Bool("job", false, "input is a GET /v1/jobs/{id}/trace JSON document; render its span tree")
+	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	defer f.Close()
-	return obs.Report(f, os.Stdout)
+	var in io.Reader = os.Stdin
+	switch fs.NArg() {
+	case 0:
+		// Reading a job trace from a pipe (curl .../trace | transit obs
+		// report -job) is the documented flow; the NDJSON reports keep
+		// requiring a file argument.
+		if !*jobTrace {
+			return usage
+		}
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	default:
+		return usage
+	}
+	if *jobTrace {
+		return obs.ReportJobTrace(in, os.Stdout)
+	}
+	return obs.Report(in, os.Stdout)
 }
 
 // mcInterval maps the -mc-progress flag to mc's convention: the flag's 0

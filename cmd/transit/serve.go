@@ -40,11 +40,32 @@ func runServe(args []string) error {
 	jobTimeout := fs.Duration("job-timeout", 10*time.Minute, "per-job deadline (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before canceling them")
 	flightPath := fs.String("flight", "", "flight-recorder dump path (default transit-flight-<pid>.ndjson)")
+	noTrace := fs.Bool("no-trace", false, "disable per-job tracing: no trace IDs, no /v1/jobs/{id}/trace")
+	traceEvents := fs.Int("trace-events", 0, "per-job trace ring capacity in spans (0 = 256)")
+	accessLogPath := fs.String("access-log", "", "write one NDJSON access line per finished job to this file ('-' = stderr)")
+	accessLogMax := fs.Int64("access-log-max-bytes", 0, "access-log rotation threshold in bytes (0 = 64 MiB)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve takes no positional arguments (got %q)", fs.Args())
+	}
+
+	// Introspection server first, its exporters into the session, then
+	// attach — same order as the pipeline path. Serving always arms the
+	// flight recorder: a daemon's death should leave evidence. The session
+	// comes before the disk cache so the store counts into the same
+	// registry /metrics scrapes.
+	srv := serve.New(*addr)
+	if *flightPath == "" {
+		*flightPath = obs.DefaultFlightPath()
+	}
+	sess, err := obs.NewSession(obs.Options{
+		FlightPath: *flightPath,
+		Extra:      srv.Exporters(),
+	})
+	if err != nil {
+		return err
 	}
 
 	// The cache: memory-only by default, disk-backed when -cache-dir is
@@ -54,10 +75,12 @@ func runServe(args []string) error {
 	cache := engine.NewCache()
 	var store *diskcache.Store
 	if *cacheDir != "" {
-		var err error
-		store, err = diskcache.Open(*cacheDir, diskcache.Options{MaxBytes: *cacheMaxBytes})
+		store, err = diskcache.Open(*cacheDir, diskcache.Options{
+			MaxBytes: *cacheMaxBytes,
+			Metrics:  sess.Metrics,
+		})
 		if err != nil {
-			return fmt.Errorf("open cache dir: %w", err)
+			return errors.Join(fmt.Errorf("open cache dir: %w", err), sess.Close())
 		}
 		cache = engine.NewCacheWithBackend(store)
 	}
@@ -70,20 +93,19 @@ func runServe(args []string) error {
 		return err
 	}
 
-	// Introspection server first, its exporters into the session, then
-	// attach — same order as the pipeline path. Serving always arms the
-	// flight recorder: a daemon's death should leave evidence.
-	srv := serve.New(*addr)
-	if *flightPath == "" {
-		*flightPath = obs.DefaultFlightPath()
+	var accessLog *server.AccessLog
+	switch *accessLogPath {
+	case "":
+	case "-":
+		accessLog = server.NewAccessLogWriter(os.Stderr)
+	default:
+		accessLog, err = server.OpenAccessLog(*accessLogPath, *accessLogMax)
+		if err != nil {
+			return errors.Join(err, sess.Close(), closeStore())
+		}
 	}
-	sess, err := obs.NewSession(obs.Options{
-		FlightPath: *flightPath,
-		Extra:      srv.Exporters(),
-	})
-	if err != nil {
-		return errors.Join(err, closeStore())
-	}
+	closeAccessLog := func() error { return accessLog.Close() }
+
 	srv.Attach(sess)
 
 	jobsrv := server.New(server.Config{
@@ -97,10 +119,16 @@ func runServe(args []string) error {
 		EnumWorkers: *enumWorkers,
 		Metrics:     sess.Metrics,
 		BaseContext: sess.Context(context.Background()),
+		NoTrace:     *noTrace,
+		TraceEvents: *traceEvents,
+		AccessLog:   accessLog,
 	})
+	// Flight dumps taken while serving carry the queue/worker/rate-limiter
+	// picture next to the span tail.
+	sess.Recorder.AddSnapshot("server", jobsrv.FlightSnapshot)
 	jobsrv.Mount(srv)
 	if err := srv.Start(); err != nil {
-		return errors.Join(err, sess.Close(), closeStore())
+		return errors.Join(err, sess.Close(), closeStore(), closeAccessLog())
 	}
 	jobsrv.Start()
 
@@ -124,5 +152,5 @@ func runServe(args []string) error {
 	if path, derr := sess.DumpFlight("serve shutdown"); derr == nil && path != "" {
 		fmt.Fprintf(os.Stderr, "transit: flight dump written to %s\n", path)
 	}
-	return errors.Join(srv.Close(), closeStore(), sess.Close())
+	return errors.Join(srv.Close(), closeStore(), sess.Close(), closeAccessLog())
 }

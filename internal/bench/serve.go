@@ -16,6 +16,16 @@ import (
 	"transit/internal/server"
 )
 
+// TierStats aggregates the latencies of the requests one cache tier
+// served within a pass.
+type TierStats struct {
+	Requests int     `json:"requests"`
+	MeanMS   float64 `json:"mean_ms"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	MaxMS    float64 `json:"max_ms"`
+}
+
 // ServePassStats is one pass of the client load over the request set.
 type ServePassStats struct {
 	Requests    int     `json:"requests"`
@@ -28,6 +38,11 @@ type ServePassStats struct {
 	P50MS       float64 `json:"p50_ms"`
 	P95MS       float64 `json:"p95_ms"`
 	MaxMS       float64 `json:"max_ms"`
+
+	// Tiers splits the latencies by the cache tier that served each
+	// request (mem / disk / miss, from the job envelope), so the artifact
+	// shows what each tier costs a client end to end.
+	Tiers map[string]TierStats `json:"tiers,omitempty"`
 }
 
 // ServeBenchResult compares a cold pass (every request is a distinct
@@ -147,6 +162,7 @@ func terminalStatus(s string) bool {
 // (round-robin assignment) and aggregates the latencies.
 func runPass(ctx context.Context, hc *http.Client, baseURL string, clients int, reqs []server.JobRequest) (ServePassStats, error) {
 	latencies := make([]float64, len(reqs))
+	tiers := make([]string, len(reqs))
 	var (
 		mu    sync.Mutex
 		stats ServePassStats
@@ -172,6 +188,7 @@ func runPass(ctx context.Context, hc *http.Client, baseURL string, clients int, 
 					}
 				} else {
 					latencies[i] = ms(d)
+					tiers[i] = env.CacheTier
 					stats.CacheHits += env.CacheHits
 					stats.CacheMisses += env.CacheMisses
 				}
@@ -188,6 +205,7 @@ func runPass(ctx context.Context, hc *http.Client, baseURL string, clients int, 
 	if wall > 0 {
 		stats.Throughput = float64(len(reqs)) / wall.Seconds()
 	}
+	stats.Tiers = tierStats(latencies, tiers)
 	sort.Float64s(latencies)
 	sum := 0.0
 	for _, l := range latencies {
@@ -198,6 +216,34 @@ func runPass(ctx context.Context, hc *http.Client, baseURL string, clients int, 
 	stats.P95MS = percentile(latencies, 0.95)
 	stats.MaxMS = latencies[len(latencies)-1]
 	return stats, nil
+}
+
+// tierStats groups request latencies by the cache tier that served them
+// (pre-tier servers report no tier; those requests group under "none").
+func tierStats(latencies []float64, tiers []string) map[string]TierStats {
+	byTier := map[string][]float64{}
+	for i, tier := range tiers {
+		if tier == "" {
+			tier = "none"
+		}
+		byTier[tier] = append(byTier[tier], latencies[i])
+	}
+	out := make(map[string]TierStats, len(byTier))
+	for tier, ls := range byTier {
+		sort.Float64s(ls)
+		sum := 0.0
+		for _, l := range ls {
+			sum += l
+		}
+		out[tier] = TierStats{
+			Requests: len(ls),
+			MeanMS:   sum / float64(len(ls)),
+			P50MS:    percentile(ls, 0.50),
+			P95MS:    percentile(ls, 0.95),
+			MaxMS:    ls[len(ls)-1],
+		}
+	}
+	return out
 }
 
 // percentile reads the p-quantile from sorted values (nearest-rank).
@@ -261,6 +307,16 @@ func FormatServe(res *ServeBenchResult) string {
 			name, p.Requests, p.Errors,
 			p.MeanMS, p.P50MS, p.P95MS, p.MaxMS,
 			p.Throughput, p.CacheHits, p.CacheMisses)
+		// Per-tier breakdown in a stable order (fastest tier first).
+		for _, tier := range []string{"mem", "disk", "miss", "none"} {
+			t, ok := p.Tiers[tier]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&sb, "%-5s | %8d %6s | %7.1fms %6.1fms %6.1fms %6.1fms |\n",
+				"·"+tier, t.Requests, "",
+				t.MeanMS, t.P50MS, t.P95MS, t.MaxMS)
+		}
 	}
 	row("cold", res.Cold)
 	row("warm", res.Warm)

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"transit/internal/server"
+)
+
+func TestTierStats(t *testing.T) {
+	lat := []float64{1, 2, 3, 100, 200}
+	tiers := []string{"mem", "mem", "mem", "miss", ""}
+	got := tierStats(lat, tiers)
+	if len(got) != 3 {
+		t.Fatalf("tiers: %+v", got)
+	}
+	if m := got["mem"]; m.Requests != 3 || m.P50MS != 2 || m.MaxMS != 3 {
+		t.Errorf("mem: %+v", m)
+	}
+	if m := got["miss"]; m.Requests != 1 || m.P50MS != 100 {
+		t.Errorf("miss: %+v", m)
+	}
+	if m := got["none"]; m.Requests != 1 || m.MeanMS != 200 {
+		t.Errorf("none: %+v", m)
+	}
+}
+
+// TestServeBenchRecordsTiers runs the client load against an in-process
+// job server: the cold pass must report misses, the warm pass mem hits,
+// and both surface in the artifact's per-tier latency split and in the
+// rendered table.
+func TestServeBenchRecordsTiers(t *testing.T) {
+	s := server.New(server.Config{})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Drain(5 * time.Second) }()
+
+	res, err := ServeBenchCtx(context.Background(), ts.URL, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cold.Tiers["miss"].Requests != 2 {
+		t.Fatalf("cold tiers: %+v", res.Cold.Tiers)
+	}
+	if res.Warm.Tiers["mem"].Requests != 2 {
+		t.Fatalf("warm tiers: %+v", res.Warm.Tiers)
+	}
+	if p := res.Warm.Tiers["mem"]; p.P95MS < p.P50MS {
+		t.Fatalf("warm mem quantiles disordered: %+v", p)
+	}
+	out := FormatServe(res)
+	if !strings.Contains(out, "·miss") || !strings.Contains(out, "·mem") {
+		t.Fatalf("per-tier rows missing from table:\n%s", out)
+	}
+}

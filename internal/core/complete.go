@@ -103,9 +103,15 @@ type Report struct {
 	Workers int
 	Jobs    int
 	// CacheHits / CacheMisses count memoization lookups by inference
-	// jobs during this run.
+	// jobs during this run; DiskHits is the subset of hits served by the
+	// persistent backend.
 	CacheHits   int
 	CacheMisses int
+	DiskHits    int
+	// CacheWait / SolveWait split the jobs' wall time between cache
+	// lookups and actual synthesis (summed across jobs in plan order).
+	CacheWait time.Duration
+	SolveWait time.Duration
 	// Utilization is busy-time / (wall-time × workers) for the engine
 	// phase of the run.
 	Utilization float64
@@ -224,9 +230,14 @@ func aggregate(rep *Report, p *planner, stats engine.RunStats) {
 		if j.Kind == "guard" || j.Kind == "update" {
 			if j.CacheHit {
 				rep.CacheHits++
+				if j.DiskHit {
+					rep.DiskHits++
+				}
 			} else if j.Err == nil {
 				rep.CacheMisses++
 			}
+			rep.CacheWait += j.CacheWait
+			rep.SolveWait += j.SolveWait
 		}
 	}
 }
@@ -564,15 +575,18 @@ func (p *planner) planBlock(d *efsm.ProcDef, g *group, gp *groupPlan, b *block) 
 		job.Run = func(jctx context.Context) error {
 			o := expr.V(efsm.Prime(target), vt)
 			prob := synth.Problem{U: p.sys.U, Vocab: p.vocab, Vars: gp.scopeVars, Output: o}
-			rhs, stats, hit, retries, err := p.eng.SolveConcolic(jctx, engine.SolveSpec{
+			rhs, stats, out, err := p.eng.SolveConcolic(jctx, engine.SolveSpec{
 				Problem: prob, Examples: exs, Limits: p.opts.Limits,
 			})
-			job.CacheHit = hit
+			job.CacheHit = out.Cached
+			job.DiskHit = out.Tier == engine.TierDisk
+			job.CacheWait = out.CacheWait
+			job.SolveWait = out.SolveWait
 			job.Candidates = stats.Concrete.Enumerated
 			job.SMTQueries = stats.SMTQueries
 			job.ClausesReused = stats.SMTClausesReused
 			job.Iterations = stats.Iterations
-			job.Retries = retries
+			job.Retries = out.Retries
 			if err != nil {
 				return fmt.Errorf("%s: block %s: update inference for %s: %w", gp.ctx, b.key, target, err)
 			}
@@ -631,15 +645,18 @@ func (p *planner) inferGuard(ctx context.Context, job *engine.Job, g *group, blo
 		}
 	}
 	prob := synth.Problem{U: p.sys.U, Vocab: p.vocab, Vars: scopeVars, Output: o}
-	guard, stats, hit, retries, err := p.eng.SolveConcolic(ctx, engine.SolveSpec{
+	guard, stats, out, err := p.eng.SolveConcolic(ctx, engine.SolveSpec{
 		Problem: prob, Examples: exs, Limits: p.opts.Limits, Session: gp.guardSess,
 	})
-	job.CacheHit = hit
+	job.CacheHit = out.Cached
+	job.DiskHit = out.Tier == engine.TierDisk
+	job.CacheWait = out.CacheWait
+	job.SolveWait = out.SolveWait
 	job.Candidates = stats.Concrete.Enumerated
 	job.SMTQueries = stats.SMTQueries
 	job.ClausesReused = stats.SMTClausesReused
 	job.Iterations = stats.Iterations
-	job.Retries = retries
+	job.Retries = out.Retries
 	if err != nil {
 		return nil, fmt.Errorf("guard inference: %w", err)
 	}

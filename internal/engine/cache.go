@@ -68,6 +68,22 @@ func (s SolveSpec) Key() string {
 	return hex.EncodeToString(sum[:])
 }
 
+// Tier identifies which cache tier answered a lookup — the label every
+// layer above (engine spans, server envelopes, access-log lines, bench
+// rows) uses to attribute latency to memory, disk, or a real solve.
+type Tier string
+
+const (
+	// TierMem: the in-memory table had the entry.
+	TierMem Tier = "mem"
+	// TierDisk: the persistent backend had it (promoted into memory).
+	TierDisk Tier = "disk"
+	// TierMiss: neither tier had it; the caller solved from scratch.
+	TierMiss Tier = "miss"
+	// TierNone: no lookup happened (cache disabled).
+	TierNone Tier = "none"
+)
+
 // CacheEntry is a memoized solve result: the inferred expression plus the
 // work stats of the original (cache-missing) solve. Replaying the stored
 // stats on a hit keeps aggregate reports (expressions tried, SMT queries)
@@ -143,8 +159,9 @@ func (c *Cache) Get(key string) (CacheEntry, bool) {
 // whose entries decode directly against the spec. Backend hits are
 // promoted into memory so the decode cost is paid once per process. One
 // hit or miss is counted per call; an entry that cannot be rebound (a key
-// collision or stale vocabulary) counts as a miss and is re-solved.
-func (c *Cache) Fetch(spec SolveSpec) (res expr.Expr, stats synth.Stats, key string, ok bool) {
+// collision or stale vocabulary) counts as a miss and is re-solved. The
+// returned tier says which layer answered (TierMem, TierDisk, TierMiss).
+func (c *Cache) Fetch(spec SolveSpec) (res expr.Expr, stats synth.Stats, key string, tier Tier, ok bool) {
 	key = spec.Key()
 	c.mu.Lock()
 	ent, inMem := c.m[key]
@@ -153,7 +170,7 @@ func (c *Cache) Fetch(spec SolveSpec) (res expr.Expr, stats synth.Stats, key str
 	if inMem {
 		if re, rok := spec.rehydrate(ent.Expr); rok {
 			c.count(true, false)
-			return re, ent.Stats, key, true
+			return re, ent.Stats, key, TierMem, true
 		}
 	}
 	if backend != nil {
@@ -163,12 +180,12 @@ func (c *Cache) Fetch(spec SolveSpec) (res expr.Expr, stats synth.Stats, key str
 				c.m[key] = dec
 				c.mu.Unlock()
 				c.count(true, true)
-				return dec.Expr, dec.Stats, key, true
+				return dec.Expr, dec.Stats, key, TierDisk, true
 			}
 		}
 	}
 	c.count(false, false)
-	return nil, synth.Stats{}, key, false
+	return nil, synth.Stats{}, key, TierMiss, false
 }
 
 func (c *Cache) count(hit, disk bool) {

@@ -154,11 +154,11 @@ func TestCacheBackendReadThrough(t *testing.T) {
 	}
 	cache1 := NewCacheWithBackend(store)
 	eng1 := New(Config{Cache: cache1})
-	e1, st1, cached, _, err := eng1.SolveConcolic(context.Background(), spec)
+	e1, st1, out1, err := eng1.SolveConcolic(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cached {
+	if out1.Cached {
 		t.Fatal("first solve must miss")
 	}
 	if err := store.Close(); err != nil {
@@ -172,12 +172,12 @@ func TestCacheBackendReadThrough(t *testing.T) {
 	defer store2.Close()
 	cache2 := NewCacheWithBackend(store2)
 	eng2 := New(Config{Cache: cache2})
-	e2, st2, cached2, _, err := eng2.SolveConcolic(context.Background(), spec)
+	e2, st2, out2, err := eng2.SolveConcolic(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !cached2 {
-		t.Fatal("fresh front-end over a populated store must hit")
+	if !out2.Cached || out2.Tier != TierDisk {
+		t.Fatal("fresh front-end over a populated store must hit on disk")
 	}
 	if !expr.Equal(e1, e2) {
 		t.Fatalf("persistent cache changed the answer: %s vs %s", e1, e2)
@@ -190,8 +190,8 @@ func TestCacheBackendReadThrough(t *testing.T) {
 		t.Fatalf("DiskHits = %d, want 1", cache2.DiskHits())
 	}
 	// The disk hit is promoted to memory: a second Fetch stays in-process.
-	if _, _, _, ok := cache2.Fetch(spec); !ok {
-		t.Fatal("promoted entry missing")
+	if _, _, _, tier, ok := cache2.Fetch(spec); !ok || tier != TierMem {
+		t.Fatalf("promoted entry missing or wrong tier %q", tier)
 	}
 	if cache2.DiskHits() != 1 {
 		t.Fatalf("promotion did not stick: DiskHits = %d", cache2.DiskHits())
@@ -237,7 +237,7 @@ func TestTwoFrontEndsSharedStoreRace(t *testing.T) {
 			}
 			for round := 0; round < 30; round++ {
 				spec := specs[(w+round)%len(specs)]
-				if re, _, key, ok := front.Fetch(spec); ok {
+				if re, _, key, _, ok := front.Fetch(spec); ok {
 					if re.String() != spec.Examples[0].Post.String() {
 						t.Errorf("worker %d: wrong entry for %s", w, key)
 						return
@@ -254,10 +254,10 @@ func TestTwoFrontEndsSharedStoreRace(t *testing.T) {
 	}
 	// Everything written by either front-end is readable by both.
 	for i, spec := range specs {
-		if _, _, _, ok := front1.Fetch(spec); !ok {
+		if _, _, _, _, ok := front1.Fetch(spec); !ok {
 			t.Fatalf("spec %d missing from front1", i)
 		}
-		if _, _, _, ok := front2.Fetch(spec); !ok {
+		if _, _, _, _, ok := front2.Fetch(spec); !ok {
 			t.Fatalf("spec %d missing from front2", i)
 		}
 	}
@@ -272,7 +272,7 @@ func TestTwoFrontEndsSharedStoreRace(t *testing.T) {
 func TestBackendPutEncodablePayloads(t *testing.T) {
 	spec := maxSpec(expr.NewUniverse(3))
 	eng := New(Config{Cache: NewCache()})
-	e, st, _, _, err := eng.SolveConcolic(context.Background(), spec)
+	e, st, _, err := eng.SolveConcolic(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func TestDiskEntrySurvivesManySpecShapes(t *testing.T) {
 			Limits:   synth.Limits{MaxSize: 6},
 		}
 		eng := New(Config{Cache: NewCache()})
-		e, st, _, _, err := eng.SolveConcolic(context.Background(), spec)
+		e, st, _, err := eng.SolveConcolic(context.Background(), spec)
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}

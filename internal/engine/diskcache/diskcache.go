@@ -37,6 +37,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"transit/internal/obs"
 )
 
 // Defaults for Options zero fields.
@@ -64,6 +67,44 @@ type Options struct {
 	// losing the tail of the log on power failure costs re-solving, not
 	// correctness — and the checksum scan keeps a torn tail harmless.
 	Sync bool
+	// Metrics, when non-nil, receives the store's counters (diskcache.hits,
+	// diskcache.misses, diskcache.puts, diskcache.evictions,
+	// diskcache.compactions, diskcache.recovered_records,
+	// diskcache.torn_tails), latency histograms (diskcache.lookup_ms,
+	// diskcache.append_ms — append includes the fsync under Sync), and
+	// size gauges (diskcache.entries, diskcache.live_bytes,
+	// diskcache.file_bytes, diskcache.segments). Nil disables recording at
+	// the cost of a nil check per site.
+	Metrics *obs.Registry
+}
+
+// storeMetrics holds the hoisted metric handles; every field is nil (a
+// no-op recorder) when Options.Metrics is nil.
+type storeMetrics struct {
+	hits, misses, puts          *obs.Counter
+	evictions, compactions      *obs.Counter
+	recoveredRecords, tornTails *obs.Counter
+	lookupMS, appendMS          *obs.Histogram
+	entries, liveBytes          *obs.Gauge
+	fileBytes, segments         *obs.Gauge
+}
+
+func newStoreMetrics(reg *obs.Registry) storeMetrics {
+	return storeMetrics{
+		hits:             reg.Counter("diskcache.hits"),
+		misses:           reg.Counter("diskcache.misses"),
+		puts:             reg.Counter("diskcache.puts"),
+		evictions:        reg.Counter("diskcache.evictions"),
+		compactions:      reg.Counter("diskcache.compactions"),
+		recoveredRecords: reg.Counter("diskcache.recovered_records"),
+		tornTails:        reg.Counter("diskcache.torn_tails"),
+		lookupMS:         reg.Histogram("diskcache.lookup_ms"),
+		appendMS:         reg.Histogram("diskcache.append_ms"),
+		entries:          reg.Gauge("diskcache.entries"),
+		liveBytes:        reg.Gauge("diskcache.live_bytes"),
+		fileBytes:        reg.Gauge("diskcache.file_bytes"),
+		segments:         reg.Gauge("diskcache.segments"),
+	}
 }
 
 // record is the wire form of one NDJSON line.
@@ -118,6 +159,8 @@ type Store struct {
 	evictions   int64
 	compactions int64
 	closed      bool
+
+	met storeMetrics
 }
 
 // Open opens (creating if needed) the store in dir.
@@ -137,12 +180,28 @@ func Open(dir string, opts Options) (*Store, error) {
 		index: make(map[string]*entry),
 		lru:   list.New(),
 		segs:  make(map[int]*segment),
+		met:   newStoreMetrics(opts.Metrics),
 	}
 	if err := s.load(); err != nil {
 		s.closeFiles()
 		return nil, err
 	}
+	s.mu.Lock()
+	s.updateGaugesLocked()
+	s.mu.Unlock()
 	return s, nil
+}
+
+// updateGaugesLocked publishes the store's current sizes to the gauges.
+func (s *Store) updateGaugesLocked() {
+	s.met.entries.Set(int64(len(s.index)))
+	s.met.liveBytes.Set(s.liveBytes)
+	var file int64
+	for _, seg := range s.segs {
+		file += seg.size
+	}
+	s.met.fileBytes.Set(file)
+	s.met.segments.Set(int64(len(s.segs)))
 }
 
 // load opens every segment, recovers their records, and prepares the
@@ -227,6 +286,7 @@ func (s *Store) recoverSegment(seg *segment) error {
 				break
 			}
 			s.indexRecord(rec.Key, seg, off, int64(len(line)))
+			s.met.recoveredRecords.Inc()
 			off += int64(len(line))
 			continue
 		}
@@ -239,6 +299,7 @@ func (s *Store) recoverSegment(seg *segment) error {
 			return fmt.Errorf("diskcache: truncating torn tail of %s: %w", seg.path, err)
 		}
 		seg.size = off
+		s.met.tornTails.Inc()
 	}
 	return nil
 }
@@ -343,23 +404,33 @@ func (s *Store) writeIndexFile() {
 // that fails re-validation (bit rot, foreign truncation) is dropped from
 // the index and reported as a miss.
 func (s *Store) Get(key string) ([]byte, bool) {
+	start := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer func() {
+		s.mu.Unlock()
+		s.met.lookupMS.Observe(time.Since(start))
+	}()
 	e, ok := s.index[key]
 	if !ok || s.closed {
+		s.met.misses.Inc()
 		return nil, false
 	}
 	buf := make([]byte, e.n)
 	if _, err := e.seg.f.ReadAt(buf, e.off); err != nil {
 		s.dropLocked(key, e)
+		s.updateGaugesLocked()
+		s.met.misses.Inc()
 		return nil, false
 	}
 	var rec record
 	if json.Unmarshal(buf, &rec) != nil || rec.Key != key || !rec.valid() {
 		s.dropLocked(key, e)
+		s.updateGaugesLocked()
+		s.met.misses.Inc()
 		return nil, false
 	}
 	s.lru.MoveToFront(e.elem)
+	s.met.hits.Inc()
 	return rec.Val, true
 }
 
@@ -376,13 +447,17 @@ func (s *Store) Put(key string, val []byte) {
 		s.lru.MoveToFront(e.elem)
 		return
 	}
+	start := time.Now()
 	seg, off, n, err := s.appendLocked(key, val)
+	s.met.appendMS.Observe(time.Since(start))
 	if err != nil {
 		return
 	}
+	s.met.puts.Inc()
 	s.indexRecord(key, seg, off, n)
 	s.evictLocked()
 	s.compactLocked()
+	s.updateGaugesLocked()
 }
 
 // appendLocked writes one record line to the active segment, rotating
@@ -436,6 +511,7 @@ func (s *Store) evictLocked() {
 		key := elem.Value.(string)
 		s.dropLocked(key, s.index[key])
 		s.evictions++
+		s.met.evictions.Inc()
 	}
 }
 
@@ -462,6 +538,7 @@ func (s *Store) compactLocked() {
 			_ = os.Remove(seg.path)
 			delete(s.segs, id)
 			s.compactions++
+			s.met.compactions.Inc()
 		}
 	}
 }

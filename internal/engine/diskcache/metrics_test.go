@@ -1,0 +1,206 @@
+package diskcache
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"transit/internal/obs"
+)
+
+// rmIndex removes the clean-close index so a reopen must scan.
+func rmIndex(t *testing.T, dir string) {
+	t.Helper()
+	_ = os.Remove(filepath.Join(dir, indexName))
+}
+
+// tearTail chops n bytes off the end of path, simulating a torn write.
+func tearTail(t *testing.T, path string, n int64) {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// metric is a shorthand counter read.
+func metric(reg *obs.Registry, name string) int64 { return reg.Get(name) }
+
+// gauge reads a gauge value from a snapshot by name (-1 when absent).
+func gauge(reg *obs.Registry, name string) int64 {
+	for _, g := range reg.Snapshot().Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return -1
+}
+
+func TestMetricsBasicCounts(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := open(t, t.TempDir(), Options{Metrics: reg})
+	defer s.Close()
+
+	for i := 0; i < 10; i++ {
+		s.Put(key(i), val(i))
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := s.Get(key(i)); !ok {
+			t.Fatalf("key %d missing", i)
+		}
+	}
+	s.Get(key(999)) // miss
+
+	if h := metric(reg, "diskcache.hits"); h != 10 {
+		t.Errorf("hits = %d, want 10", h)
+	}
+	if m := metric(reg, "diskcache.misses"); m != 1 {
+		t.Errorf("misses = %d, want 1", m)
+	}
+	if p := metric(reg, "diskcache.puts"); p != 10 {
+		t.Errorf("puts = %d, want 10", p)
+	}
+	if e := gauge(reg, "diskcache.entries"); e != 10 {
+		t.Errorf("entries gauge = %d, want 10", e)
+	}
+	if b := gauge(reg, "diskcache.live_bytes"); b <= 0 {
+		t.Errorf("live_bytes gauge = %d, want > 0", b)
+	}
+	if n := gauge(reg, "diskcache.segments"); n != 1 {
+		t.Errorf("segments gauge = %d, want 1", n)
+	}
+	snap := reg.Snapshot()
+	for _, want := range []string{"diskcache.lookup_ms", "diskcache.append_ms"} {
+		found := false
+		for _, h := range snap.Histograms {
+			if h.Name == want && h.Count > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("histogram %s missing or empty", want)
+		}
+	}
+}
+
+// TestMetricsConcurrentReadersWithCompaction is the satellite coverage:
+// concurrent readers race Puts that force eviction and a compaction
+// cycle; counters must come out monotone and consistent, with no data
+// race (run under -race in CI).
+func TestMetricsConcurrentReadersWithCompaction(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Tight caps so the writer's churn forces rotation, eviction, and
+	// compaction while readers hammer Get.
+	s := open(t, t.TempDir(), Options{MaxBytes: 4 << 10, SegmentBytes: 1 << 10, Metrics: reg})
+	defer s.Close()
+
+	const readers = 4
+	const rounds = 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var prevHits, prevMiss int64
+	var monoMu sync.Mutex
+	mono := true
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Get(key((r*31 + i) % 64))
+				// Monotonicity probe: counters may only grow.
+				monoMu.Lock()
+				h, m := metric(reg, "diskcache.hits"), metric(reg, "diskcache.misses")
+				if h < prevHits || m < prevMiss {
+					mono = false
+				}
+				prevHits, prevMiss = h, m
+				monoMu.Unlock()
+			}
+		}(r)
+	}
+	for i := 0; i < rounds; i++ {
+		s.Put(key(i%64), val(i))
+	}
+	close(stop)
+	wg.Wait()
+
+	if !mono {
+		t.Error("hit/miss counters regressed during concurrent load")
+	}
+	if metric(reg, "diskcache.evictions") == 0 {
+		t.Error("no evictions recorded despite a 4KiB cap")
+	}
+	if metric(reg, "diskcache.compactions") == 0 {
+		t.Error("no compactions recorded despite segment churn")
+	}
+	st := s.Stats()
+	if metric(reg, "diskcache.evictions") != st.Evictions {
+		t.Errorf("evictions counter %d != Stats().Evictions %d",
+			metric(reg, "diskcache.evictions"), st.Evictions)
+	}
+	if metric(reg, "diskcache.compactions") != st.Compactions {
+		t.Errorf("compactions counter %d != Stats().Compactions %d",
+			metric(reg, "diskcache.compactions"), st.Compactions)
+	}
+	if got, want := gauge(reg, "diskcache.entries"), int64(st.Entries); got != want {
+		t.Errorf("entries gauge %d != Stats().Entries %d", got, want)
+	}
+	if got, want := gauge(reg, "diskcache.live_bytes"), st.LiveBytes; got != want {
+		t.Errorf("live_bytes gauge %d != Stats().LiveBytes %d", got, want)
+	}
+	if total := metric(reg, "diskcache.hits") + metric(reg, "diskcache.misses"); total == 0 {
+		t.Error("readers recorded no lookups")
+	}
+}
+
+// TestMetricsRecovery checks the reopen path: a torn tail increments
+// diskcache.torn_tails and every replayed line counts as a recovered
+// record.
+func TestMetricsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	for i := 0; i < 20; i++ {
+		s.Put(key(i), val(i))
+	}
+	seg := s.segPath(1)
+	s.Close()
+
+	// Remove the clean-close index and tear the segment's tail so reopen
+	// must scan and truncate.
+	rmIndex(t, dir)
+	tearTail(t, seg, 3)
+
+	reg := obs.NewRegistry()
+	s2 := open(t, dir, Options{Metrics: reg})
+	defer s2.Close()
+	if n := metric(reg, "diskcache.recovered_records"); n == 0 || n >= 20 {
+		t.Errorf("recovered_records = %d, want in (0, 20): the torn record must not count", n)
+	}
+	if n := metric(reg, "diskcache.torn_tails"); n != 1 {
+		t.Errorf("torn_tails = %d, want 1", n)
+	}
+	if e := gauge(reg, "diskcache.entries"); int(e) != s2.Len() {
+		t.Errorf("entries gauge %d != Len() %d after recovery", e, s2.Len())
+	}
+}
+
+// TestMetricsNilRegistryIsNoop pins that a store without a registry works
+// identically (the nil-recorder fast path).
+func TestMetricsNilRegistryIsNoop(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	defer s.Close()
+	s.Put(key(1), val(1))
+	if _, ok := s.Get(key(1)); !ok {
+		t.Fatal("round trip failed without metrics")
+	}
+	s.Get(key(2))
+}

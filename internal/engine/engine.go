@@ -47,6 +47,13 @@ type Job struct {
 
 	// CacheHit records that the job's result came from the memo cache.
 	CacheHit bool
+	// DiskHit records that the hit was served by the persistent backend
+	// rather than the in-memory tier.
+	DiskHit bool
+	// CacheWait is the wall time the job spent in cache lookups.
+	CacheWait time.Duration
+	// SolveWait is the wall time the job spent in the synthesizer.
+	SolveWait time.Duration
 	// Candidates is the number of candidate expressions enumerated.
 	Candidates int64
 	// SMTQueries is the number of SMT queries issued.

@@ -282,19 +282,19 @@ func TestSolveConcolicCacheReturnsIdenticalExpression(t *testing.T) {
 	eng := New(Config{Cache: cache})
 	spec := maxSpec(expr.NewUniverse(3))
 
-	e1, st1, cached1, _, err := eng.SolveConcolic(context.Background(), spec)
+	e1, st1, out1, err := eng.SolveConcolic(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cached1 {
+	if out1.Cached || out1.Tier != TierMiss {
 		t.Fatal("first solve must miss")
 	}
-	e2, st2, cached2, _, err := eng.SolveConcolic(context.Background(), spec)
+	e2, st2, out2, err := eng.SolveConcolic(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !cached2 {
-		t.Fatal("second solve must hit")
+	if !out2.Cached || out2.Tier != TierMem {
+		t.Fatal("second solve must hit in memory")
 	}
 	if !expr.Equal(e1, e2) {
 		t.Fatalf("cache changed the answer: %s vs %s", e1, e2)
@@ -341,15 +341,15 @@ func TestCacheHitsRehydrateAcrossUniverses(t *testing.T) {
 
 	cache := NewCache()
 	eng := New(Config{Cache: cache})
-	r1, _, _, _, err := eng.SolveConcolic(context.Background(), s1)
+	r1, _, _, err := eng.SolveConcolic(context.Background(), s1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, _, cached, _, err := eng.SolveConcolic(context.Background(), s2)
+	r2, _, out, err := eng.SolveConcolic(context.Background(), s2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !cached {
+	if !out.Cached {
 		t.Fatal("second universe must hit the first's entry")
 	}
 	if r1.String() != r2.String() {
@@ -386,7 +386,7 @@ func TestSolveConcolicConcurrentSharedCache(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			e, _, _, _, err := eng.SolveConcolic(context.Background(), spec)
+			e, _, _, err := eng.SolveConcolic(context.Background(), spec)
 			if err != nil {
 				t.Error(err)
 				return
@@ -408,18 +408,18 @@ func TestSolveConcolicRetryGrowsLimits(t *testing.T) {
 	spec.Limits = synth.Limits{MaxSize: 1}
 
 	eng := New(Config{})
-	_, _, _, _, err := eng.SolveConcolic(context.Background(), spec)
+	_, _, _, err := eng.SolveConcolic(context.Background(), spec)
 	if !errors.Is(err, synth.ErrNoExpression) {
 		t.Fatalf("without retries: err = %v, want ErrNoExpression", err)
 	}
 
 	eng = New(Config{Retry: RetryPolicy{Attempts: 3}})
-	e, _, cached, retries, err := eng.SolveConcolic(context.Background(), spec)
+	e, _, out, err := eng.SolveConcolic(context.Background(), spec)
 	if err != nil {
 		t.Fatalf("with retries: %v", err)
 	}
-	if cached || retries == 0 {
-		t.Fatalf("expected a retried uncached solve, got cached=%v retries=%d", cached, retries)
+	if out.Cached || out.Retries == 0 {
+		t.Fatalf("expected a retried uncached solve, got cached=%v retries=%d", out.Cached, out.Retries)
 	}
 	if e == nil {
 		t.Fatal("no expression")
@@ -431,12 +431,12 @@ func TestSolveConcolicCancelledBeforeRetry(t *testing.T) {
 	spec.Limits = synth.Limits{MaxSize: 1}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, _, _, retries, err := New(Config{Retry: RetryPolicy{Attempts: 5}}).SolveConcolic(ctx, spec)
+	_, _, out, err := New(Config{Retry: RetryPolicy{Attempts: 5}}).SolveConcolic(ctx, spec)
 	if err == nil {
 		t.Fatal("cancelled solve must fail")
 	}
-	if retries != 0 {
-		t.Fatalf("cancelled solve must not retry, spent %d retries", retries)
+	if out.Retries != 0 {
+		t.Fatalf("cancelled solve must not retry, spent %d retries", out.Retries)
 	}
 }
 

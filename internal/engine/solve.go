@@ -3,8 +3,10 @@ package engine
 import (
 	"context"
 	"errors"
+	"time"
 
 	"transit/internal/expr"
+	"transit/internal/obs"
 	"transit/internal/synth"
 )
 
@@ -26,6 +28,26 @@ func growLimits(l synth.Limits) synth.Limits {
 	return l
 }
 
+// SolveOutcome describes how one SolveConcolic call got its answer: which
+// cache tier served it (TierNone when memoization is disabled), how many
+// retry attempts were spent, and the wall-clock split between the cache
+// lookup and the actual solving. CacheWait + SolveWait is the call's full
+// wall time, which is what lets the serving path's access log reconcile a
+// job's latency breakdown against its observed elapsed time.
+type SolveOutcome struct {
+	// Cached reports whether the cache supplied the answer (Tier is then
+	// TierMem or TierDisk).
+	Cached bool
+	// Tier is the cache tier that answered the lookup.
+	Tier Tier
+	// Retries is the number of extra attempts the retry policy spent.
+	Retries int
+	// CacheWait is the time spent in the two-tier cache lookup.
+	CacheWait time.Duration
+	// SolveWait is the time spent in the synthesizer (all attempts).
+	SolveWait time.Duration
+}
+
 // SolveConcolic is the engine's memoized, retrying front door to
 // synth.SolveConcolicCtx. It consults the cache (replaying the original
 // solve's stats on a hit, so aggregated reports are cache-invariant),
@@ -33,16 +55,39 @@ func growLimits(l synth.Limits) synth.Limits {
 // exhausted and the retry policy allows, and stores successes.
 //
 // The returned Stats are the cumulative work of all attempts (or the
-// replayed stats on a hit); cached reports whether the cache supplied the
-// answer; retries is the number of extra attempts spent.
-func (e *Engine) SolveConcolic(ctx context.Context, spec SolveSpec) (res expr.Expr, stats synth.Stats, cached bool, retries int, err error) {
+// replayed stats on a hit); the SolveOutcome carries the cache tier,
+// retry count, and the cache/solve wall-time split. The cache lookup runs
+// under an "engine.cache" span (tier recorded as an attribute) and feeds
+// the engine.cache.{mem_hits,disk_hits,misses} counters and the
+// engine.cache.lookup_ms histogram when ctx carries a metrics registry.
+func (e *Engine) SolveConcolic(ctx context.Context, spec SolveSpec) (res expr.Expr, stats synth.Stats, out SolveOutcome, err error) {
+	out.Tier = TierNone
+	reg := obs.MetricsFrom(ctx)
 	var key string
 	if e.cfg.Cache != nil {
 		// Fetch consults memory first (re-binding the entry's symbols to
 		// this spec's world) and then the persistent backend, if any.
-		re, st, k, ok := e.cfg.Cache.Fetch(spec)
+		_, cacheSpan := obs.Start(ctx, "engine.cache")
+		lookupStart := time.Now()
+		re, st, k, tier, ok := e.cfg.Cache.Fetch(spec)
+		out.CacheWait = time.Since(lookupStart)
+		out.Tier = tier
+		cacheSpan.SetAttr(obs.Str("tier", string(tier)))
+		cacheSpan.End()
+		if reg != nil {
+			switch tier {
+			case TierMem:
+				reg.Counter("engine.cache.mem_hits").Inc()
+			case TierDisk:
+				reg.Counter("engine.cache.disk_hits").Inc()
+			default:
+				reg.Counter("engine.cache.misses").Inc()
+			}
+			reg.Histogram("engine.cache.lookup_ms").Observe(out.CacheWait)
+		}
 		if ok {
-			return re, st, true, 0, nil
+			out.Cached = true
+			return re, st, out, nil
 		}
 		key = k
 	}
@@ -54,6 +99,8 @@ func (e *Engine) SolveConcolic(ctx context.Context, spec SolveSpec) (res expr.Ex
 	if limits.EnumWorkers == 0 {
 		limits.EnumWorkers = e.cfg.EnumWorkers
 	}
+	solveStart := time.Now()
+	defer func() { out.SolveWait = time.Since(solveStart) }()
 	for a := 0; ; a++ {
 		var st synth.Stats
 		res, st, err = synth.SolveConcolicSessionCtx(ctx, spec.Problem, spec.Examples, limits, spec.Session)
@@ -70,16 +117,17 @@ func (e *Engine) SolveConcolic(ctx context.Context, spec SolveSpec) (res expr.Ex
 		stats.Iterations += st.Iterations
 		stats.Elapsed += st.Elapsed
 		stats.Trace = append(stats.Trace, st.Trace...)
+		out.Retries = a
 		if err == nil {
 			if e.cfg.Cache != nil {
 				e.cfg.Cache.Put(key, CacheEntry{Expr: res, Stats: stats})
 			}
-			return res, stats, false, a, nil
+			return res, stats, out, nil
 		}
 		// Retry only makes sense when the bounded search came up empty;
 		// inconsistent example sets and cancellations are final.
 		if a+1 >= attempts || !errors.Is(err, synth.ErrNoExpression) || ctx.Err() != nil {
-			return nil, stats, false, a, err
+			return nil, stats, out, err
 		}
 		limits = growLimits(limits)
 	}

@@ -28,6 +28,7 @@ type Event struct {
 	Worker        int     `json:"worker,omitempty"`
 	DurationMS    float64 `json:"duration_ms,omitempty"`
 	CacheHit      bool    `json:"cache_hit,omitempty"`
+	CacheTier     string  `json:"cache_tier,omitempty"`
 	Candidates    int64   `json:"candidates,omitempty"`
 	SMTQueries    int     `json:"smt_queries,omitempty"`
 	ClausesReused int64   `json:"clauses_reused,omitempty"`

@@ -19,12 +19,13 @@ import (
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]*Counter{}, hists: map[string]*Histogram{}}
+	return &Registry{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}, hists: map[string]*Histogram{}}
 }
 
 // Counter returns the named counter, creating it on first use. Returns
@@ -41,6 +42,22 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// (a no-op recorder) when r is nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named latency histogram, creating it on first
@@ -79,6 +96,41 @@ func (c *Counter) Value() int64 {
 		return 0
 	}
 	return c.v.Load()
+}
+
+// Gauge is a point-in-time atomic value (queue depth, live bytes,
+// workers busy). Unlike Counter it can go down. The nil receiver is a
+// no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores an absolute value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value reads the gauge (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
 }
 
 // histBounds are the histogram's exponential upper bounds; observations
@@ -126,6 +178,12 @@ func (h *Histogram) Observe(d time.Duration) {
 
 // CounterSnapshot is one counter's point-in-time value.
 type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's point-in-time value.
+type GaugeSnapshot struct {
 	Name  string `json:"name"`
 	Value int64  `json:"value"`
 }
@@ -199,6 +257,7 @@ func (h HistogramSnapshot) Quantile(q float64) time.Duration {
 // registration lock).
 type Snapshot struct {
 	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
 	Histograms []HistogramSnapshot `json:"histograms"`
 }
 
@@ -215,6 +274,10 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: c.Value()})
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Value: g.Value()})
+	}
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	for name, h := range r.hists {
 		hs := HistogramSnapshot{Name: name, Count: h.count.Load(),
 			Sum: time.Duration(h.sum.Load()), Max: time.Duration(h.max.Load())}
@@ -258,6 +321,18 @@ func (s Snapshot) Format() string {
 		}
 		for _, c := range s.Counters {
 			fmt.Fprintf(&sb, "  %-*s %12d\n", width, c.Name, c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		sb.WriteString("gauges:\n")
+		width := 0
+		for _, g := range s.Gauges {
+			if len(g.Name) > width {
+				width = len(g.Name)
+			}
+		}
+		for _, g := range s.Gauges {
+			fmt.Fprintf(&sb, "  %-*s %12d\n", width, g.Name, g.Value)
 		}
 	}
 	if len(s.Histograms) > 0 {

@@ -158,3 +158,12 @@ func SpanFrom(ctx context.Context) *Span {
 	}
 	return nil
 }
+
+// TracerFrom returns the tracer carried by the context, or nil. The job
+// server uses it to derive per-job child tracers from the session tracer.
+func TracerFrom(ctx context.Context) *Tracer {
+	if d := dataFrom(ctx); d != nil {
+		return d.tracer
+	}
+	return nil
+}

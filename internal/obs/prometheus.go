@@ -30,7 +30,8 @@ func promFloat(v float64) string { return fmt.Sprintf("%g", v) }
 
 // WritePrometheus renders the snapshot in the Prometheus text exposition
 // format (version 0.0.4, the format every Prometheus-compatible scraper
-// accepts). Counters become counter families; each latency histogram
+// accepts). Counters become counter families, gauges gauge families; each
+// latency histogram
 // becomes a histogram family with cumulative le buckets in milliseconds
 // (matching the registry's *_ms naming) plus _sum and _count, and the
 // derived p50/p95/p99/max estimates are emitted as companion gauges so
@@ -44,6 +45,12 @@ func WritePrometheus(s Snapshot, w io.Writer) error {
 		fmt.Fprintf(&sb, "# HELP %s transit counter %s\n", n, c.Name)
 		fmt.Fprintf(&sb, "# TYPE %s counter\n", n)
 		fmt.Fprintf(&sb, "%s %d\n", n, c.Value)
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		fmt.Fprintf(&sb, "# HELP %s transit gauge %s\n", n, g.Name)
+		fmt.Fprintf(&sb, "# TYPE %s gauge\n", n)
+		fmt.Fprintf(&sb, "%s %d\n", n, g.Value)
 	}
 	for _, h := range s.Histograms {
 		n := promName(h.Name)

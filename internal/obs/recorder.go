@@ -46,6 +46,17 @@ type Recorder struct {
 	// Metrics, when non-nil, is snapshotted into the dump trailer so the
 	// post-mortem carries final counter values next to the event tail.
 	Metrics *Registry
+
+	// snapshots are extra dump sections registered with AddSnapshot; each
+	// contributes one {"type":<typ>,"data":...} line after the header.
+	snapMu    sync.Mutex
+	snapshots []recSnapshot
+}
+
+// recSnapshot is one registered auxiliary dump section.
+type recSnapshot struct {
+	typ string
+	fn  func() any
 }
 
 // NewRecorder builds a recorder holding the last n events (n <= 0 means
@@ -59,6 +70,23 @@ func NewRecorder(n int) *Recorder {
 
 // SetEpoch aligns the dump's t_ms timestamps with the tracer's clock.
 func (r *Recorder) SetEpoch(t time.Time) { r.epoch = t }
+
+// Epoch is the zero point the dump's t_ms timestamps are measured from.
+func (r *Recorder) Epoch() time.Time { return r.epoch }
+
+// AddSnapshot registers an auxiliary dump section: every Dump calls fn
+// and writes its result as one {"type":typ,"data":...} line right after
+// the header. The job server registers a queue/in-flight/rate-limiter
+// snapshot this way so flight dumps taken mid-serve carry server state
+// alongside the span ring. fn must be safe to call from any goroutine.
+func (r *Recorder) AddSnapshot(typ string, fn func() any) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.snapMu.Lock()
+	r.snapshots = append(r.snapshots, recSnapshot{typ: typ, fn: fn})
+	r.snapMu.Unlock()
+}
 
 func (r *Recorder) record(kind byte, d SpanData) {
 	seq := r.next.Add(1)
@@ -110,6 +138,31 @@ func (r *Recorder) events() (evs []recEvent, total uint64) {
 	return evs, total
 }
 
+// RingEvent is one recorded event as returned by Events: the ring
+// sequence number, the event kind ("span" or "mark"), and the span data.
+type RingEvent struct {
+	Seq  uint64
+	Kind string
+	Data SpanData
+}
+
+// Events copies the ring's current contents in recording order (oldest
+// first) and reports the total number of events ever recorded; dropped
+// events are total minus len(events). The job server reads per-job rings
+// through this to build /v1/jobs/{id}/trace responses.
+func (r *Recorder) Events() ([]RingEvent, uint64) {
+	evs, total := r.events()
+	out := make([]RingEvent, len(evs))
+	for i, e := range evs {
+		kind := "span"
+		if e.kind == 2 {
+			kind = "mark"
+		}
+		out[i] = RingEvent{Seq: e.seq, Kind: kind, Data: e.data}
+	}
+	return out, total
+}
+
 // Len reports how many events the ring currently holds (capped at its
 // capacity).
 func (r *Recorder) Len() int {
@@ -144,6 +197,18 @@ func (r *Recorder) Dump(w io.Writer, reason string) error {
 	}{"flight", reason, os.Getpid(), time.Now().Format(time.RFC3339Nano), total, dropped}
 	if err := enc.Encode(header); err != nil {
 		return err
+	}
+	r.snapMu.Lock()
+	snaps := append([]recSnapshot(nil), r.snapshots...)
+	r.snapMu.Unlock()
+	for _, sn := range snaps {
+		line := struct {
+			Type string `json:"type"`
+			Data any    `json:"data"`
+		}{sn.typ, sn.fn()}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
 	}
 	for _, e := range evs {
 		typ := "span"

@@ -34,6 +34,7 @@ func Report(r io.Reader, w io.Writer) error {
 
 		// metrics trailer fields
 		Counters   []CounterSnapshot   `json:"counters"`
+		Gauges     []GaugeSnapshot     `json:"gauges"`
 		Histograms []HistogramSnapshot `json:"histograms"`
 	}
 
@@ -61,7 +62,7 @@ func Report(r io.Reader, w io.Writer) error {
 			h := rc
 			header = &h
 		case "metrics":
-			s := Snapshot{Counters: rc.Counters, Histograms: rc.Histograms}
+			s := Snapshot{Counters: rc.Counters, Gauges: rc.Gauges, Histograms: rc.Histograms}
 			// Sum and Max travel as milliseconds; restore the duration
 			// fields Format and Quantile compute from.
 			for i := range s.Histograms {

@@ -39,10 +39,12 @@ type Exporter interface {
 }
 
 // Tracer creates spans and fans finished ones out to its exporters. The
-// exporter set is fixed at construction, so reads need no lock.
+// exporter set is fixed at construction, so reads need no lock. Tracers
+// derived with Child share one span-ID counter, so IDs stay unique
+// across a whole tracer family even when spans land in shared exporters.
 type Tracer struct {
 	exporters []Exporter
-	nextID    atomic.Uint64
+	ids       *atomic.Uint64
 	// Epoch is the zero point exporters measure timestamps against.
 	Epoch time.Time
 }
@@ -50,7 +52,30 @@ type Tracer struct {
 // NewTracer builds a tracer exporting to the given exporters, with Epoch
 // set to now.
 func NewTracer(exporters ...Exporter) *Tracer {
-	return &Tracer{exporters: exporters, Epoch: time.Now()}
+	return &Tracer{exporters: exporters, ids: new(atomic.Uint64), Epoch: time.Now()}
+}
+
+// Child derives a tracer that exports to the parent's exporters plus
+// extra, sharing the parent's span-ID counter and epoch. The job server
+// uses this to tee each job's spans into a per-job ring while the
+// session-wide exporters (flight recorder, live SSE) keep seeing them.
+func (t *Tracer) Child(extra ...Exporter) *Tracer {
+	if t == nil {
+		return nil
+	}
+	exps := make([]Exporter, 0, len(t.exporters)+len(extra))
+	exps = append(exps, t.exporters...)
+	exps = append(exps, extra...)
+	return &Tracer{exporters: exps, ids: t.ids, Epoch: t.Epoch}
+}
+
+// Exporters returns the tracer's exporter set (shared slice; callers
+// must not mutate it). Nil-safe.
+func (t *Tracer) Exporters() []Exporter {
+	if t == nil {
+		return nil
+	}
+	return t.exporters
 }
 
 // Flush flushes every exporter in order and returns the first error.
@@ -65,7 +90,7 @@ func (t *Tracer) Flush() error {
 }
 
 func (t *Tracer) newSpan(name string, parent *Span, track int, attrs []Attr) *Span {
-	sp := &Span{tr: t, id: t.nextID.Add(1), name: name, track: track, start: time.Now()}
+	sp := &Span{tr: t, id: t.ids.Add(1), name: name, track: track, start: time.Now()}
 	if len(attrs) > 0 {
 		sp.attrs = append(sp.attrs, attrs...)
 	}
@@ -114,10 +139,26 @@ func (s *Span) Mark(name string, attrs ...Attr) {
 	if s == nil || s.ended.Load() {
 		return
 	}
-	data := SpanData{ID: s.tr.nextID.Add(1), Parent: s.id, Name: name,
+	data := SpanData{ID: s.tr.ids.Add(1), Parent: s.id, Name: name,
 		Path: s.path + "/" + name, Track: s.track, Start: time.Now(), Attrs: attrs}
 	for _, e := range s.tr.exporters {
 		e.Mark(data)
+	}
+}
+
+// Emit exports a pre-timed completed child span of s — a region whose
+// start and duration were measured before any span (or even the tracer)
+// existed, such as HTTP admission work that precedes the job's tracer or
+// queue wait measured by the worker that dequeues. Like Mark it is safe
+// from any goroutine and dropped if s already ended.
+func (s *Span) Emit(name string, start time.Time, d time.Duration, attrs ...Attr) {
+	if s == nil || s.ended.Load() {
+		return
+	}
+	data := SpanData{ID: s.tr.ids.Add(1), Parent: s.id, Name: name,
+		Path: s.path + "/" + name, Track: s.track, Start: start, Duration: d, Attrs: attrs}
+	for _, e := range s.tr.exporters {
+		e.Span(data)
 	}
 }
 

@@ -3,10 +3,12 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"net/http"
 	"time"
 
+	"transit/internal/obs"
 	"transit/internal/obs/serve"
 )
 
@@ -19,12 +21,17 @@ type JobEnvelope struct {
 	Kind        string          `json:"kind"`
 	Key         string          `json:"key"`
 	Status      string          `json:"status"`
+	TraceID     string          `json:"trace_id,omitempty"`
 	Deduped     bool            `json:"deduped,omitempty"`
 	DedupJoins  int             `json:"dedup_joins,omitempty"`
 	SubmittedAt time.Time       `json:"submitted_at"`
 	StartedAt   *time.Time      `json:"started_at,omitempty"`
 	FinishedAt  *time.Time      `json:"finished_at,omitempty"`
 	ElapsedMS   float64         `json:"elapsed_ms,omitempty"`
+	QueueMS     float64         `json:"queue_ms,omitempty"`
+	CacheWaitMS float64         `json:"cache_wait_ms,omitempty"`
+	SolveWaitMS float64         `json:"solve_wait_ms,omitempty"`
+	CacheTier   string          `json:"cache_tier,omitempty"`
 	CacheHits   int64           `json:"cache_hits,omitempty"`
 	CacheMisses int64           `json:"cache_misses,omitempty"`
 	Error       string          `json:"error,omitempty"`
@@ -40,17 +47,22 @@ func (j *job) envelope(deduped bool) JobEnvelope {
 		Kind:        j.kind,
 		Key:         j.key,
 		Status:      string(j.state),
+		TraceID:     j.traceID,
 		Deduped:     deduped,
 		DedupJoins:  j.dedups,
 		SubmittedAt: j.submitted,
 		Error:       j.err,
 		Result:      j.result,
+		CacheTier:   string(j.cache.Tier),
 		CacheHits:   j.cache.Hits,
 		CacheMisses: j.cache.Misses,
+		CacheWaitMS: ms(j.cache.CacheWait),
+		SolveWaitMS: ms(j.cache.SolveWait),
 	}
 	if !j.started.IsZero() {
 		t := j.started
 		env.StartedAt = &t
+		env.QueueMS = ms(j.started.Sub(j.submitted))
 	}
 	if !j.finished.IsZero() {
 		t := j.finished
@@ -85,9 +97,37 @@ func (s *Server) routes() map[string]http.HandlerFunc {
 		"GET /v1/jobs":             s.handleList,
 		"GET /v1/jobs/{id}":        s.handleGet,
 		"GET /v1/jobs/{id}/events": s.handleEvents,
+		"GET /v1/jobs/{id}/trace":  s.handleTrace,
 		"DELETE /v1/jobs/{id}":     s.handleCancel,
 		"GET /v1/stats":            s.handleStats,
 	}
+}
+
+// traceIDFromRequest extracts the client-supplied trace ID: the
+// X-Transit-Trace header (bare hex) takes precedence, then the W3C
+// traceparent header. Malformed values are ignored (a fresh ID is
+// generated) rather than rejected — trace correlation is best-effort and
+// must never fail a submission.
+func traceIDFromRequest(r *http.Request) string {
+	for _, h := range []string{"X-Transit-Trace", "Traceparent"} {
+		if v := r.Header.Get(h); v != "" {
+			if id, ok := obs.ParseTraceHeader(v); ok {
+				return id
+			}
+		}
+	}
+	return ""
+}
+
+// traceSpanID synthesizes a stable nonzero parent span ID for the
+// traceparent response header from the job ID.
+func traceSpanID(jobID string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(jobID))
+	if v := h.Sum64(); v != 0 {
+		return v
+	}
+	return 1
 }
 
 // clientKey identifies a client for rate limiting: the X-Transit-Client
@@ -124,7 +164,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	j, deduped, err := s.submit(&req, clientKey(r))
+	j, deduped, err := s.submit(&req, clientKey(r), traceIDFromRequest(r), s.now())
 	if err != nil {
 		status := http.StatusInternalServerError
 		if se, ok := err.(*errSubmit); ok {
@@ -133,11 +173,44 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, "%s", err)
 		return
 	}
+	// Echo the job's trace context (dedup joins get the original job's
+	// trace ID, not the one they supplied) so clients can correlate.
+	if j.traceID != "" {
+		w.Header().Set("X-Transit-Trace", j.traceID)
+		w.Header().Set("Traceparent", obs.FormatTraceparent(j.traceID, traceSpanID(j.id)))
+	}
 	status := http.StatusAccepted
 	if deduped {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, j.envelope(deduped))
+}
+
+// handleTrace serves a job's span tree, assembled on demand from its
+// bounded per-job ring: JSON by default, Chrome trace-event JSON with
+// ?format=perfetto (loadable at ui.perfetto.dev, renderable offline with
+// `transit obs report -job`).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if j.ring == nil {
+		httpError(w, http.StatusNotFound, "tracing disabled on this server")
+		return
+	}
+	events, total := j.ring.Events()
+	tr := obs.BuildJobTrace(j.traceID, j.id, events, total, j.ring.Epoch())
+	w.Header().Set("X-Transit-Trace", j.traceID)
+	if r.URL.Query().Get("format") == "perfetto" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := tr.WritePerfetto(w); err != nil {
+			httpError(w, http.StatusInternalServerError, "render trace: %v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

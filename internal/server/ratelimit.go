@@ -31,6 +31,34 @@ func newLimiter(rate float64, burst int) *limiter {
 	return &limiter{rate: rate, burst: b, buckets: map[string]*bucket{}}
 }
 
+// limiterSnapshot is the rate limiter's state as captured into flight
+// dumps: configuration plus how many client buckets are live and how
+// many of them are currently out of tokens.
+type limiterSnapshot struct {
+	Rate      float64 `json:"rate"`
+	Burst     float64 `json:"burst"`
+	Clients   int     `json:"clients"`
+	Throttled int     `json:"throttled"`
+}
+
+// snapshot captures the limiter's live state (nil limiter → nil, meaning
+// rate limiting is off). Token counts are projected to now so a bucket
+// that has refilled since its last request does not read as throttled.
+func (l *limiter) snapshot(now time.Time) *limiterSnapshot {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	snap := &limiterSnapshot{Rate: l.rate, Burst: l.burst, Clients: len(l.buckets)}
+	for _, bk := range l.buckets {
+		if math.Min(l.burst, bk.tokens+l.rate*now.Sub(bk.last).Seconds()) < 1 {
+			snap.Throttled++
+		}
+	}
+	return snap
+}
+
 // allow spends one token for key if available.
 func (l *limiter) allow(key string, now time.Time) bool {
 	l.mu.Lock()

@@ -60,13 +60,32 @@ type Config struct {
 	Workers     int
 	EnumWorkers int
 	// Metrics, when non-nil, receives the server counters (submissions,
-	// dedup hits, rejections, cache hits) and the job-latency histogram.
+	// dedup hits, rejections, cache hits), the queue-depth and worker
+	// gauges, and the queue-wait/service-time histograms.
 	Metrics *obs.Registry
 	// BaseContext, when non-nil, parents every job context. cmd/transit
 	// threads the observability session through it, so job spans reach the
 	// flight recorder and solver counters reach /metrics.
 	BaseContext context.Context
+	// NoTrace disables per-job tracing: no trace IDs are assigned, no
+	// per-job span rings are kept, and GET /v1/jobs/{id}/trace returns
+	// 404. The engine then runs on obs's nil-span fast path, which is
+	// allocation-free (pinned by BenchmarkDisabledTracePath in
+	// internal/obs).
+	NoTrace bool
+	// TraceEvents sizes each job's span ring (0 = 256 events). The ring
+	// bounds per-job trace memory; spans beyond it surface as a dropped
+	// count in the trace response.
+	TraceEvents int
+	// AccessLog, when non-nil, receives one NDJSON record per finished
+	// job with its full latency breakdown.
+	AccessLog *AccessLog
 }
+
+// defaultTraceEvents is the per-job ring capacity when Config.TraceEvents
+// is zero: enough for every serving-path span of a typical job plus the
+// tail of its CEGIS iterations.
+const defaultTraceEvents = 256
 
 // jobState is a job's position in its lifecycle.
 type jobState string
@@ -100,6 +119,14 @@ type job struct {
 	key  string
 	run  func(ctx context.Context, j *job) (json.RawMessage, jobCache, error)
 
+	// Trace correlation, fixed at admission: the job's trace ID (client-
+	// supplied or generated), the client key, the HTTP arrival time, and
+	// the per-job span ring (nil under Config.NoTrace).
+	traceID  string
+	client   string
+	admitted time.Time
+	ring     *obs.Recorder
+
 	mu        sync.Mutex
 	state     jobState
 	submitted time.Time
@@ -116,10 +143,17 @@ type job struct {
 	done   chan struct{}
 }
 
-// jobCache records how the memo cache served a job.
+// jobCache records how the memo cache served a job: lookup counts, the
+// dominant tier (for a solve job, the tier of its one lookup; for a
+// completion job, the worst tier any sub-solve hit), and the wall-time
+// split between cache lookups and actual synthesis.
 type jobCache struct {
-	Hits   int64
-	Misses int64
+	Hits      int64
+	Misses    int64
+	DiskHits  int64
+	Tier      engine.Tier
+	CacheWait time.Duration
+	SolveWait time.Duration
 }
 
 // publish appends one NDJSON event line to the job's history and fans it
@@ -215,6 +249,7 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Start launches the worker pool.
 func (s *Server) Start() {
+	s.reg.Gauge("server.workers").Set(int64(s.cfg.MaxInflight))
 	for i := 0; i < s.cfg.MaxInflight; i++ {
 		s.wg.Add(1)
 		go func() {
@@ -288,9 +323,14 @@ type errSubmit struct {
 func (e *errSubmit) Error() string { return e.msg }
 
 // submit validates, rate-limits, dedups, and enqueues one request.
-// The returned bool reports dedup: true means the job was already in
-// flight and the caller joined it.
-func (s *Server) submit(req *JobRequest, client string) (*job, bool, error) {
+// admitted is the HTTP arrival time (it bounds the admission span) and
+// traceID is the client-supplied trace ID, empty to generate one. The
+// returned bool reports dedup: true means the job was already in flight
+// and the caller joined it — the existing job keeps its own trace ID.
+func (s *Server) submit(req *JobRequest, client, traceID string, admitted time.Time) (*job, bool, error) {
+	if admitted.IsZero() {
+		admitted = s.now()
+	}
 	if s.rl != nil && !s.rl.allow(client, s.now()) {
 		s.reg.Counter("server.rate_limited").Inc()
 		return nil, false, &errSubmit{http.StatusTooManyRequests, "rate limit exceeded"}
@@ -320,10 +360,26 @@ func (s *Server) submit(req *JobRequest, client string) (*job, bool, error) {
 		kind:      req.Kind,
 		key:       key,
 		run:       runner,
+		client:    client,
+		admitted:  admitted,
 		state:     JobQueued,
 		submitted: s.now(),
 		bus:       serve.NewBroadcast(),
 		done:      make(chan struct{}),
+	}
+	if !s.cfg.NoTrace {
+		if traceID == "" {
+			traceID = obs.NewTraceID()
+		}
+		j.traceID = traceID
+		n := s.cfg.TraceEvents
+		if n <= 0 {
+			n = defaultTraceEvents
+		}
+		j.ring = obs.NewRecorder(n)
+		// The ring's clock starts at HTTP arrival so the admission span
+		// sits at t_ms = 0 in the job trace.
+		j.ring.SetEpoch(admitted)
 	}
 	select {
 	case s.queue <- j:
@@ -337,7 +393,12 @@ func (s *Server) submit(req *JobRequest, client string) (*job, bool, error) {
 	s.byKey[key] = j
 	s.mu.Unlock()
 	s.reg.Counter("server.jobs_enqueued").Inc()
-	j.publish("job.state", map[string]any{"state": string(JobQueued), "key": key})
+	s.reg.Gauge("server.queue.depth").Inc()
+	fields := map[string]any{"state": string(JobQueued), "key": key}
+	if j.traceID != "" {
+		fields["trace_id"] = j.traceID
+	}
+	j.publish("job.state", fields)
 	return j, false, nil
 }
 
@@ -352,6 +413,10 @@ func (s *Server) get(id string) (*job, bool) {
 // runJob executes one dequeued job end to end.
 func (s *Server) runJob(j *job) {
 	s.reg.Counter("server.jobs_dequeued").Inc()
+	// The queue slot frees at dequeue — canceled-while-queued jobs still
+	// occupied theirs until now, so this is the only place the gauge may
+	// come down.
+	s.reg.Gauge("server.queue.depth").Dec()
 	j.mu.Lock()
 	if j.state != JobQueued { // canceled while queued
 		j.mu.Unlock()
@@ -359,6 +424,7 @@ func (s *Server) runJob(j *job) {
 	}
 	j.state = JobRunning
 	j.started = s.now()
+	queueWait := j.started.Sub(j.submitted)
 	base := s.cfg.BaseContext
 	if base == nil {
 		base = context.Background()
@@ -370,7 +436,35 @@ func (s *Server) runJob(j *job) {
 	j.cancel = cancel
 	j.mu.Unlock()
 	defer cancel()
+	// Engine-level counters (cache tiers, lookup latency) ride the context
+	// registry; point it at the server's when the base context brings none,
+	// so /metrics and /v1/stats see them on any wiring.
+	if obs.MetricsFrom(ctx) == nil {
+		ctx = obs.WithMetrics(ctx, s.reg)
+	}
+	s.reg.Histogram("server.queue.wait_ms").Observe(queueWait)
+	busy := s.reg.Gauge("server.workers.busy")
+	busy.Inc()
+	defer busy.Dec()
 	j.publish("job.state", map[string]any{"state": string(JobRunning)})
+
+	// Per-job tracing: a child tracer tees this job's spans into its ring
+	// (the session exporters keep seeing them too), rooted at a server.job
+	// span. The phases that elapsed before this tracer existed — HTTP
+	// admission and the queue wait — are emitted as pre-timed child spans,
+	// so the trace covers the job's whole lifetime, not just its run.
+	var root *obs.Span
+	if j.ring != nil {
+		tr := obs.TracerFrom(ctx).Child(j.ring)
+		if tr == nil {
+			tr = obs.NewTracer(j.ring)
+		}
+		ctx = obs.WithTracer(ctx, tr)
+		ctx, root = obs.Start(ctx, "server.job",
+			obs.Str("job", j.id), obs.Str("kind", j.kind), obs.Str("trace", j.traceID))
+		root.Emit("server.admission", j.admitted, j.submitted.Sub(j.admitted))
+		root.Emit("server.queue_wait", j.submitted, queueWait)
+	}
 
 	result, cinfo, err := j.run(ctx, j)
 
@@ -389,8 +483,14 @@ func (s *Server) runJob(j *job) {
 		j.result = result
 	}
 	state, errMsg := j.state, j.err
+	finished, dedups := j.finished, j.dedups
 	elapsed := j.finished.Sub(j.started)
 	j.mu.Unlock()
+
+	if root != nil {
+		root.SetAttr(obs.Str("tier", string(cinfo.Tier)), obs.Str("outcome", string(state)))
+		root.End()
+	}
 
 	s.mu.Lock()
 	if s.byKey[j.key] == j {
@@ -416,6 +516,23 @@ func (s *Server) runJob(j *job) {
 	s.reg.Counter("server.cache_misses").Add(cinfo.Misses)
 	s.reg.Histogram("server.job_ms").Observe(elapsed)
 
+	s.cfg.AccessLog.Log(AccessRecord{
+		Time:    accessTime(finished),
+		Job:     j.id,
+		Kind:    j.kind,
+		Key:     j.key,
+		Client:  j.client,
+		TraceID: j.traceID,
+		Outcome: string(state),
+		Tier:    string(cinfo.Tier),
+		Dedups:  dedups,
+		QueueMS: ms(queueWait),
+		CacheMS: ms(cinfo.CacheWait),
+		SolveMS: ms(cinfo.SolveWait),
+		TotalMS: ms(finished.Sub(j.submitted)),
+		Error:   errMsg,
+	})
+
 	fields := map[string]any{"state": string(state)}
 	if errMsg != "" {
 		fields["error"] = errMsg
@@ -424,15 +541,21 @@ func (s *Server) runJob(j *job) {
 	close(j.done)
 }
 
+// ms converts a duration to float milliseconds for wire/log fields.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
 // cancelJob cancels a job in any non-terminal state.
 func (s *Server) cancelJob(j *job) bool {
 	j.mu.Lock()
 	switch j.state {
 	case JobQueued:
 		// The worker will observe the state and skip it; finish it here.
+		// (The queue-depth gauge stays up: the job still holds its channel
+		// slot until a worker dequeues the husk.)
 		j.state = JobCanceled
 		j.err = "canceled"
 		j.finished = s.now()
+		finished := j.finished
 		j.mu.Unlock()
 		s.mu.Lock()
 		if s.byKey[j.key] == j {
@@ -440,6 +563,17 @@ func (s *Server) cancelJob(j *job) bool {
 		}
 		s.mu.Unlock()
 		s.reg.Counter("server.jobs_canceled").Inc()
+		s.cfg.AccessLog.Log(AccessRecord{
+			Time:    accessTime(finished),
+			Job:     j.id,
+			Kind:    j.kind,
+			Key:     j.key,
+			Client:  j.client,
+			TraceID: j.traceID,
+			Outcome: string(JobCanceled),
+			QueueMS: ms(finished.Sub(j.submitted)),
+			TotalMS: ms(finished.Sub(j.submitted)),
+		})
 		j.publish("job.state", map[string]any{"state": string(JobCanceled)})
 		close(j.done)
 		return true
@@ -457,17 +591,31 @@ func (s *Server) cancelJob(j *job) bool {
 	}
 }
 
+// LatencySummary is one histogram's quantile digest in /v1/stats.
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
 // StatsSnapshot is the /v1/stats response.
 type StatsSnapshot struct {
 	Draining    bool    `json:"draining"`
 	Queued      int     `json:"queued"`
 	Running     int     `json:"running"`
+	Workers     int     `json:"workers"`
+	Utilization float64 `json:"worker_utilization"`
 	Jobs        int     `json:"jobs"`
 	CacheHits   int64   `json:"cache_hits"`
 	CacheMisses int64   `json:"cache_misses"`
 	DiskHits    int64   `json:"cache_disk_hits"`
 	CacheLen    int     `json:"cache_entries"`
 	HitRate     float64 `json:"cache_hit_rate"`
+
+	// Latency digests every non-empty histogram in the registry — queue
+	// wait, service time, cache lookups — keyed by histogram name.
+	Latency map[string]LatencySummary `json:"latency,omitempty"`
 
 	// Disk is present when the cache has a diskcache backend.
 	Disk *diskcache.Stats `json:"disk,omitempty"`
@@ -491,18 +639,87 @@ func (s *Server) stats() StatsSnapshot {
 		Draining: s.draining,
 		Queued:   queued,
 		Running:  running,
+		Workers:  s.cfg.MaxInflight,
 		Jobs:     len(s.jobs),
 	}
 	s.mu.Unlock()
+	snap.Utilization = float64(running) / float64(s.cfg.MaxInflight)
 	snap.CacheHits, snap.CacheMisses = s.cache.Counters()
 	snap.DiskHits = s.cache.DiskHits()
 	snap.CacheLen = s.cache.Len()
 	snap.HitRate = s.cache.HitRate()
+	if hists := s.reg.Snapshot().Histograms; len(hists) > 0 {
+		snap.Latency = make(map[string]LatencySummary, len(hists))
+		for _, h := range hists {
+			if h.Count == 0 {
+				continue
+			}
+			snap.Latency[h.Name] = LatencySummary{Count: h.Count, P50MS: h.P50MS, P95MS: h.P95MS, MaxMS: h.MaxMS}
+		}
+	}
 	if store, ok := s.cache.Backend().(*diskcache.Store); ok {
 		st := store.Stats()
 		snap.Disk = &st
 	}
 	return snap
+}
+
+// FlightJob is one non-terminal job's identity in a flight snapshot.
+type FlightJob struct {
+	ID      string `json:"id"`
+	Kind    string `json:"kind"`
+	State   string `json:"state"`
+	TraceID string `json:"trace_id,omitempty"`
+	AgeMS   float64 `json:"age_ms"`
+}
+
+// FlightState is the server section of a flight-recorder dump: the
+// queue/worker picture and every live job at the moment the dump was
+// taken, so a post-mortem of a dead serve process shows what it was
+// working on, not just the span tail.
+type FlightState struct {
+	Draining    bool             `json:"draining"`
+	QueueDepth  int              `json:"queue_depth"`
+	QueueCap    int              `json:"queue_cap"`
+	Workers     int              `json:"workers"`
+	WorkersBusy int64            `json:"workers_busy"`
+	Jobs        []FlightJob      `json:"jobs,omitempty"`
+	RateLimiter *limiterSnapshot `json:"rate_limiter,omitempty"`
+}
+
+// FlightSnapshot captures the server's live state; cmd/transit registers
+// it on the session recorder (Recorder.AddSnapshot) so every flight dump
+// taken while serving carries it. Safe to call from any goroutine.
+func (s *Server) FlightSnapshot() any {
+	now := s.now()
+	st := FlightState{
+		QueueCap:    s.cfg.QueueDepth,
+		Workers:     s.cfg.MaxInflight,
+		WorkersBusy: s.reg.Gauge("server.workers.busy").Value(),
+		RateLimiter: s.rl.snapshot(now),
+	}
+	s.mu.Lock()
+	st.Draining = s.draining
+	st.QueueDepth = len(s.queue)
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		if !j.state.terminal() {
+			st.Jobs = append(st.Jobs, FlightJob{
+				ID:      j.id,
+				Kind:    j.kind,
+				State:   string(j.state),
+				TraceID: j.traceID,
+				AgeMS:   ms(now.Sub(j.submitted)),
+			})
+		}
+		j.mu.Unlock()
+	}
+	return st
 }
 
 // completeKey derives the dedup key for a completion request: a SHA-256

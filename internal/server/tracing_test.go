@@ -1,0 +1,369 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"transit/internal/obs"
+)
+
+// newUnstartedHTTP serves a Server whose worker pool has deliberately not
+// been started, so submissions stay deterministically queued.
+func newUnstartedHTTP(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// clientTraceID is the W3C example trace ID used across these tests.
+const clientTraceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+// getTrace fetches and decodes GET /v1/jobs/{id}/trace.
+func getTrace(t *testing.T, url string) (obs.JobTrace, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tr obs.JobTrace
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr, resp
+}
+
+// findSpan walks a span tree for the first node with the given name.
+func findSpan(spans []*obs.TraceSpan, name string) *obs.TraceSpan {
+	for _, sp := range spans {
+		if sp.Name == name {
+			return sp
+		}
+		if hit := findSpan(sp.Children, name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// TestJobTraceEndToEnd is the PR's acceptance test: a job submitted with
+// a client-supplied trace ID returns, via GET /v1/jobs/{id}/trace, a
+// single span tree containing the admission, queue-wait, cache-tier, and
+// solve spans under that trace ID — and the same run's access-log line
+// carries a queue/cache/solve breakdown that sums (up to scheduling
+// slack) to the job's observed wall time.
+func TestJobTraceEndToEnd(t *testing.T) {
+	var logBuf bytes.Buffer
+	s, ts := newTestServer(t, Config{AccessLog: NewAccessLogWriter(&logBuf)})
+
+	resp, env := post(t, ts, maxReq(), map[string]string{"X-Transit-Trace": clientTraceID})
+	if got := resp.Header.Get("X-Transit-Trace"); got != clientTraceID {
+		t.Fatalf("trace echo header = %q, want %q", got, clientTraceID)
+	}
+	if tp := resp.Header.Get("Traceparent"); !strings.HasPrefix(tp, "00-"+clientTraceID+"-") {
+		t.Fatalf("traceparent header = %q", tp)
+	}
+	if env.TraceID != clientTraceID {
+		t.Fatalf("envelope trace ID = %q", env.TraceID)
+	}
+	done := await(t, ts, env.ID)
+	if done.Status != string(JobDone) {
+		t.Fatalf("status %s: %s", done.Status, done.Error)
+	}
+	if done.CacheTier != "miss" {
+		t.Fatalf("cold job cache tier = %q, want miss", done.CacheTier)
+	}
+	if done.SolveWaitMS <= 0 {
+		t.Fatalf("solve wait missing from envelope: %+v", done)
+	}
+
+	tr, tresp := getTrace(t, ts.URL+"/v1/jobs/"+env.ID+"/trace")
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", tresp.StatusCode)
+	}
+	if tr.TraceID != clientTraceID || tr.JobID != env.ID {
+		t.Fatalf("trace identity: %q %q", tr.TraceID, tr.JobID)
+	}
+	if len(tr.Spans) != 1 || tr.Spans[0].Name != "server.job" {
+		t.Fatalf("want a single server.job root, got %d roots", len(tr.Spans))
+	}
+	root := tr.Spans[0]
+	if root.Attrs["trace"] != clientTraceID || root.Attrs["outcome"] != "done" {
+		t.Fatalf("root attrs: %v", root.Attrs)
+	}
+	for _, name := range []string{"server.admission", "server.queue_wait", "engine.cache", "synth.cegis"} {
+		if findSpan(tr.Spans, name) == nil {
+			t.Errorf("span %s missing from job trace", name)
+		}
+	}
+	if tier := findSpan(tr.Spans, "engine.cache").Attrs["tier"]; tier != "miss" {
+		t.Errorf("engine.cache tier attr = %v, want miss", tier)
+	}
+
+	// The access-log line for the same run: identity matches, and the
+	// queue + cache + solve breakdown reconciles with the wall time.
+	var rec AccessRecord
+	if err := json.Unmarshal(bytes.TrimSpace(logBuf.Bytes()), &rec); err != nil {
+		t.Fatalf("access log line: %v (%q)", err, logBuf.String())
+	}
+	if rec.Job != env.ID || rec.TraceID != clientTraceID || rec.Outcome != "done" || rec.Tier != "miss" {
+		t.Fatalf("access record identity: %+v", rec)
+	}
+	sum := rec.QueueMS + rec.CacheMS + rec.SolveMS
+	if sum > rec.TotalMS+1 {
+		t.Errorf("breakdown %v ms exceeds wall time %v ms", sum, rec.TotalMS)
+	}
+	if rec.TotalMS-sum > 250 {
+		t.Errorf("breakdown %v ms unaccounted against wall time %v ms", rec.TotalMS-sum, rec.TotalMS)
+	}
+
+	// The warm resubmission's trace shows the cache tier instead of a
+	// solve, with a server-generated trace ID.
+	_, env2 := post(t, ts, maxReq(), nil)
+	if env2.TraceID == "" || env2.TraceID == clientTraceID {
+		t.Fatalf("warm job trace ID = %q", env2.TraceID)
+	}
+	warm := await(t, ts, env2.ID)
+	if warm.CacheTier != "mem" {
+		t.Fatalf("warm job cache tier = %q", warm.CacheTier)
+	}
+	tr2, _ := getTrace(t, ts.URL+"/v1/jobs/"+env2.ID+"/trace")
+	if tier := findSpan(tr2.Spans, "engine.cache").Attrs["tier"]; tier != "mem" {
+		t.Errorf("warm engine.cache tier attr = %v", tier)
+	}
+	if findSpan(tr2.Spans, "synth.cegis") != nil {
+		t.Error("warm job traced a solve span")
+	}
+
+	// Queue metrics landed: depth returned to zero, waits were observed.
+	snap := s.Metrics().Snapshot()
+	depth := int64(-1)
+	for _, g := range snap.Gauges {
+		if g.Name == "server.queue.depth" {
+			depth = g.Value
+		}
+	}
+	if depth != 0 {
+		t.Errorf("server.queue.depth = %d after drain to idle", depth)
+	}
+	waits := false
+	for _, h := range snap.Histograms {
+		if h.Name == "server.queue.wait_ms" && h.Count >= 2 {
+			waits = true
+		}
+	}
+	if !waits {
+		t.Error("server.queue.wait_ms histogram missing observations")
+	}
+}
+
+// TestTraceDedupKeepsOriginalID pins the join semantics: a dedup
+// submission with its own trace header joins the original job and gets
+// the original trace ID echoed back.
+func TestTraceDedupKeepsOriginalID(t *testing.T) {
+	s := New(Config{}) // no workers: first job stays queued
+	ts := newUnstartedHTTP(t, s)
+
+	resp1, env1 := post(t, ts, maxReq(), map[string]string{"X-Transit-Trace": clientTraceID})
+	if resp1.Header.Get("X-Transit-Trace") != clientTraceID {
+		t.Fatalf("first echo: %q", resp1.Header.Get("X-Transit-Trace"))
+	}
+	resp2, env2 := post(t, ts, maxReq(), map[string]string{"X-Transit-Trace": "deadbeef"})
+	if !env2.Deduped || env2.ID != env1.ID {
+		t.Fatalf("no dedup join: %+v", env2)
+	}
+	if got := resp2.Header.Get("X-Transit-Trace"); got != clientTraceID {
+		t.Fatalf("dedup echo = %q, want the original job's %q", got, clientTraceID)
+	}
+	s.Start()
+	await(t, ts, env1.ID)
+	s.Drain(5 * time.Second)
+}
+
+// TestMalformedTraceHeaderGetsFreshID pins that bad headers do not fail
+// submissions: the server generates an ID instead.
+func TestMalformedTraceHeaderGetsFreshID(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, env := post(t, ts, maxReq(), map[string]string{"X-Transit-Trace": "not hex!"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if len(env.TraceID) != 32 || env.TraceID == clientTraceID {
+		t.Fatalf("generated trace ID = %q", env.TraceID)
+	}
+	await(t, ts, env.ID)
+}
+
+// TestNoTraceDisablesRing: under Config.NoTrace jobs carry no trace ID
+// and the trace endpoint 404s, while the job itself still works.
+func TestNoTraceDisablesRing(t *testing.T) {
+	_, ts := newTestServer(t, Config{NoTrace: true})
+	resp, env := post(t, ts, maxReq(), map[string]string{"X-Transit-Trace": clientTraceID})
+	if h := resp.Header.Get("X-Transit-Trace"); h != "" {
+		t.Fatalf("trace header echoed with tracing off: %q", h)
+	}
+	if env.TraceID != "" {
+		t.Fatalf("trace ID assigned with tracing off: %q", env.TraceID)
+	}
+	done := await(t, ts, env.ID)
+	if done.Status != string(JobDone) {
+		t.Fatalf("job failed under -no-trace: %+v", done)
+	}
+	_, tresp := getTrace(t, ts.URL+"/v1/jobs/"+env.ID+"/trace")
+	if tresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace endpoint status %d with tracing off, want 404", tresp.StatusCode)
+	}
+}
+
+// TestTracePerfettoFormat checks the ?format=perfetto rendering is a
+// Chrome trace-event document containing the job's spans.
+func TestTracePerfettoFormat(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, env := post(t, ts, maxReq(), nil)
+	await(t, ts, env.ID)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + env.ID + "/trace?format=perfetto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "server.job" && ev.Ph == "X" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no server.job complete event among %d trace events", len(doc.TraceEvents))
+	}
+}
+
+// TestStatsLatencyBreakdown: /v1/stats carries p50/p95 digests for the
+// serving histograms once jobs have run.
+func TestStatsLatencyBreakdown(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, env := post(t, ts, maxReq(), nil)
+	await(t, ts, env.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers == 0 {
+		t.Errorf("workers missing: %+v", stats)
+	}
+	for _, name := range []string{"server.job_ms", "server.queue.wait_ms", "engine.cache.lookup_ms"} {
+		d, ok := stats.Latency[name]
+		if !ok || d.Count == 0 {
+			t.Errorf("latency digest %s missing (%+v)", name, stats.Latency)
+			continue
+		}
+		if d.P95MS < d.P50MS || d.MaxMS < d.P95MS {
+			t.Errorf("%s quantiles disordered: %+v", name, d)
+		}
+	}
+}
+
+// TestAccessLogRotation exercises the size-based rotation of a
+// file-backed access log.
+func TestAccessLogRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "access.ndjson")
+	l, err := OpenAccessLog(path, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := AccessRecord{Time: accessTime(time.Unix(0, 0)), Job: "j-000001", Kind: "solve",
+		Key: strings.Repeat("k", 64), Outcome: "done", TotalMS: 1}
+	for i := 0; i < 64; i++ {
+		l.Log(rec)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := os.Stat(path + ".1")
+	if err != nil {
+		t.Fatalf("no rotated file: %v", err)
+	}
+	if cur.Size() > 2048 || old.Size() > 2048 {
+		t.Fatalf("rotation missed the cap: cur %d, old %d", cur.Size(), old.Size())
+	}
+	// Every line in the current file is valid NDJSON.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range bytes.Split(bytes.TrimSpace(data), []byte("\n")) {
+		var got AccessRecord
+		if err := json.Unmarshal(line, &got); err != nil {
+			t.Fatalf("bad line %q: %v", line, err)
+		}
+	}
+	// A nil log is a no-op.
+	var nilLog *AccessLog
+	nilLog.Log(rec)
+	if err := nilLog.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlightSnapshot: the server section of a flight dump reflects live
+// queue state and rate-limiter configuration.
+func TestFlightSnapshot(t *testing.T) {
+	s := New(Config{Rate: 5, QueueDepth: 8})
+	ts := newUnstartedHTTP(t, s)
+	_, env := post(t, ts, maxReq(), nil)
+
+	st, ok := s.FlightSnapshot().(FlightState)
+	if !ok {
+		t.Fatalf("snapshot type %T", s.FlightSnapshot())
+	}
+	if st.QueueDepth != 1 || st.QueueCap != 8 {
+		t.Fatalf("queue picture: %+v", st)
+	}
+	if len(st.Jobs) != 1 || st.Jobs[0].ID != env.ID || st.Jobs[0].State != string(JobQueued) {
+		t.Fatalf("jobs picture: %+v", st.Jobs)
+	}
+	if st.RateLimiter == nil || st.RateLimiter.Rate != 5 || st.RateLimiter.Clients != 1 {
+		t.Fatalf("rate limiter picture: %+v", st.RateLimiter)
+	}
+	// And it marshals (it rides into an NDJSON dump line).
+	if _, err := json.Marshal(st); err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	await(t, ts, env.ID)
+	s.Drain(5 * time.Second)
+
+	done, _ := s.FlightSnapshot().(FlightState)
+	if done.QueueDepth != 0 || len(done.Jobs) != 0 || !done.Draining {
+		t.Fatalf("post-drain snapshot: %+v", done)
+	}
+}

@@ -272,32 +272,36 @@ func (s *Server) runSolve(ctx context.Context, j *job, spec engine.SolveSpec) (j
 	// so bracket the solve with the same event shapes Run emits.
 	sink(engine.Event{Type: "solve_start", Job: j.id, Kind: j.kind})
 	start := time.Now()
-	res, st, cached, retries, err := eng.SolveConcolic(ctx, spec)
+	res, st, out, err := eng.SolveConcolic(ctx, spec)
 	ev := engine.Event{
 		Type:       "solve_done",
 		Job:        j.id,
 		Kind:       j.kind,
 		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
-		CacheHit:   cached,
+		CacheHit:   out.Cached,
+		CacheTier:  string(out.Tier),
 		Candidates: st.Concrete.Enumerated,
 		SMTQueries: st.SMTQueries,
 		Iterations: st.Iterations,
-		Retries:    retries,
+		Retries:    out.Retries,
 	}
 	if err != nil {
 		ev.Error = err.Error()
 	}
 	sink(ev)
-	cinfo := jobCache{}
-	if cached {
+	cinfo := jobCache{Tier: out.Tier, CacheWait: out.CacheWait, SolveWait: out.SolveWait}
+	if out.Cached {
 		cinfo.Hits = 1
+		if out.Tier == engine.TierDisk {
+			cinfo.DiskHits = 1
+		}
 	} else {
 		cinfo.Misses = 1
 	}
 	if err != nil {
 		return nil, cinfo, err
 	}
-	out := SolveResult{
+	result := SolveResult{
 		Expr: expr.Pretty(res),
 		Stats: SolveStats{
 			Enumerated:       st.Concrete.Enumerated,
@@ -309,7 +313,7 @@ func (s *Server) runSolve(ctx context.Context, j *job, spec engine.SolveSpec) (j
 			SMTClausesReused: st.SMTClausesReused,
 		},
 	}
-	raw, err := json.Marshal(out)
+	raw, err := json.Marshal(result)
 	return raw, cinfo, err
 }
 
@@ -358,7 +362,14 @@ func (s *Server) runComplete(ctx context.Context, j *job, proto *lang.Protocol, 
 	if err != nil {
 		return nil, jobCache{}, err
 	}
-	cinfo := jobCache{Hits: int64(rep.CacheHits), Misses: int64(rep.CacheMisses)}
+	cinfo := jobCache{
+		Hits:      int64(rep.CacheHits),
+		Misses:    int64(rep.CacheMisses),
+		DiskHits:  int64(rep.DiskHits),
+		Tier:      completionTier(rep),
+		CacheWait: rep.CacheWait,
+		SolveWait: rep.SolveWait,
+	}
 	out := CompleteResult{
 		Protocol:           proto.Name,
 		Snippets:           rep.Snippets,
@@ -372,6 +383,23 @@ func (s *Server) runComplete(ctx context.Context, j *job, proto *lang.Protocol, 
 	}
 	raw, err := json.Marshal(out)
 	return raw, cinfo, err
+}
+
+// completionTier collapses a completion run's many sub-solve lookups into
+// one job-level tier: any miss means real synthesis happened ("miss"),
+// otherwise any disk hit means the persistent store was needed ("disk"),
+// otherwise pure memory hits ("mem"); a run with no lookups is "none".
+func completionTier(rep *core.Report) engine.Tier {
+	switch {
+	case rep.CacheMisses > 0:
+		return engine.TierMiss
+	case rep.DiskHits > 0:
+		return engine.TierDisk
+	case rep.CacheHits > 0:
+		return engine.TierMem
+	default:
+		return engine.TierNone
+	}
 }
 
 // telemetrySink adapts the job's event bus to the engine's Sink: every
