@@ -13,12 +13,16 @@
 //	transit-bench -enum [-enum-workers N] [-enum-trials T] [-enum-out F]
 //	                               sequential vs. parallel bank-reusing
 //	                               enumerative search
+//	transit-bench -mc [-mc-n N] [-mc-states S] [-mc-workers W] [-mc-out F]
+//	                               model-checker scaling: plain vs.
+//	                               symmetry-reduced parallel frontier
 //	transit-bench -serve-url URL [-clients N] [-serve-requests N] [-serve-out F]
 //	                               client load against a running
 //	                               `transit serve` instance: cold vs.
 //	                               warm-cache latency and throughput
 //	transit-bench -all             everything (short variants; -serve-url
-//	                               is separate — it needs a live server)
+//	                               and -mc are separate — one needs a live
+//	                               server, the other runs for minutes)
 //
 // Observability flags apply to whichever benchmarks run: -trace out.json
 // writes a Chrome trace-event file (open at ui.perfetto.dev),
@@ -65,6 +69,12 @@ func main() {
 		enumWorkers = flag.Int("enum-workers", 4, "tier worker count for -enum")
 		enumTrials  = flag.Int("enum-trials", 3, "timing trials per mode for -enum (minimum is reported)")
 		enumOut     = flag.String("enum-out", "BENCH_enum.json", "JSON artifact path for -enum (empty = none)")
+		mcBench     = flag.Bool("mc", false, "compare plain vs. symmetry-reduced model checking at scale")
+		mcN         = flag.Int("mc-n", 6, "cache count for -mc")
+		mcStates    = flag.Int("mc-states", 1_000_000, "state budget per -mc checker run")
+		mcWorkers   = flag.Int("mc-workers", runtime.NumCPU(), "frontier worker count for the model checker (-table4, -table5, -mc)")
+		noSymmetry  = flag.Bool("no-symmetry", false, "disable PID-symmetry reduction in -table4/-table5 model checking (-mc always compares both modes)")
+		mcOut       = flag.String("mc-out", "BENCH_mc.json", "JSON artifact path for -mc (empty = none)")
 		serveURL    = flag.String("serve-url", "", "client mode: load-test a running `transit serve` at this URL (e.g. http://localhost:7878)")
 		clients     = flag.Int("clients", 4, "concurrent clients for -serve-url")
 		serveReqs   = flag.Int("serve-requests", 8, "distinct solve requests per pass for -serve-url")
@@ -80,7 +90,7 @@ func main() {
 	flag.StringVar(&profiling.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
 	flag.StringVar(&profiling.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
-	if !*table2 && !*table3 && !*fig5 && !*table4 && !*table5 && !*eng && !*smt && !*enum && !*all && *serveURL == "" {
+	if !*table2 && !*table3 && !*fig5 && !*table4 && !*table5 && !*eng && !*smt && !*enum && !*mcBench && !*all && *serveURL == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -155,13 +165,14 @@ func main() {
 		fail(err)
 		fmt.Println(bench.FormatFig5(pts))
 	}
+	knobs := bench.CheckKnobs{Workers: *mcWorkers, Symmetry: !*noSymmetry}
 	if *table4 {
-		rows, err := bench.Table4Ctx(ctx, *n)
+		rows, err := bench.Table4Ctx(ctx, *n, knobs)
 		fail(err)
 		fmt.Println(bench.FormatTable4(rows))
 	}
 	if *table5 {
-		rows, err := bench.Table5Ctx(ctx, *n)
+		rows, err := bench.Table5Ctx(ctx, *n, knobs)
 		fail(err)
 		fmt.Println(bench.FormatTable5(rows))
 	}
@@ -190,6 +201,15 @@ func main() {
 		if *enumOut != "" {
 			fail(bench.WriteEnumArtifact(*enumOut, res))
 			fmt.Printf("wrote %s\n", *enumOut)
+		}
+	}
+	if *mcBench {
+		res, err := bench.MCBenchCtx(ctx, *mcN, *mcWorkers, *mcStates)
+		fail(err)
+		fmt.Println(bench.FormatMC(res))
+		if *mcOut != "" {
+			fail(bench.WriteMCArtifact(*mcOut, *mcWorkers, res))
+			fmt.Printf("wrote %s\n", *mcOut)
 		}
 	}
 	if *serveURL != "" {

@@ -35,6 +35,11 @@
 //	                panic, cancellation, or SIGINT (-serve arms it too,
 //	                defaulting to transit-flight-<pid>.ndjson)
 //	-mc-progress D  model-checker heartbeat interval (default 1s, 0 disables)
+//	-mc-workers N   model-checker frontier workers (default: all CPUs; the
+//	                result is identical for every worker count)
+//	-no-symmetry    disable symmetry reduction (by default the checker
+//	                explores one canonical state per PID-permutation orbit
+//	                when the protocol qualifies)
 //
 // Subcommands:
 //
@@ -62,6 +67,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -109,6 +115,8 @@ func main() {
 	flag.StringVar(&opts.serveAddr, "serve", "", "serve live introspection on this address (e.g. localhost:6969)")
 	flag.StringVar(&opts.flightPath, "flight", "", "arm the flight recorder, dumping to this file on panic/cancel/SIGINT")
 	flag.DurationVar(&opts.mcProgress, "mc-progress", time.Second, "model-checker heartbeat interval (0 disables)")
+	flag.IntVar(&opts.mcWorkers, "mc-workers", runtime.NumCPU(), "model-checker frontier workers (identical result at any count)")
+	flag.BoolVar(&opts.noSymmetry, "no-symmetry", false, "disable model-checker symmetry reduction")
 	flag.Parse()
 	opts.args = flag.Args()
 	code, err := run(opts)
@@ -144,6 +152,8 @@ type options struct {
 	serveAddr    string
 	flightPath   string
 	mcProgress   time.Duration
+	mcWorkers    int
+	noSymmetry   bool
 	args         []string
 }
 
@@ -352,16 +362,22 @@ func pipeline(ctx context.Context, proto *transit.Protocol, sopts transit.Synthe
 	}
 
 	res, chart, err := transit.VerifyWithChartCtx(ctx, proto, transit.VerifyOptions{
-		MaxStates:        opts.maxStates,
-		CheckDeadlock:    opts.deadlock,
-		ProgressInterval: mcInterval(opts.mcProgress),
+		MaxStates:         opts.maxStates,
+		CheckDeadlock:     opts.deadlock,
+		ProgressInterval:  mcInterval(opts.mcProgress),
+		Workers:           opts.mcWorkers,
+		SymmetryReduction: !opts.noSymmetry,
 	})
 	if err != nil {
 		return 0, fmt.Errorf("model checking: %w", err)
 	}
+	sym := ""
+	if res.SymmetryApplied {
+		sym = fmt.Sprintf(", symmetry x%.1f", res.ReductionFactor)
+	}
 	if res.OK {
-		fmt.Printf("model check PASSED: %d states, %d transitions explored, depth %d in %s (%.0f states/sec)\n",
-			res.States, res.Transitions, res.Depth,
+		fmt.Printf("model check PASSED: %d states, %d transitions explored, depth %d%s in %s (%.0f states/sec)\n",
+			res.States, res.Transitions, res.Depth, sym,
 			res.Elapsed.Round(time.Millisecond), res.StatesPerSec)
 		return 0, nil
 	}

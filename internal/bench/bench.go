@@ -79,16 +79,25 @@ type Table4Row struct {
 	CheckTime    time.Duration
 }
 
+// CheckKnobs carries the model checker's tuning knobs (frontier worker
+// fan-out and PID-symmetry reduction) through the table benchmarks that
+// verify what they synthesize. The zero value reproduces the historical
+// behaviour: one worker, no reduction.
+type CheckKnobs struct {
+	Workers  int
+	Symmetry bool
+}
+
 // Table4 transcribes the GEMS protocols (VI and MSI) into snippets,
 // synthesizes them, and model checks the result, reporting the paper's
 // throughput metrics.
 func Table4(numCaches int) ([]Table4Row, error) {
-	return Table4Ctx(context.Background(), numCaches)
+	return Table4Ctx(context.Background(), numCaches, CheckKnobs{})
 }
 
 // Table4Ctx is Table4 under a context (cancellation plus observability
 // threading).
-func Table4Ctx(ctx context.Context, numCaches int) ([]Table4Row, error) {
+func Table4Ctx(ctx context.Context, numCaches int, knobs CheckKnobs) ([]Table4Row, error) {
 	specs := []*protocols.Spec{protocols.VI(numCaches), protocols.MSI(numCaches)}
 	var rows []Table4Row
 	for _, spec := range specs {
@@ -102,7 +111,10 @@ func Table4Ctx(ctx context.Context, numCaches int) ([]Table4Row, error) {
 			return nil, err
 		}
 		t0 := time.Now()
-		res, err := mc.CheckCtx(ctx, rt, spec.Invariants, mc.Options{MaxStates: 8_000_000, CheckDeadlock: true})
+		res, err := mc.CheckCtx(ctx, rt, spec.Invariants, mc.Options{
+			MaxStates: 8_000_000, CheckDeadlock: true,
+			Workers: knobs.Workers, SymmetryReduction: knobs.Symmetry,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s model check: %w", spec.Name, err)
 		}
@@ -142,12 +154,14 @@ type Table5Row struct {
 // Table5 replays the three case studies and reports the effectiveness
 // metrics of the iterative methodology.
 func Table5(numCaches int) ([]Table5Row, error) {
-	return Table5Ctx(context.Background(), numCaches)
+	return Table5Ctx(context.Background(), numCaches, CheckKnobs{})
 }
 
 // Table5Ctx is Table5 under a context (cancellation plus observability
-// threading).
-func Table5Ctx(ctx context.Context, numCaches int) ([]Table5Row, error) {
+// threading). The knobs override each case study's model-checking
+// options, so the scripted debugging loops verify with the same checker
+// configuration the CLI was asked for.
+func Table5Ctx(ctx context.Context, numCaches int, knobs CheckKnobs) ([]Table5Row, error) {
 	studies := []core.CaseStudy{
 		protocols.CaseStudyA(numCaches),
 		protocols.CaseStudyB(numCaches),
@@ -155,6 +169,10 @@ func Table5Ctx(ctx context.Context, numCaches int) ([]Table5Row, error) {
 	}
 	var rows []Table5Row
 	for _, cs := range studies {
+		if knobs.Workers > 0 {
+			cs.MCOpts.Workers = knobs.Workers
+		}
+		cs.MCOpts.SymmetryReduction = knobs.Symmetry
 		res, err := core.RunCaseStudyCtx(ctx, cs)
 		if err != nil {
 			return nil, fmt.Errorf("bench: case study %s: %w", cs.Name, err)

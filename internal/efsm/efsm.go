@@ -177,6 +177,12 @@ type ProcDef struct {
 	InitVals expr.Env
 	// Replicated marks one-instance-per-PID definitions.
 	Replicated bool
+	// Asymmetric opts a replicated definition out of PID symmetry: set it
+	// when instances are intentionally distinguished by identity (e.g. a
+	// designated leader), so the model checker's symmetry reduction
+	// disables itself instead of canonicalizing unsoundly. See
+	// System.PIDSymmetric.
+	Asymmetric bool
 	// Triggers lists external trigger names this process reacts to.
 	Triggers []string
 	// Transitions is the completed behaviour.

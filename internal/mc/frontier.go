@@ -1,0 +1,142 @@
+package mc
+
+import (
+	"sort"
+
+	"transit/internal/efsm"
+)
+
+// The search is organized as depth-synchronized rounds over a hash-sharded
+// visited set. Each round expands the entire depth-d frontier (split
+// across workers by stride), then merges the candidate successors
+// shard-by-shard (split across workers by shard ownership), then checks
+// invariants on the accepted depth-(d+1) states, then accounts states and
+// budgets sequentially. The phases are separated by WaitGroup barriers, so
+// within a phase the visited shards are read-only (expansion) or
+// partitioned (merge) — no locks, and the race detector agrees.
+//
+// Determinism is by construction, independent of worker count:
+//   - The frontier is globally sorted by canonical key, so "earliest
+//     frontier index" (the tie-break for semantics problems and deadlocks
+//     found at the same depth) means "least canonical key".
+//   - Candidates merge in (key, parent key, action index) order and the
+//     first wins, so when several depth-d parents reach the same new
+//     state, the recorded predecessor is the lexicographically least —
+//     every counterexample trace is reproducible run to run.
+//   - States are counted, and the MaxStates budget charged, in one
+//     sequential sweep over the key-sorted accepted list, so the budget
+//     cuts at exactly the same state no matter how many workers expanded.
+
+// numShards fixes the visited-set sharding. It is a constant, not a
+// function of Workers, so the shard assignment of a state — and with it
+// per-shard stats — is identical across worker counts.
+const numShards = 64
+
+// edge records how a state was first reached: the canonical key of its
+// predecessor, the action taken (in the predecessor's representative
+// frame), and the permutation that canonicalized the successor. Traces
+// replay through these, composing the permutations back to original PIDs.
+type edge struct {
+	parent string
+	action efsm.Action
+	sigma  efsm.Perm
+	init   bool
+}
+
+// shardSet is the visited map split across numShards sub-maps by key hash.
+type shardSet struct {
+	maps [numShards]map[string]edge
+}
+
+func newShardSet() *shardSet {
+	s := &shardSet{}
+	for i := range s.maps {
+		s.maps[i] = make(map[string]edge)
+	}
+	return s
+}
+
+// shardOf hashes a canonical key to its shard (FNV-1a).
+func shardOf(key string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h & (numShards - 1))
+}
+
+func (s *shardSet) lookup(key string) (edge, bool) {
+	e, ok := s.maps[shardOf(key)][key]
+	return e, ok
+}
+
+// counts returns the per-shard visited sizes.
+func (s *shardSet) counts() []int {
+	out := make([]int, numShards)
+	for i := range s.maps {
+		out[i] = len(s.maps[i])
+	}
+	return out
+}
+
+// frontEnt is one frontier state: its canonical key, its representative
+// state (the canonical frame when symmetry reduction applies, the state
+// itself otherwise), and its orbit size under the PID symmetry group.
+type frontEnt struct {
+	key   string
+	st    *efsm.State
+	orbit int
+}
+
+// candidate is a successor produced during expansion, waiting for the
+// merge phase to decide whether it is new and which parent edge wins.
+type candidate struct {
+	key    string
+	parent string
+	actIdx int
+	action efsm.Action
+	sigma  efsm.Perm
+	orbit  int
+	st     *efsm.State
+}
+
+// sortCandidates orders candidates by (key, parent, action index): the
+// first candidate per key after this sort is the deterministic winner.
+func sortCandidates(cands []candidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		if a.parent != b.parent {
+			return a.parent < b.parent
+		}
+		return a.actIdx < b.actIdx
+	})
+}
+
+// sortFrontier orders a frontier by canonical key: the round-global order
+// that "least index" tie-breaks refer to.
+func sortFrontier(f []frontEnt) {
+	sort.Slice(f, func(i, j int) bool { return f[i].key < f[j].key })
+}
+
+// problemAt is a semantics problem or deadlock found at a frontier index;
+// the least index (= least canonical key) wins the round.
+type problemAt struct {
+	idx      int
+	deadlock bool
+	name     string
+	detail   string
+}
+
+// violAt is an invariant violation at an index of the accepted list, with
+// the violated invariant's position (invariants are checked in order, so
+// the least invariant index at the least state index mirrors the
+// sequential checker).
+type violAt struct {
+	idx    int
+	inv    int
+	detail string
+}

@@ -5,12 +5,20 @@
 // execution-semantics rules (unexpected messages, guard determinism) at
 // every state, and reconstructs a shortest counterexample trace when a
 // violation is found.
+//
+// The search runs in depth-synchronized rounds over a hash-sharded
+// visited set (see frontier.go), optionally canonicalizing states under
+// permutation of the symmetric process IDs (see efsm.SymGroup), so both
+// the worker count and the symmetry reduction change only the wall-clock,
+// never the Result: budgets, counters, and counterexample traces are
+// worker-count-invariant by construction.
 package mc
 
 import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -18,7 +26,10 @@ import (
 	"transit/internal/obs"
 )
 
-// Invariant is a named safety property over global states.
+// Invariant is a named safety property over global states. When symmetry
+// reduction is on, invariants must themselves be PID-symmetric (hold on a
+// state iff they hold on every PID permutation of it) — all coherence
+// properties of interest (SWMR, at-most-one-owner) are.
 type Invariant struct {
 	Name string
 	// Check returns ok, or false with a human-readable detail.
@@ -27,7 +38,8 @@ type Invariant struct {
 
 // Options bounds the search.
 type Options struct {
-	// MaxStates caps explored states (0 = 1,000,000).
+	// MaxStates caps explored states (0 = 1,000,000). With symmetry
+	// reduction on, the cap counts canonical states.
 	MaxStates int
 	// MaxDepth caps BFS depth (0 = unbounded).
 	MaxDepth int
@@ -35,10 +47,20 @@ type Options struct {
 	CheckDeadlock bool
 	// ProgressInterval paces the mc.progress heartbeat marks (states,
 	// states/sec, queue depth). 0 means the 1s default; negative disables
-	// heartbeats. Marks are emitted both from the BFS loop (paced by
+	// heartbeats. Marks are emitted both from the BFS round loop (paced by
 	// state count) and from a wall-clock ticker, so protocols with slow
 	// transition or invariant functions still heartbeat on time.
 	ProgressInterval time.Duration
+	// Workers is the number of frontier workers (0 or 1 = sequential).
+	// Results are identical for every worker count.
+	Workers int
+	// SymmetryReduction canonicalizes states under permutation of the
+	// replicated process IDs, exploring one representative per orbit.
+	// It silently disables itself (Result.SymmetryApplied reports the
+	// outcome) when the system is not PID-symmetric — a PID or partial-set
+	// literal in a transition, an Asymmetric process definition, fewer
+	// than 2 or more than efsm.MaxSymmetryPIDs caches.
+	SymmetryReduction bool
 }
 
 // ViolationKind classifies a counterexample.
@@ -72,7 +94,10 @@ type TraceStep struct {
 	State  string
 }
 
-// Violation describes a counterexample.
+// Violation describes a counterexample. Traces are always rendered in the
+// original PID frame: when symmetry reduction found the violation on a
+// canonical representative, the path replays through the retained
+// permutations so every step is a genuine execution of the input system.
 type Violation struct {
 	Kind   ViolationKind
 	Name   string // invariant name or problem kind
@@ -105,8 +130,11 @@ type Result struct {
 	// OK is true when the search completed (within bounds) with no
 	// violation.
 	OK bool
-	// Complete is true when the full reachable space was explored.
-	Complete    bool
+	// Complete is true when the full reachable space was explored (no
+	// depth cut, no budget abort, no cancellation).
+	Complete bool
+	// States counts explored states — canonical representatives when
+	// symmetry reduction applied, concrete states otherwise.
 	States      int
 	Transitions int
 	Depth       int
@@ -115,13 +143,18 @@ type Result struct {
 	// the exploration rate States/Elapsed (0 for instantaneous runs).
 	Elapsed      time.Duration
 	StatesPerSec float64
-}
-
-type edge struct {
-	parent string
-	action efsm.Action
-	init   bool
-	depth  int
+	// SymmetryApplied reports whether symmetry reduction was actually in
+	// effect (requested and the system qualified).
+	SymmetryApplied bool
+	// CanonicalStates mirrors States under symmetry reduction: the number
+	// of orbit representatives explored.
+	CanonicalStates int
+	// ReductionFactor estimates how many concrete states each explored
+	// state stood for: the mean orbit size (1 when reduction was off).
+	ReductionFactor float64
+	// ShardStates is the per-shard visited-set occupancy (the sharding is
+	// worker-count-independent, so this too is deterministic).
+	ShardStates []int
 }
 
 // Check explores the reachable states of the runtime and verifies the
@@ -130,35 +163,60 @@ func Check(r *efsm.Runtime, invs []Invariant, opts Options) (*Result, error) {
 	return CheckCtx(context.Background(), r, invs, opts)
 }
 
-// CheckCtx is Check under a context: the BFS loop polls the context every
-// batch of expansions, so long-running searches are cancellable and honor
-// deadlines the same way the Options.MaxStates budget bounds them. On
-// cancellation the partial Result (states explored so far) is returned
-// alongside the context's error.
+// CheckCtx is Check under a context: the search polls the context every
+// round (and workers poll it during long expansions), so long-running
+// searches are cancellable and honor deadlines the same way the
+// Options.MaxStates budget bounds them. On cancellation the partial
+// Result (states explored so far) is returned alongside the context's
+// error.
 func CheckCtx(ctx context.Context, r *efsm.Runtime, invs []Invariant, opts Options) (*Result, error) {
 	maxStates := opts.MaxStates
 	if maxStates == 0 {
 		maxStates = 1_000_000
 	}
-	res := &Result{}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	var group *efsm.SymGroup
+	if opts.SymmetryReduction {
+		// Auto-disable on systems that do not qualify: the checker still
+		// answers, just without the reduction.
+		if g, err := efsm.NewSymGroup(r); err == nil {
+			group = g
+		}
+	}
+	res := &Result{SymmetryApplied: group != nil}
 	ctx, span := obs.Start(ctx, "mc.bfs",
-		obs.Int("max_states", maxStates), obs.Int("max_depth", opts.MaxDepth))
+		obs.Int("max_states", maxStates), obs.Int("max_depth", opts.MaxDepth),
+		obs.Int("workers", workers), obs.Bool("symmetry", group != nil))
 	start := time.Now()
-	// repStates/repTransitions track what the heartbeat has already
-	// published to the metrics registry, so running updates and the final
-	// settle add exact deltas instead of double-counting.
-	var repStates, repTransitions atomic.Int64
+	// repStates/repTransitions/repOrbit track what the heartbeat has
+	// already published to the metrics registry, so running updates and
+	// the final settle add exact deltas instead of double-counting.
+	var repStates, repTransitions, repOrbit atomic.Int64
+	var visited *shardSet
+	var orbitSum int64
 	defer func() {
 		res.Elapsed = time.Since(start)
 		if secs := res.Elapsed.Seconds(); secs > 0 {
 			res.StatesPerSec = float64(res.States) / secs
+		}
+		res.CanonicalStates = res.States
+		if res.States > 0 {
+			res.ReductionFactor = float64(orbitSum) / float64(res.States)
+		}
+		if visited != nil {
+			res.ShardStates = visited.counts()
 		}
 		span.SetAttr(obs.Int("states", res.States),
 			obs.Int("transitions", res.Transitions),
 			obs.Int("depth", res.Depth),
 			obs.Bool("ok", res.OK),
 			obs.Bool("complete", res.Complete),
-			obs.Float("states_per_sec", res.StatesPerSec))
+			obs.Float("states_per_sec", res.StatesPerSec),
+			obs.Int("canonical_states", res.CanonicalStates),
+			obs.Float("reduction_factor", res.ReductionFactor))
 		span.End()
 		if reg := obs.MetricsFrom(ctx); reg != nil {
 			reg.Counter("mc.runs").Inc()
@@ -169,41 +227,69 @@ func CheckCtx(ctx context.Context, r *efsm.Runtime, invs []Invariant, opts Optio
 			if d := int64(res.Transitions) - repTransitions.Swap(int64(res.Transitions)); d > 0 {
 				reg.Counter("mc.transitions").Add(d)
 			}
+			if d := orbitSum - repOrbit.Swap(orbitSum); d > 0 {
+				reg.Counter("mc.orbit_states").Add(d)
+			}
+			reg.Gauge("mc.frontier_depth").Set(int64(res.Depth))
+			reg.Gauge("mc.reduction_factor_milli").Set(int64(res.ReductionFactor * 1000))
+			if visited != nil {
+				mn, mx := shardMinMax(visited)
+				reg.Gauge("mc.shard.count").Set(int64(numShards))
+				reg.Gauge("mc.shard.states_min").Set(mn)
+				reg.Gauge("mc.shard.states_max").Set(mx)
+			}
 			reg.Histogram("mc.check_ms").Observe(res.Elapsed)
 		}
 	}()
 	if err := ctx.Err(); err != nil {
 		return res, fmt.Errorf("mc: search aborted after %d states: %w", res.States, err)
 	}
-	init := r.Initial()
-	initKey := r.Encode(init)
-	visited := map[string]edge{initKey: {init: true}}
 
-	type qent struct {
-		st  *efsm.State
-		key string
-	}
-	queue := []qent{{st: init, key: initKey}}
-	res.States = 1
-
-	check := func(st *efsm.State, key string) *Violation {
-		for _, inv := range invs {
-			if ok, detail := inv.Check(r, st); !ok {
-				steps, acts := buildTrace(r, visited, key)
-				return &Violation{Kind: InvariantViolation, Name: inv.Name, Detail: detail,
-					Trace: steps, actions: acts}
-			}
+	// Per-worker canonical encoders share the (immutable) group.
+	encs := make([]*efsm.CanonEncoder, workers)
+	if group != nil {
+		for w := range encs {
+			encs[w] = group.Encoder()
 		}
-		return nil
 	}
-	if v := check(init, initKey); v != nil {
-		res.Violation = v
-		return res, nil
+	canon := func(enc *efsm.CanonEncoder, st *efsm.State) (string, efsm.Perm, int) {
+		if group == nil {
+			return r.Encode(st), nil, 1
+		}
+		return enc.Canonicalize(st)
+	}
+	rep := func(st *efsm.State, sigma efsm.Perm) *efsm.State {
+		if group == nil || sigma.IsIdentity() {
+			return st
+		}
+		return r.Permute(st, sigma)
 	}
 
-	// Heartbeat plumbing: the BFS loop mirrors its counters into atomics,
-	// and mc.progress marks fire whenever ProgressInterval has elapsed —
-	// checked both from the loop (every 1024 dequeues, the cheap path)
+	init := r.Initial()
+	var enc0 *efsm.CanonEncoder
+	if group != nil {
+		enc0 = encs[0]
+	}
+	initKey, initSigma, initOrbit := canon(enc0, init)
+	visited = newShardSet()
+	visited.maps[shardOf(initKey)][initKey] = edge{init: true, sigma: initSigma}
+	frontier := []frontEnt{{key: initKey, st: rep(init, initSigma), orbit: initOrbit}}
+	res.States = 1
+	orbitSum = int64(initOrbit)
+
+	// The initial state is checked in the original frame, like every
+	// reported violation.
+	for _, inv := range invs {
+		if ok, detail := inv.Check(r, init); !ok {
+			res.Violation = &Violation{Kind: InvariantViolation, Name: inv.Name, Detail: detail,
+				Trace: []TraceStep{{State: r.FormatState(init)}}}
+			return res, nil
+		}
+	}
+
+	// Heartbeat plumbing: the round loop mirrors its counters into
+	// atomics, and mc.progress marks fire whenever ProgressInterval has
+	// elapsed — checked from the loop after every round (the cheap path)
 	// and from a wall-clock ticker goroutine, so protocols whose
 	// transition or invariant functions are slow still heartbeat on time
 	// for /runs and the flight recorder. The CAS on lastBeat keeps the
@@ -213,8 +299,10 @@ func CheckCtx(ctx context.Context, r *efsm.Runtime, invs []Invariant, opts Optio
 		interval = time.Second
 	}
 	var progStates, progTransitions, progDepth, progQueue atomic.Int64
+	var progFrontier, progShardMin, progShardMax, progOrbit atomic.Int64
 	progStates.Store(1)
 	progQueue.Store(1)
+	progOrbit.Store(orbitSum)
 	var lastBeat atomic.Int64
 	lastBeat.Store(start.UnixNano())
 	reg := obs.MetricsFrom(ctx)
@@ -230,6 +318,7 @@ func CheckCtx(ctx context.Context, r *efsm.Runtime, invs []Invariant, opts Optio
 			obs.Int64("transitions", transitions),
 			obs.Int64("queue", progQueue.Load()),
 			obs.Int64("depth", progDepth.Load()),
+			obs.Int64("frontier_depth", progFrontier.Load()),
 			obs.Float("states_per_sec", float64(states)/now.Sub(start).Seconds()))
 		// Mirror the running totals into the metrics registry so /metrics
 		// scrapes see mc.states advance during the search, not only after.
@@ -240,6 +329,16 @@ func CheckCtx(ctx context.Context, r *efsm.Runtime, invs []Invariant, opts Optio
 			}
 			if d := transitions - repTransitions.Swap(transitions); d > 0 {
 				reg.Counter("mc.transitions").Add(d)
+			}
+			if d := progOrbit.Load() - repOrbit.Swap(progOrbit.Load()); d > 0 {
+				reg.Counter("mc.orbit_states").Add(d)
+			}
+			reg.Gauge("mc.frontier_depth").Set(progFrontier.Load())
+			reg.Gauge("mc.shard.count").Set(int64(numShards))
+			reg.Gauge("mc.shard.states_min").Set(progShardMin.Load())
+			reg.Gauge("mc.shard.states_max").Set(progShardMax.Load())
+			if states > 0 {
+				reg.Gauge("mc.reduction_factor_milli").Set(progOrbit.Load() * 1000 / states)
 			}
 		}
 	}
@@ -260,89 +359,292 @@ func CheckCtx(ctx context.Context, r *efsm.Runtime, invs []Invariant, opts Optio
 		}()
 	}
 
-	var dequeued int
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		dequeued++
-		if dequeued&1023 == 0 {
-			if err := ctx.Err(); err != nil {
-				return res, fmt.Errorf("mc: search aborted after %d states: %w", res.States, err)
-			}
-			if span != nil && interval > 0 {
-				beat(time.Now())
-			}
+	abort := func() (*Result, error) {
+		return res, fmt.Errorf("mc: search aborted after %d states: %w", res.States, ctx.Err())
+	}
+
+	depth := 0
+	for len(frontier) > 0 {
+		if ctx.Err() != nil {
+			return abort()
 		}
-		depth := visited[cur.key].depth
 		if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
-			continue
-		}
-		acts, probs := r.Actions(cur.st)
-		if len(probs) > 0 {
-			p := probs[0]
-			steps, trActs := buildTrace(r, visited, cur.key)
-			res.Violation = &Violation{Kind: SemanticsProblem, Name: p.Kind.String(),
-				Detail: p.Detail, Trace: steps, actions: trActs}
+			// Depth cut: everything explored so far is violation-free, but
+			// the space was not exhausted.
+			res.OK = true
 			return res, nil
 		}
-		if opts.CheckDeadlock && len(acts) == 0 {
-			steps, trActs := buildTrace(r, visited, cur.key)
-			res.Violation = &Violation{Kind: Deadlock, Name: "deadlock",
-				Detail: "no enabled action", Trace: steps, actions: trActs}
-			return res, nil
+
+		// Phase A — expand: workers take frontier entries by stride,
+		// reading the visited shards lock-free (no one writes until the
+		// merge barrier) and bucketing candidate successors by shard.
+		// Frontier states with semantics problems (or, when enabled, no
+		// enabled action) are not expanded; the least frontier index —
+		// least canonical key — wins the round.
+		cands := make([][][]candidate, workers)
+		probs := make([]*problemAt, workers)
+		transLocal := make([]int64, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				buckets := make([][]candidate, numShards)
+				enc := encs[w%len(encs)]
+				for i := w; i < len(frontier); i += workers {
+					if (i/workers)&255 == 255 && ctx.Err() != nil {
+						break
+					}
+					ent := frontier[i]
+					acts, aprobs := r.Actions(ent.st)
+					if len(aprobs) > 0 {
+						if probs[w] == nil {
+							probs[w] = &problemAt{idx: i,
+								name: aprobs[0].Kind.String(), detail: aprobs[0].Detail}
+						}
+						continue
+					}
+					if opts.CheckDeadlock && len(acts) == 0 {
+						if probs[w] == nil {
+							probs[w] = &problemAt{idx: i, deadlock: true}
+						}
+						continue
+					}
+					transLocal[w] += int64(len(acts))
+					for ai, a := range acts {
+						next := r.Apply(ent.st, a)
+						key, sigma, orbit := canon(enc, next)
+						if _, seen := visited.lookup(key); seen {
+							continue
+						}
+						sh := shardOf(key)
+						buckets[sh] = append(buckets[sh], candidate{
+							key: key, parent: ent.key, actIdx: ai, action: a,
+							sigma: sigma, orbit: orbit, st: rep(next, sigma)})
+					}
+				}
+				cands[w] = buckets
+			}(w)
 		}
-		for _, a := range acts {
-			res.Transitions++
-			next := r.Apply(cur.st, a)
-			key := r.Encode(next)
-			if _, seen := visited[key]; seen {
-				continue
+		wg.Wait()
+		for _, tl := range transLocal {
+			res.Transitions += int(tl)
+		}
+		if ctx.Err() != nil {
+			return abort()
+		}
+
+		// Resolve problems/deadlocks: strided assignment means each
+		// worker's first hit is its least index, and the global least
+		// index is the least canonical key at this depth.
+		var prob *problemAt
+		for _, p := range probs {
+			if p != nil && (prob == nil || p.idx < prob.idx) {
+				prob = p
 			}
-			visited[key] = edge{parent: cur.key, action: a, depth: depth + 1}
+		}
+		if prob != nil {
+			ent := frontier[prob.idx]
+			if prob.deadlock {
+				steps, acts, _ := buildTrace(r, visited, ent.key)
+				res.Violation = &Violation{Kind: Deadlock, Name: "deadlock",
+					Detail: "no enabled action", Trace: steps, actions: acts}
+			} else {
+				res.Violation = makeViolation(r, visited, ent.key, SemanticsProblem,
+					prob.name, prob.detail, nil, 0)
+			}
+			return res, nil
+		}
+
+		// Phase B — merge: each shard has one owner worker, which gathers
+		// that shard's candidates from every expander, sorts them by
+		// (key, parent, action index), and admits the first edge per new
+		// key. Accepted entries come out key-sorted within each shard.
+		accepted := make([][]frontEnt, numShards)
+		var wgM sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wgM.Add(1)
+			go func(w int) {
+				defer wgM.Done()
+				var all []candidate
+				for sh := w; sh < numShards; sh += workers {
+					all = all[:0]
+					for ww := 0; ww < workers; ww++ {
+						all = append(all, cands[ww][sh]...)
+					}
+					if len(all) == 0 {
+						continue
+					}
+					sortCandidates(all)
+					m := visited.maps[sh]
+					var acc []frontEnt
+					for _, c := range all {
+						if _, seen := m[c.key]; seen {
+							continue
+						}
+						m[c.key] = edge{parent: c.parent, action: c.action, sigma: c.sigma}
+						acc = append(acc, frontEnt{key: c.key, st: c.st, orbit: c.orbit})
+					}
+					accepted[sh] = acc
+				}
+			}(w)
+		}
+		wgM.Wait()
+
+		// The next frontier, globally key-sorted: shard outputs are
+		// already sorted, so a k-way concatenation plus one sort (cheap,
+		// mostly-sorted runs) yields the canonical round order.
+		var next []frontEnt
+		for sh := 0; sh < numShards; sh++ {
+			next = append(next, accepted[sh]...)
+		}
+		sortFrontier(next)
+
+		// Phase C — invariants on the accepted states (representative
+		// frame; invariants must be symmetric when reduction is on). The
+		// least accepted index with a violation wins; per state, the
+		// least invariant index.
+		var vAt *violAt
+		if len(invs) > 0 && len(next) > 0 {
+			viols := make([]*violAt, workers)
+			var wgI sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wgI.Add(1)
+				go func(w int) {
+					defer wgI.Done()
+					for i := w; i < len(next); i += workers {
+						for vi, inv := range invs {
+							if ok, detail := inv.Check(r, next[i].st); !ok {
+								viols[w] = &violAt{idx: i, inv: vi, detail: detail}
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wgI.Wait()
+			for _, v := range viols {
+				if v != nil && (vAt == nil || v.idx < vAt.idx) {
+					vAt = v
+				}
+			}
+		}
+
+		// Sequential accounting in key order: exact state counting, exact
+		// budget cut, and the violation-vs-budget precedence of the
+		// sequential checker (a state's violation is reported before its
+		// budget overflow).
+		if len(next) > 0 {
+			res.Depth = depth + 1
+		}
+		for i := range next {
 			res.States++
-			if depth+1 > res.Depth {
-				res.Depth = depth + 1
-			}
-			if v := check(next, key); v != nil {
-				res.Violation = v
+			orbitSum += int64(next[i].orbit)
+			if vAt != nil && vAt.idx == i {
+				res.Violation = makeViolation(r, visited, next[i].key, InvariantViolation,
+					invs[vAt.inv].Name, vAt.detail, invs, vAt.inv)
 				return res, nil
 			}
 			if res.States >= maxStates {
 				return res, fmt.Errorf("mc: state budget %d exhausted (%d states)", maxStates, res.States)
 			}
-			queue = append(queue, qent{st: next, key: key})
 		}
+
 		progStates.Store(int64(res.States))
 		progTransitions.Store(int64(res.Transitions))
 		progDepth.Store(int64(res.Depth))
-		progQueue.Store(int64(len(queue)))
+		progQueue.Store(int64(len(next)))
+		progFrontier.Store(int64(depth + 1))
+		progOrbit.Store(orbitSum)
+		mn, mx := shardMinMax(visited)
+		progShardMin.Store(mn)
+		progShardMax.Store(mx)
+		if span != nil && interval > 0 {
+			beat(time.Now())
+		}
+
+		frontier = next
+		depth++
 	}
 	res.OK = true
 	res.Complete = true
 	return res, nil
 }
 
-// buildTrace reconstructs the action path from the initial state to key and
-// replays it to render intermediate states.
-func buildTrace(r *efsm.Runtime, visited map[string]edge, key string) ([]TraceStep, []efsm.Action) {
-	var actions []efsm.Action
+func shardMinMax(s *shardSet) (int64, int64) {
+	mn, mx := len(s.maps[0]), len(s.maps[0])
+	for i := 1; i < numShards; i++ {
+		if n := len(s.maps[i]); n < mn {
+			mn = n
+		} else if n > mx {
+			mx = n
+		}
+	}
+	return int64(mn), int64(mx)
+}
+
+// makeViolation reconstructs the original-frame trace to key and rebuilds
+// the human-readable name/detail from the replayed final state, so
+// counterexamples always describe the input system even when the
+// violation was found on a canonical representative.
+func makeViolation(r *efsm.Runtime, visited *shardSet, key string, kind ViolationKind,
+	name, detail string, invs []Invariant, invIdx int) *Violation {
+	steps, acts, final := buildTrace(r, visited, key)
+	switch kind {
+	case InvariantViolation:
+		name = invs[invIdx].Name
+		if ok, d := invs[invIdx].Check(r, final); !ok {
+			detail = d
+		}
+	case SemanticsProblem:
+		if _, probs := r.Actions(final); len(probs) > 0 {
+			name = probs[0].Kind.String()
+			detail = probs[0].Detail
+		}
+	}
+	return &Violation{Kind: kind, Name: name, Detail: detail, Trace: steps, actions: acts}
+}
+
+// buildTrace walks the parent edges from key back to the initial state and
+// replays the path forward in the original PID frame: each stored action
+// lives in its parent representative's frame, so it is mapped through the
+// inverse of the accumulated permutation before being applied, and the
+// edge's canonicalizing permutation is composed on afterwards. With
+// symmetry reduction off every permutation is the identity and this is a
+// plain replay. The returned state is the final (violating) state in the
+// original frame.
+func buildTrace(r *efsm.Runtime, visited *shardSet, key string) ([]TraceStep, []efsm.Action, *efsm.State) {
+	type hop struct {
+		action efsm.Action
+		sigma  efsm.Perm
+	}
+	var hops []hop
+	var rho efsm.Perm
 	for {
-		e := visited[key]
-		if e.init {
+		e, ok := visited.lookup(key)
+		if !ok {
 			break
 		}
-		actions = append(actions, e.action)
+		if e.init {
+			rho = e.sigma
+			break
+		}
+		hops = append(hops, hop{e.action, e.sigma})
 		key = e.parent
 	}
 	// Reverse into execution order.
-	for i, j := 0, len(actions)-1; i < j; i, j = i+1, j-1 {
-		actions[i], actions[j] = actions[j], actions[i]
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
+		hops[i], hops[j] = hops[j], hops[i]
 	}
 	st := r.Initial()
 	trace := []TraceStep{{State: r.FormatState(st)}}
-	for _, a := range actions {
+	actions := make([]efsm.Action, 0, len(hops))
+	for _, h := range hops {
+		a := r.PermuteAction(h.action, rho.Inverse())
 		st = r.Apply(st, a)
+		rho = h.sigma.Compose(rho)
 		trace = append(trace, TraceStep{Action: r.FormatAction(a), State: r.FormatState(st)})
+		actions = append(actions, a)
 	}
-	return trace, actions
+	return trace, actions, st
 }

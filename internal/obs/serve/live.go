@@ -15,8 +15,16 @@ type MCLive struct {
 	Queue        int64   `json:"queue"`
 	Depth        int64   `json:"depth"`
 	StatesPerSec float64 `json:"states_per_sec"`
-	Done         bool    `json:"done"`
-	UpdatedMS    float64 `json:"updated_ms"`
+	// FrontierDepth is the BFS depth the frontier workers are expanding
+	// right now (heartbeats) or finished at (final span).
+	FrontierDepth int64 `json:"frontier_depth"`
+	// CanonicalStates and ReductionFactor describe symmetry reduction on
+	// the finished check: canonical representatives explored and the mean
+	// PID-orbit size each one stands for (1.0 when reduction was off).
+	CanonicalStates int64   `json:"canonical_states"`
+	ReductionFactor float64 `json:"reduction_factor"`
+	Done            bool    `json:"done"`
+	UpdatedMS       float64 `json:"updated_ms"`
 }
 
 // SynthLive is one display track's (engine worker's) live synthesis
@@ -97,6 +105,7 @@ func (l *Live) Mark(d obs.SpanData) {
 		mc.Queue, _ = attrInt(d.Attrs, "queue")
 		mc.Depth, _ = attrInt(d.Attrs, "depth")
 		mc.StatesPerSec, _ = attrFloat(d.Attrs, "states_per_sec")
+		mc.FrontierDepth, _ = attrInt(d.Attrs, "frontier_depth")
 		l.mc = mc
 		l.mu.Unlock()
 	case "synth.round":
@@ -132,6 +141,9 @@ func (l *Live) Span(d obs.SpanData) {
 		mc.Transitions, _ = attrInt(d.Attrs, "transitions")
 		mc.Depth, _ = attrInt(d.Attrs, "depth")
 		mc.StatesPerSec, _ = attrFloat(d.Attrs, "states_per_sec")
+		mc.FrontierDepth = mc.Depth
+		mc.CanonicalStates, _ = attrInt(d.Attrs, "canonical_states")
+		mc.ReductionFactor, _ = attrFloat(d.Attrs, "reduction_factor")
 		l.mc = mc
 		l.mu.Unlock()
 	}

@@ -114,7 +114,8 @@ func TestRunsEndpoint(t *testing.T) {
 	sp.Mark("synth.round", obs.Int("iteration", 3), obs.Int("concrete_examples", 7))
 	sp.Mark("synth.tier", obs.Int("size", 4), obs.Int64("enumerated", 1500))
 	sp.Mark("mc.progress", obs.Int64("states", 4096), obs.Int64("transitions", 9000),
-		obs.Int64("queue", 12), obs.Int64("depth", 5), obs.Float("states_per_sec", 2048.5))
+		obs.Int64("queue", 12), obs.Int64("depth", 5), obs.Float("states_per_sec", 2048.5),
+		obs.Int64("frontier_depth", 5))
 	code, body := get(t, srv, "/runs")
 	if code != http.StatusOK {
 		t.Fatalf("/runs = %d", code)
@@ -123,7 +124,8 @@ func TestRunsEndpoint(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &v); err != nil {
 		t.Fatalf("/runs not JSON: %v\n%s", err, body)
 	}
-	if v.MC == nil || v.MC.States != 4096 || v.MC.StatesPerSec != 2048.5 || v.MC.Done {
+	if v.MC == nil || v.MC.States != 4096 || v.MC.StatesPerSec != 2048.5 || v.MC.Done ||
+		v.MC.FrontierDepth != 5 {
 		t.Errorf("/runs mc gauges = %+v", v.MC)
 	}
 	if len(v.Synth) != 1 || v.Synth[0].Track != 2 || v.Synth[0].Iteration != 3 ||
@@ -138,13 +140,15 @@ func TestRunsEndpoint(t *testing.T) {
 	// A closing mc.bfs span flips the checker to done with final totals.
 	_, bfs := obs.Start(ctx, "mc.bfs")
 	bfs.SetAttr(obs.Int64("states", 5000), obs.Int64("transitions", 11000),
-		obs.Int64("depth", 6), obs.Float("states_per_sec", 1000))
+		obs.Int64("depth", 6), obs.Float("states_per_sec", 1000),
+		obs.Int64("canonical_states", 5000), obs.Float("reduction_factor", 23.9))
 	bfs.End()
 	_, body = get(t, srv, "/runs")
 	if err := json.Unmarshal([]byte(body), &v); err != nil {
 		t.Fatal(err)
 	}
-	if v.MC == nil || !v.MC.Done || v.MC.States != 5000 {
+	if v.MC == nil || !v.MC.Done || v.MC.States != 5000 ||
+		v.MC.CanonicalStates != 5000 || v.MC.ReductionFactor != 23.9 {
 		t.Errorf("/runs mc after bfs close = %+v", v.MC)
 	}
 }

@@ -324,6 +324,26 @@ type VerifyOptions struct {
 	// introspection endpoint) regardless of exploration speed. 0 means the
 	// 1s default; negative disables the heartbeat.
 	ProgressInterval time.Duration
+	// Workers sizes the checker's frontier worker pool (0 or 1 =
+	// sequential). The Result — counters, budgets, counterexample trace —
+	// is identical for every worker count; only wall-clock time changes.
+	Workers int
+	// SymmetryReduction explores one canonical representative per orbit of
+	// the replicated-process PID symmetry, shrinking the state space by up
+	// to |caches|!. It auto-disables (CheckResult.SymmetryApplied reports
+	// the outcome) on systems that are not PID-symmetric.
+	SymmetryReduction bool
+}
+
+// mcOptions lowers the facade options to the checker's.
+func (o VerifyOptions) mcOptions() mc.Options {
+	return mc.Options{
+		MaxStates:         o.MaxStates,
+		CheckDeadlock:     o.CheckDeadlock,
+		ProgressInterval:  o.ProgressInterval,
+		Workers:           o.Workers,
+		SymmetryReduction: o.SymmetryReduction,
+	}
 }
 
 // Verify model checks a synthesized protocol against its invariants,
@@ -333,11 +353,7 @@ func Verify(proto *Protocol, opts VerifyOptions) (*CheckResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return mc.Check(rt, proto.Invariants, mc.Options{
-		MaxStates:        opts.MaxStates,
-		CheckDeadlock:    opts.CheckDeadlock,
-		ProgressInterval: opts.ProgressInterval,
-	})
+	return mc.Check(rt, proto.Invariants, opts.mcOptions())
 }
 
 // VerifyCtx is Verify under a context: cancellation and deadlines abort
@@ -347,11 +363,7 @@ func VerifyCtx(ctx context.Context, proto *Protocol, opts VerifyOptions) (*Check
 	if err != nil {
 		return nil, err
 	}
-	return mc.CheckCtx(ctx, rt, proto.Invariants, mc.Options{
-		MaxStates:        opts.MaxStates,
-		CheckDeadlock:    opts.CheckDeadlock,
-		ProgressInterval: opts.ProgressInterval,
-	})
+	return mc.CheckCtx(ctx, rt, proto.Invariants, opts.mcOptions())
 }
 
 // VerifyWithChart is Verify, additionally rendering any violation as an
@@ -362,11 +374,7 @@ func VerifyWithChart(proto *Protocol, opts VerifyOptions) (*CheckResult, string,
 	if err != nil {
 		return nil, "", err
 	}
-	return mc.CheckWithMSC(rt, proto.Invariants, mc.Options{
-		MaxStates:        opts.MaxStates,
-		CheckDeadlock:    opts.CheckDeadlock,
-		ProgressInterval: opts.ProgressInterval,
-	})
+	return mc.CheckWithMSC(rt, proto.Invariants, opts.mcOptions())
 }
 
 // VerifyWithChartCtx is VerifyWithChart under a context: cancellation and
@@ -377,11 +385,7 @@ func VerifyWithChartCtx(ctx context.Context, proto *Protocol, opts VerifyOptions
 	if err != nil {
 		return nil, "", err
 	}
-	return mc.CheckWithMSCCtx(ctx, rt, proto.Invariants, mc.Options{
-		MaxStates:        opts.MaxStates,
-		CheckDeadlock:    opts.CheckDeadlock,
-		ProgressInterval: opts.ProgressInterval,
-	})
+	return mc.CheckWithMSCCtx(ctx, rt, proto.Invariants, opts.mcOptions())
 }
 
 // RunCaseStudy replays a scripted specify→synthesize→check→fix workflow.
