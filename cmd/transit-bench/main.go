@@ -69,6 +69,7 @@ func main() {
 		enumWorkers = flag.Int("enum-workers", 4, "tier worker count for -enum")
 		enumTrials  = flag.Int("enum-trials", 3, "timing trials per mode for -enum (minimum is reported)")
 		enumOut     = flag.String("enum-out", "BENCH_enum.json", "JSON artifact path for -enum (empty = none)")
+		portfolio   = flag.Int("portfolio", 2, "configuration-race width for the -enum portfolio column (0/1 = omit it)")
 		mcBench     = flag.Bool("mc", false, "compare plain vs. symmetry-reduced model checking at scale")
 		mcN         = flag.Int("mc-n", 6, "cache count for -mc")
 		mcStates    = flag.Int("mc-states", 1_000_000, "state budget per -mc checker run")
@@ -90,6 +91,10 @@ func main() {
 	flag.StringVar(&profiling.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
 	flag.StringVar(&profiling.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Fprintf(os.Stderr, "transit-bench: warning: GOMAXPROCS=1 (NumCPU=%d): worker fan-outs timeshare one CPU, so parallel and portfolio speedups measure algorithmic savings only\n",
+			runtime.NumCPU())
+	}
 	if !*table2 && !*table3 && !*fig5 && !*table4 && !*table5 && !*eng && !*smt && !*enum && !*mcBench && !*all && *serveURL == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -195,7 +200,7 @@ func main() {
 		}
 	}
 	if *enum {
-		res, err := bench.EnumBenchCtx(ctx, *enumWorkers, *enumTrials)
+		res, err := bench.EnumBenchCtx(ctx, *enumWorkers, *enumTrials, *portfolio)
 		fail(err)
 		fmt.Println(bench.FormatEnum(res))
 		if *enumOut != "" {

@@ -104,6 +104,7 @@ func main() {
 	flag.StringVar(&opts.builtin, "builtin", "", "run a built-in protocol: vi, msi, mesi, origin, origin-buggy")
 	flag.IntVar(&opts.workers, "workers", 1, "inference worker pool size (1 = sequential)")
 	flag.IntVar(&opts.enumWorkers, "enum-workers", 1, "tier-parallel enumeration fan-out per inference job (1 = sequential; identical output)")
+	flag.IntVar(&opts.portfolio, "portfolio", 0, "race this many solver configurations per inference job, keeping the first to finish (0/1 = off)")
 	flag.BoolVar(&opts.noIncr, "no-incremental", false, "disable shared incremental SMT sessions (one solver per query; identical output)")
 	flag.DurationVar(&opts.timeout, "timeout", 0, "overall synthesis deadline (0 = none)")
 	flag.BoolVar(&opts.stats, "stats", false, "stream engine telemetry and trace spans as JSON lines to stderr")
@@ -141,6 +142,7 @@ type options struct {
 	murphiOut    string
 	workers      int
 	enumWorkers  int
+	portfolio    int
 	noIncr       bool
 	timeout      time.Duration
 	stats        bool
@@ -217,6 +219,7 @@ func run(opts options) (int, error) {
 		Limits:        transit.Limits{MaxSize: opts.maxSize},
 		Workers:       opts.workers,
 		EnumWorkers:   opts.enumWorkers,
+		Portfolio:     opts.portfolio,
 		Timeout:       opts.timeout,
 		NoIncremental: opts.noIncr,
 	}

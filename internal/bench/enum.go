@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"transit/internal/engine"
 	"transit/internal/expr"
 	"transit/internal/synth"
 )
@@ -23,60 +24,88 @@ type EnumModeStats struct {
 	Iterations int           `json:"iterations"`
 	BankReuses int           `json:"bank_reuses"`
 	Restarts   int           `json:"bank_fallbacks"`
+	// InterpPruned counts candidates discarded by interpretation-indexed
+	// pruning (0 when reduction is off for the mode).
+	InterpPruned int64 `json:"interp_pruned"`
+	// Unrealizable records whether the solve proved its hole impossible
+	// (always false for rows that synthesize an answer; present so
+	// artifact consumers need no schema change if a row ever regresses).
+	Unrealizable bool `json:"unrealizable,omitempty"`
 }
 
 // EnumRow compares the sequential restart-per-round search (the seed
-// Algorithm 1 path: one tier worker, no bank reuse) against the
-// tier-parallel bank-reusing search on one Table 3 inference problem.
-// Both modes are answer-identical; the row quantifies the work and time
-// the rebuilt search saves.
+// Algorithm 1 path: one tier worker, no bank reuse, no interpretation
+// reduction) against the tier-parallel bank-reusing interpretation-reduced
+// search — and, when racing is enabled, against the engine's portfolio
+// mode — on one Table 3 inference problem. All modes are answer-identical;
+// the row quantifies the work and time the rebuilt search saves.
 type EnumRow struct {
 	Name        string        `json:"name"`
 	Constraints int           `json:"constraints"`
 	Found       string        `json:"found"`
 	Seq         EnumModeStats `json:"sequential"`
 	Par         EnumModeStats `json:"parallel_bank"`
+	// Port is the portfolio-raced mode's stats (winner's counters);
+	// omitted when racing was disabled for the run.
+	Port *EnumModeStats `json:"portfolio,omitempty"`
 	// EnumRatio is parallel-bank candidates enumerated / sequential — the
-	// fraction of enumeration work bank reuse could not avoid (values > 1
-	// mean stale-pool fallbacks outweighed resume savings on this row).
+	// fraction of enumeration work the rebuilt search could not avoid
+	// (values > 1 mean stale-pool fallbacks outweighed resume savings on
+	// this row).
 	EnumRatio float64 `json:"enum_ratio"`
 	Speedup   float64 `json:"speedup"`
+	// PortSpeedup is sequential time / portfolio time (0 when racing was
+	// disabled).
+	PortSpeedup float64 `json:"portfolio_speedup,omitempty"`
 }
 
 // EnumBenchResult is the whole comparison plus its summary statistic.
 type EnumBenchResult struct {
 	Workers int `json:"enum_workers"`
+	// Portfolio is the configuration-race width of the portfolio column
+	// (0 = column absent).
+	Portfolio int `json:"portfolio,omitempty"`
 	// GOMAXPROCS records the scheduler parallelism the run had available.
 	// Tier-parallel speedup needs real cores: with GOMAXPROCS=1 the
 	// worker fan-out timeshares one CPU and the measured speedup reflects
-	// bank reuse alone. The artifact's shared header carries it on the
-	// wire; this field only feeds the text rendering.
+	// bank reuse and interpretation pruning alone. The artifact's shared
+	// header carries it on the wire; this field only feeds the text
+	// rendering.
 	GOMAXPROCS int       `json:"-"`
 	Trials     int       `json:"trials"`
 	Rows       []EnumRow `json:"rows"`
-	// GeomeanSpeedup is the geometric mean of the per-row speedups — the
-	// acceptance metric for the rebuilt search.
+	// GeomeanSpeedup is the geometric mean of the per-row parallel-bank
+	// speedups — the acceptance metric for the rebuilt search.
 	GeomeanSpeedup float64 `json:"geomean_speedup"`
+	// GeomeanPortfolioSpeedup is the same statistic for the portfolio
+	// column (0 when racing was disabled).
+	GeomeanPortfolioSpeedup float64 `json:"geomean_portfolio_speedup,omitempty"`
 }
 
-// EnumBench runs the short Table 3 rows through both modes.
-func EnumBench(workers, trials int) (*EnumBenchResult, error) {
-	return EnumBenchCtx(context.Background(), workers, trials)
+// EnumBench runs the short Table 3 rows through the modes.
+func EnumBench(workers, trials, portfolio int) (*EnumBenchResult, error) {
+	return EnumBenchCtx(context.Background(), workers, trials, portfolio)
 }
 
 // EnumBenchCtx is EnumBench under a context. Every trial of every mode is
 // checked for answer identity against the sequential reference and for
 // semantic consistency by brute force, so a determinism regression fails
-// the benchmark instead of skewing it.
-func EnumBenchCtx(ctx context.Context, workers, trials int) (*EnumBenchResult, error) {
+// the benchmark instead of skewing it. portfolio >= 2 adds a third column
+// racing that many engine configurations per solve; 0/1 omits it.
+func EnumBenchCtx(ctx context.Context, workers, trials, portfolio int) (*EnumBenchResult, error) {
 	if workers < 1 {
 		workers = 1
 	}
 	if trials < 1 {
 		trials = 3
 	}
-	res := &EnumBenchResult{Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0), Trials: trials}
+	if portfolio < 2 {
+		portfolio = 0
+	}
+	res := &EnumBenchResult{Workers: workers, Portfolio: portfolio,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Trials: trials}
 	logSum := 0.0
+	portLogSum := 0.0
 	for _, b := range Table3Benchmarks() {
 		if b.Long {
 			// The 30-minute row would dominate the run; the short rows
@@ -92,10 +121,33 @@ func EnumBenchCtx(ctx context.Context, workers, trials int) (*EnumBenchResult, e
 		seqLimits := base
 		seqLimits.EnumWorkers = 1
 		seqLimits.NoBankReuse = true
+		seqLimits.NoInterpReduction = true
 		parLimits := base
 		parLimits.EnumWorkers = workers
 
 		row := EnumRow{Name: b.Name, Constraints: len(exs)}
+		collect := func(st *EnumModeStats, tr int, d time.Duration, stats synth.Stats) {
+			if tr == 0 || d < st.Time {
+				st.Time = d
+			}
+			st.Enumerated = stats.Concrete.Enumerated
+			st.Kept = stats.Concrete.Kept
+			st.Iterations = stats.Iterations
+			st.BankReuses = stats.BankReuses
+			st.Restarts = stats.Concrete.Restarts
+			st.InterpPruned = stats.Concrete.InterpPruned
+			st.Unrealizable = stats.Unrealizable
+		}
+		check := func(found *string, e expr.Expr) error {
+			if *found == "" {
+				*found = e.String()
+				return verifyConsistent(prob, e, exs)
+			}
+			if e.String() != *found {
+				return fmt.Errorf("nondeterministic answer: %s vs %s", e, *found)
+			}
+			return nil
+		}
 		run := func(limits synth.Limits) (EnumModeStats, string, error) {
 			var st EnumModeStats
 			var found string
@@ -106,22 +158,32 @@ func EnumBenchCtx(ctx context.Context, workers, trials int) (*EnumBenchResult, e
 				if err != nil {
 					return st, "", fmt.Errorf("bench: %s: %w", b.Name, err)
 				}
-				if tr == 0 || d < st.Time {
-					st.Time = d
+				collect(&st, tr, d, stats)
+				if err := check(&found, e); err != nil {
+					return st, "", fmt.Errorf("bench: %s: %w", b.Name, err)
 				}
-				st.Enumerated = stats.Concrete.Enumerated
-				st.Kept = stats.Concrete.Kept
-				st.Iterations = stats.Iterations
-				st.BankReuses = stats.BankReuses
-				st.Restarts = stats.Concrete.Restarts
-				if found == "" {
-					found = e.String()
-					if err := verifyConsistent(prob, e, exs); err != nil {
-						return st, "", fmt.Errorf("bench: %s: %w", b.Name, err)
-					}
-				} else if e.String() != found {
-					return st, "", fmt.Errorf("bench: %s: nondeterministic answer: %s vs %s",
-						b.Name, e, found)
+			}
+			st.TimeMS = ms(st.Time)
+			return st, found, nil
+		}
+		// The portfolio mode goes through the engine (the race lives one
+		// layer above the raw solver); a fresh cacheless engine per trial
+		// keeps every trial a cold solve.
+		runPortfolio := func(limits synth.Limits) (EnumModeStats, string, error) {
+			var st EnumModeStats
+			var found string
+			for tr := 0; tr < trials; tr++ {
+				eng := engine.New(engine.Config{EnumWorkers: workers, Portfolio: portfolio})
+				t0 := time.Now()
+				e, stats, _, err := eng.SolveConcolic(ctx, engine.SolveSpec{
+					Problem: prob, Examples: exs, Limits: limits})
+				d := time.Since(t0)
+				if err != nil {
+					return st, "", fmt.Errorf("bench: %s: portfolio: %w", b.Name, err)
+				}
+				collect(&st, tr, d, stats)
+				if err := check(&found, e); err != nil {
+					return st, "", fmt.Errorf("bench: %s: portfolio: %w", b.Name, err)
 				}
 			}
 			st.TimeMS = ms(st.Time)
@@ -148,34 +210,65 @@ func EnumBenchCtx(ctx context.Context, workers, trials int) (*EnumBenchResult, e
 			row.Speedup = float64(seq.Time) / float64(par.Time)
 		}
 		logSum += math.Log(row.Speedup)
+		if portfolio >= 2 {
+			port, portFound, err := runPortfolio(parLimits)
+			if err != nil {
+				return nil, err
+			}
+			if portFound != seqFound {
+				return nil, fmt.Errorf("bench: %s: portfolio answer differs: seq %s, portfolio %s",
+					b.Name, seqFound, portFound)
+			}
+			row.Port = &port
+			if port.Time > 0 {
+				row.PortSpeedup = float64(seq.Time) / float64(port.Time)
+			}
+			portLogSum += math.Log(row.PortSpeedup)
+		}
 		res.Rows = append(res.Rows, row)
 	}
 	if len(res.Rows) > 0 {
 		res.GeomeanSpeedup = math.Exp(logSum / float64(len(res.Rows)))
+		if portfolio >= 2 {
+			res.GeomeanPortfolioSpeedup = math.Exp(portLogSum / float64(len(res.Rows)))
+		}
 	}
 	return res, nil
 }
 
-// FormatEnum renders the sequential-vs-parallel-bank comparison.
+// FormatEnum renders the mode comparison.
 func FormatEnum(res *EnumBenchResult) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Enumeration: sequential restart-per-round vs. %d-worker bank-reusing search (identical answers, min of %d trials, GOMAXPROCS=%d)\n",
+	fmt.Fprintf(&sb, "Enumeration: sequential restart-per-round vs. %d-worker interpretation-reduced bank-reusing search (identical answers, min of %d trials, GOMAXPROCS=%d)\n",
 		res.Workers, res.Trials, res.GOMAXPROCS)
-	fmt.Fprintf(&sb, "%-22s %4s | %9s %9s %5s | %9s %9s %5s %6s %5s | %7s %8s\n",
+	fmt.Fprintf(&sb, "%-22s %4s | %9s %9s %5s | %9s %9s %8s %5s %6s %5s | %7s %8s",
 		"Benchmark", "Cons",
 		"SeqTime", "Enum", "Iter",
-		"ParTime", "Enum", "Iter", "Reuse", "Fall",
+		"ParTime", "Enum", "Pruned", "Iter", "Reuse", "Fall",
 		"EnumR", "Speedup")
+	if res.Portfolio >= 2 {
+		fmt.Fprintf(&sb, " | %9s %8s", "PortTime", "PortSpd")
+	}
+	sb.WriteByte('\n')
 	for _, r := range res.Rows {
-		fmt.Fprintf(&sb, "%-22s %4d | %9s %9d %5d | %9s %9d %5d %6d %5d | %6.0f%% %7.2fx\n",
+		fmt.Fprintf(&sb, "%-22s %4d | %9s %9d %5d | %9s %9d %8d %5d %6d %5d | %6.0f%% %7.2fx",
 			r.Name, r.Constraints,
 			r.Seq.Time.Round(time.Microsecond*100), r.Seq.Enumerated, r.Seq.Iterations,
-			r.Par.Time.Round(time.Microsecond*100), r.Par.Enumerated, r.Par.Iterations,
-			r.Par.BankReuses, r.Par.Restarts,
+			r.Par.Time.Round(time.Microsecond*100), r.Par.Enumerated, r.Par.InterpPruned,
+			r.Par.Iterations, r.Par.BankReuses, r.Par.Restarts,
 			100*r.EnumRatio, r.Speedup)
+		if r.Port != nil {
+			fmt.Fprintf(&sb, " | %9s %7.2fx",
+				r.Port.Time.Round(time.Microsecond*100), r.PortSpeedup)
+		}
+		sb.WriteByte('\n')
 	}
 	fmt.Fprintf(&sb, "geometric-mean speedup: %.2fx\n", res.GeomeanSpeedup)
-	sb.WriteString("(EnumR is parallel-bank/sequential candidates enumerated — the search work\n bank reuse could not avoid; Reuse counts rounds resumed from the bank, Fall\n rounds whose stale pools forced a restart; answers are identical in every\n mode and trial)\n")
+	if res.Portfolio >= 2 {
+		fmt.Fprintf(&sb, "geometric-mean portfolio speedup (%d-way race): %.2fx\n",
+			res.Portfolio, res.GeomeanPortfolioSpeedup)
+	}
+	sb.WriteString("(EnumR is parallel-bank/sequential candidates enumerated — the search work\n the rebuilt search could not avoid; Pruned counts candidates discarded by\n interpretation-indexed signatures; Reuse counts rounds resumed from the\n bank, Fall rounds whose stale pools forced a restart; answers are identical\n in every mode and trial)\n")
 	return sb.String()
 }
 

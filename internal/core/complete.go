@@ -56,6 +56,10 @@ type Options struct {
 	// expressions, only wall-clock time. Jobs whose Limits set their own
 	// EnumWorkers keep it.
 	EnumWorkers int
+	// Portfolio races this many solver configurations per cache-miss
+	// inference job (engine.Config.Portfolio); values <= 1 disable racing.
+	// Jobs whose Limits set their own Portfolio keep it.
+	Portfolio int
 	// Timeout bounds the whole completion run; 0 means none.
 	Timeout time.Duration
 	// JobTimeout bounds each individual inference job; 0 means none.
@@ -165,6 +169,7 @@ func CompleteCtx(ctx context.Context, sys *efsm.System, vocab *expr.Vocabulary, 
 	eng := engine.New(engine.Config{
 		Workers:     opts.Workers,
 		EnumWorkers: opts.EnumWorkers,
+		Portfolio:   opts.Portfolio,
 		Timeout:     opts.Timeout,
 		JobTimeout:  opts.JobTimeout,
 		Retry:       opts.Retry,

@@ -103,6 +103,12 @@ type Config struct {
 	// Enumeration results are worker-count-invariant, so this never
 	// affects answers or the memoization key.
 	EnumWorkers int
+	// Portfolio races this many solver configurations per cache-miss solve
+	// (see SolveConcolic), applied to specs whose Limits leave it unset.
+	// Values <= 1 disable racing. Like EnumWorkers it is an execution
+	// strategy, not part of the problem, and is excluded from the
+	// memoization key.
+	Portfolio int
 	// Timeout bounds a whole Run; 0 means none.
 	Timeout time.Duration
 	// JobTimeout bounds each individual job; 0 means none.

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"transit/internal/expr"
+	"transit/internal/obs"
+	"transit/internal/synth"
+)
+
+// TestPortfolioRaceMatchesSoloAnswer pins the portfolio's answer contract:
+// whichever configuration wins the race, the returned expression is the
+// one a solo solve returns — configurations differ in execution strategy
+// only, never in answer. The run is repeated so the winner-cancels-losers
+// path executes under the race detector, and the telemetry counters must
+// account for every race.
+func TestPortfolioRaceMatchesSoloAnswer(t *testing.T) {
+	u := expr.NewUniverse(3)
+	solo, _, _, err := New(Config{}).SolveConcolic(context.Background(), maxSpec(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ctx := obs.WithMetrics(context.Background(), reg)
+	eng := New(Config{Portfolio: 4})
+	const runs = 4
+	for i := 0; i < runs; i++ {
+		res, _, out, err := eng.SolveConcolic(ctx, maxSpec(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Portfolio == "" {
+			t.Fatal("race ran but no winning configuration was recorded")
+		}
+		if !expr.Equal(res, solo) {
+			t.Fatalf("portfolio answer %s differs from solo answer %s (winner %s)",
+				res, solo, out.Portfolio)
+		}
+	}
+	if races := reg.Get("engine.portfolio.races"); races != runs {
+		t.Errorf("engine.portfolio.races = %d, want %d", races, runs)
+	}
+}
+
+// TestPortfolioCancellation verifies that external cancellation reaches
+// every racer and the race returns the context error instead of hanging or
+// fabricating an answer. Run under -race in CI: the interesting property
+// is that the racers' goroutines shut down cleanly.
+func TestPortfolioCancellation(t *testing.T) {
+	eng := New(Config{Portfolio: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, _, err := eng.SolveConcolic(ctx, maxSpec(expr.NewUniverse(3)))
+	if err == nil {
+		t.Fatal("cancelled race returned an answer")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+
+	// Mid-flight cancellation: cancel shortly after launch; the call must
+	// return promptly either way (with the answer if a racer won first,
+	// with the context error otherwise).
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel2()
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res, _, _, err := eng.SolveConcolic(ctx2, maxSpec(expr.NewUniverse(3)))
+		if err == nil && res == nil {
+			t.Error("nil answer without error")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("race did not return after cancellation")
+	}
+	cancel2()
+}
+
+// TestPortfolioUnrealizableFastFail pins the interaction between the
+// portfolio, the retry schedule, and unrealizability detection: a hole the
+// atlas proves impossible fails in one attempt per configuration — no
+// escalating-limits retries — and the error survives the race as
+// ErrUnrealizable.
+func TestPortfolioUnrealizableFastFail(t *testing.T) {
+	u, err := expr.NewUniverseWidth(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := expr.V("a", expr.IntType), expr.V("b", expr.IntType)
+	o := expr.V("o", expr.IntType)
+	spec := SolveSpec{
+		Problem: synth.Problem{U: u, Vocab: expr.NewVocabulary(), Vars: []*expr.Var{a, b}, Output: o},
+		Examples: []synth.ConcolicExample{{
+			Pre: expr.True(),
+			Post: expr.And(expr.Ge(o, a), expr.Ge(o, b),
+				expr.Or(expr.Eq(o, a), expr.Eq(o, b))),
+		}},
+		Limits: synth.Limits{MaxSize: 4},
+	}
+	for _, k := range []int{1, 4} {
+		eng := New(Config{Retry: RetryPolicy{Attempts: 3}, Portfolio: k})
+		_, stats, out, err := eng.SolveConcolic(context.Background(), spec)
+		if !errors.Is(err, synth.ErrUnrealizable) {
+			t.Fatalf("portfolio=%d: error = %v, want ErrUnrealizable", k, err)
+		}
+		if out.Retries != 0 {
+			t.Errorf("portfolio=%d: spent %d retries on a proven-unrealizable hole", k, out.Retries)
+		}
+		if !stats.Unrealizable {
+			t.Errorf("portfolio=%d: stats.Unrealizable not set", k)
+		}
+	}
+}

@@ -66,6 +66,11 @@ type SolveRequest struct {
 	MaxSize  int   `json:"max_size,omitempty"`
 	MaxIters int   `json:"max_iters,omitempty"`
 	MaxExprs int64 `json:"max_exprs,omitempty"`
+	// Portfolio races this many solver configurations for this job,
+	// keeping the first to finish (0 = server default, 1 = off). An
+	// execution detail: excluded from the dedup key and the memo key,
+	// invisible in the result.
+	Portfolio int `json:"portfolio,omitempty"`
 }
 
 // SolveStats is the deterministic subset of the solver's work counters:
@@ -253,9 +258,10 @@ func buildSolveSpec(req *SolveRequest) (engine.SolveSpec, error) {
 		Problem:  synth.Problem{U: u, Vocab: voc, Vars: vars, Output: out},
 		Examples: examples,
 		Limits: synth.Limits{
-			MaxSize:  req.MaxSize,
-			MaxIters: req.MaxIters,
-			MaxExprs: req.MaxExprs,
+			MaxSize:   req.MaxSize,
+			MaxIters:  req.MaxIters,
+			MaxExprs:  req.MaxExprs,
+			Portfolio: req.Portfolio,
 		},
 	}, nil
 }
@@ -266,6 +272,7 @@ func (s *Server) runSolve(ctx context.Context, j *job, spec engine.SolveSpec) (j
 	eng := engine.New(engine.Config{
 		Cache:       s.cache,
 		EnumWorkers: s.cfg.EnumWorkers,
+		Portfolio:   s.cfg.Portfolio,
 		Sink:        sink,
 	})
 	// Direct SolveConcolic calls sit below the engine's job-DAG telemetry,
@@ -356,6 +363,7 @@ func (s *Server) runComplete(ctx context.Context, j *job, proto *lang.Protocol, 
 		Limits:      synth.Limits{MaxSize: req.MaxSize},
 		Workers:     s.cfg.Workers,
 		EnumWorkers: s.cfg.EnumWorkers,
+		Portfolio:   s.cfg.Portfolio,
 		Cache:       s.cache,
 		Telemetry:   j.telemetrySink(),
 	})

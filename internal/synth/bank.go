@@ -25,6 +25,15 @@ type bank struct {
 	nExamples int
 	// perSize are the pools, adopted from the winning enumerator.
 	perSize []map[expr.Type][]entry
+	// shadows are the probe-distinct pruned duplicates the round
+	// collected (plus the ones it inherited); the next round extends
+	// their keys and uses them to detect a stale partition before
+	// walking it (DESIGN.md §15).
+	shadows []shadowEntry
+	// alts are shadows whose classes already split in earlier rounds:
+	// permanently missing from the pools, carried so the adopt-time
+	// shallow probe can test them against each new goal (staleAlt).
+	alts []*staleAlt
 	// curSize/curIdx locate the previous winner: candidate curIdx
 	// (1-based, tier-local) of size tier curSize.
 	curSize int
@@ -32,10 +41,13 @@ type bank struct {
 }
 
 // harvest captures the enumerator state after a successful solve. The
-// enumerator is not used afterwards, so the pools move instead of copy.
+// enumerator is not used afterwards, so the pools and shadows move
+// instead of copy.
 func (en *enumerator) harvest() *bank {
+	// en.alts is nil on fresh enumerators: a restart rebuilds the pools
+	// with every split class materialized, so inherited alts are obsolete.
 	return &bank{nExamples: len(en.examples), perSize: en.perSize,
-		curSize: en.curSize, curIdx: en.curIdx}
+		shadows: en.shadows, alts: en.alts, curSize: en.curSize, curIdx: en.curIdx}
 }
 
 // usable reports whether the bank can seed a round over the given
@@ -50,13 +62,25 @@ func (bk *bank) usable(examples []ConcreteExample, limits Limits) bool {
 }
 
 // resumeEnumerator builds an enumerator over the bank: pools are adopted
-// (resized to the current MaxSize), every entry's signature is extended
-// with one evaluation per new concretization, the signature table is
-// rebuilt from the extended keys, and the resume cursor is set to the
-// previous winner's position. Entries whose extended key collides with an
-// earlier entry's are dropped as newly-indistinguishable duplicates
-// (signature extension cannot merge distinct classes, so this is
-// defensive; the invariant is checked by the parity tests).
+// (resized to the current MaxSize), every entry's signature and signature
+// key are extended in place with one evaluation and one fixed-width record
+// per new concretization — the key layout puts example coordinates last,
+// so extension is a plain append and the old key bytes are never
+// re-encoded — and the resume cursor is set to the previous winner's
+// position. Entries whose extended key collides with an earlier entry's
+// are dropped as newly-indistinguishable duplicates (signature extension
+// cannot merge distinct classes, so this is defensive; the invariant is
+// checked by the parity tests).
+//
+// The bank's shadows are extended the same way, and then consulted for
+// staleness: a shadow whose extended example coordinates match no pooled
+// class is a previously-pruned candidate the new concretizations
+// distinguished — the pools provably lack a class a fresh search would
+// retain. A split shadow that itself matches the new goal dooms the walk
+// outright (resumeEnumerator returns nil and the caller restarts fresh);
+// every other split becomes a staleAlt, and a shallow probe over
+// compositions of the alts decides whether the resumed walk is skipped,
+// capped, or left to run (DESIGN.md §15).
 func resumeEnumerator(ctx context.Context, p Problem, examples []ConcreteExample, limits Limits, bk *bank) *enumerator {
 	en := newEnumerator(ctx, p, examples, limits)
 	ps := bk.perSize
@@ -71,28 +95,284 @@ func resumeEnumerator(ctx context.Context, p Problem, examples []ConcreteExample
 		ps = np
 	}
 	en.perSize = ps
-	en.sigSeen = make(map[string]struct{})
+	en.sigSeen = make(map[string][]expr.Value)
+	// Each new concretization gets a value memo keyed by expression
+	// identity: pooled compositions share their argument expression objects
+	// with the pool entries they were built from, and the pools are walked
+	// in ascending size order, so by the time a composition is extended its
+	// children's values are already memoized and extension costs one Apply
+	// call instead of a full tree re-evaluation. Late CEGIS rounds bank
+	// tens of thousands of entries whose trees average many nodes, so this
+	// turns per-round extension from O(total tree size) into O(entries).
+	nOld := bk.nExamples
+	nEntries := 0
+	for s := range en.perSize {
+		for _, pool := range en.perSize[s] {
+			nEntries += len(pool)
+		}
+	}
+	memos := make([]map[expr.Expr]expr.Value, len(examples)-nOld)
+	for i := range memos {
+		memos[i] = make(map[expr.Expr]expr.Value, nEntries)
+	}
 	for s := range en.perSize {
 		for t, pool := range en.perSize[s] {
 			keep := pool[:0]
 			for i := range pool {
 				ent := pool[i]
-				for k := bk.nExamples; k < len(examples); k++ {
-					ent.sig = append(ent.sig, ent.e.Eval(p.U, examples[k].S))
+				for k := nOld; k < len(examples); k++ {
+					v := en.extendVal(ent.e, examples[k].S, memos[k-nOld])
+					memos[k-nOld][ent.e] = v
+					ent.sig = append(ent.sig, v)
+					ent.key = v.AppendEncoding(ent.key)
 				}
-				en.keyBuf = appendSigKey(en.keyBuf[:0], t, ent.sig)
-				if _, dup := en.sigSeen[string(en.keyBuf)]; dup {
+				if _, dup := en.sigSeen[string(ent.key)]; dup {
 					continue
 				}
-				en.sigSeen[string(en.keyBuf)] = struct{}{}
+				en.sigSeen[string(ent.key)] = nil
 				keep = append(keep, ent)
 			}
 			en.perSize[s][t] = keep
 		}
 	}
+	// The cursor is set before shadow adoption: the shallow doom probe may
+	// tighten resumeCap below the default slack.
 	en.resumeSize, en.resumeSkip = bk.curSize, bk.curIdx
 	en.resumeCap = bk.curSize + resumeCapSlack
+	if en.probeBuf != nil {
+		if !en.adoptShadows(bk, examples, memos) {
+			return nil
+		}
+	}
 	return en
+}
+
+// extendVal evaluates e under one new concretization, resolving Apply
+// arguments through the round's identity memo: pooled children hit the
+// memo (their pools extend first), so the common case is one function
+// application over already-computed values. A child outside the memo — an
+// alt's subterm whose representative was compacted away — falls back to a
+// plain evaluation, which is always correct, just slower.
+func (en *enumerator) extendVal(e expr.Expr, env expr.Env, memo map[expr.Expr]expr.Value) expr.Value {
+	ap, ok := e.(*expr.Apply)
+	if !ok || len(ap.Args) == 0 {
+		return e.Eval(en.p.U, env)
+	}
+	if cap(en.argBuf) < len(ap.Args) {
+		en.argBuf = make([]expr.Value, len(ap.Args))
+	}
+	argv := en.argBuf[:len(ap.Args)]
+	for j, a := range ap.Args {
+		if v, hit := memo[a]; hit {
+			argv[j] = v
+		} else {
+			argv[j] = a.Eval(en.p.U, env)
+		}
+	}
+	return ap.Fn.Apply(en.p.U, argv)
+}
+
+// adoptShadows extends the bank's shadow keys with the new
+// concretizations, checks each against the freshly re-keyed pools, and
+// rebuilds the probe-chunk index over pools and shadows. Shadows whose
+// extended example coordinates escape every pooled class have split: one
+// that itself matches the new goal proves the fresh winner sits at or
+// before an expression the pools cannot reach, and adoptShadows reports
+// false — restart immediately. Every other split converts to a staleAlt,
+// and the shallow probe over alt compositions decides whether the walk
+// is skipped, capped, or left to the exhaustion fallback.
+func (en *enumerator) adoptShadows(bk *bank, examples []ConcreteExample, memos []map[expr.Expr]expr.Value) bool {
+	nOld := bk.nExamples
+	var splitIdx []int
+	for i := range bk.shadows {
+		sh := &bk.shadows[i]
+		for k := nOld; k < len(examples); k++ {
+			v := en.extendVal(sh.e, examples[k].S, memos[k-nOld])
+			sh.key = v.AppendEncoding(sh.key)
+		}
+		if _, pooled := en.sigSeen[string(sh.key)]; !pooled {
+			if sh.e.Type() == en.p.Output.VT && string(sh.key[sigKeyHeaderLen:]) == en.goalSuffix {
+				return false
+			}
+			splitIdx = append(splitIdx, i)
+		}
+	}
+	// Persisted alts gain the new coordinates like everything else.
+	for _, a := range bk.alts {
+		for k := nOld; k < len(examples); k++ {
+			a.sig = append(a.sig, en.extendVal(a.e, examples[k].S, memos[k-nOld]))
+		}
+	}
+	if len(splitIdx) > 0 {
+		// New splits become alts.
+		isSplit := make(map[int]bool, len(splitIdx))
+		for _, i := range splitIdx {
+			isSplit[i] = true
+			if len(bk.alts) >= maxAlts {
+				continue
+			}
+			sh := &bk.shadows[i]
+			sig := make([]expr.Value, len(examples), len(examples)+sigHeadroom)
+			for k := range examples {
+				sig[k] = sh.e.Eval(en.p.U, examples[k].S)
+			}
+			bk.alts = append(bk.alts, &staleAlt{e: sh.e, sig: sig})
+		}
+		// Split shadows leave the shadow set: their full keys no longer
+		// describe a merged class.
+		keep := bk.shadows[:0]
+		for i := range bk.shadows {
+			if !isSplit[i] {
+				keep = append(keep, bk.shadows[i])
+			}
+		}
+		bk.shadows = keep
+	}
+	if len(bk.alts) > 0 {
+		en.alts = bk.alts
+		if s, doomed := en.shallowAltDoom(); doomed {
+			// A goal-matching alt composition strictly above the previous
+			// winner's tier means the resumed walk would have to clear its
+			// whole resume tier and more before it could exhaust — at least
+			// as expensive as the restart it would end in — so the walk is
+			// skipped outright. At or below the previous winner's tier the
+			// walk may still win first (the composition can sit after the
+			// true winner in enumeration order), so the walk runs; the
+			// composition's size still caps it for free, because any valid
+			// resumed win precedes the composition and therefore sits in a
+			// tier no larger than it.
+			if s > bk.curSize {
+				return false
+			}
+			if s < en.resumeCap {
+				en.resumeCap = s
+			}
+		}
+	}
+	// Rebuild the probe-chunk rows over tracked pooled representatives and
+	// shadows: the example keys moved under extension, so chunks re-group
+	// under the extended keys, straight into sigSeen's values. No encoding
+	// happens — the rows are plain stored probe values. Non-split shadows
+	// by definition share a pooled class's key, so the guarded append never
+	// creates a key of its own.
+	en.shadows = bk.shadows
+	for s := range en.perSize {
+		for _, pool := range en.perSize[s] {
+			for i := range pool {
+				ent := &pool[i]
+				if ent.psig == nil {
+					continue
+				}
+				en.sigSeen[string(ent.key)] = append(en.sigSeen[string(ent.key)], ent.psig...)
+			}
+		}
+	}
+	for i := range en.shadows {
+		sh := &en.shadows[i]
+		if rows, pooled := en.sigSeen[string(sh.key)]; pooled {
+			en.sigSeen[string(sh.key)] = append(rows, sh.psig...)
+		}
+	}
+	return true
+}
+
+// shallowAltDoomBudget caps the example evaluations one shallow probe may
+// spend. The typical round is far below it (a handful of alts against a
+// handful of size-1 entries); a vocabulary pathological enough to exceed
+// it just skips the probe — the exhaustion fallback still guarantees
+// completeness.
+const shallowAltDoomBudget = 1 << 17
+
+// shallowAltDoom looks for single applications f(args), with every
+// argument drawn from the size-1 pools or the carried alts and at least
+// one alt among them, that match the new goal on every example. Such a
+// candidate is reachable for a fresh search but permanently unreachable
+// from the resumed pools (an alt's class is exactly a class the pools are
+// missing), so a match proves before the walk starts that the fresh
+// search has a goal hit the resumed walk cannot reach. It returns the
+// smallest such composition's size; the caller weighs it against the
+// resume cursor to decide between skipping the walk and capping it (both
+// are answer-safe — a fresh round is the reference search, and a valid
+// resumed win always precedes the composition in enumeration order). The
+// probe is deliberately shallow — one application over atoms and alts —
+// because that is where the protocol workloads' stale rounds land (an
+// ite over a split guard and two variables, a set operator over two split
+// set differences); deeper dooms still fall to the exhaustion fallback.
+func (en *enumerator) shallowAltDoom() (int, bool) {
+	byType := make(map[expr.Type][]*staleAlt, 4)
+	for _, a := range en.alts {
+		byType[a.e.Type()] = append(byType[a.e.Type()], a)
+	}
+	atoms := en.perSize[1]
+	n := len(en.examples)
+	budget := shallowAltDoomBudget
+	best := 0
+	var enc []byte
+	var argv []expr.Value
+	sigs := make([][]expr.Value, 8)
+	var try func(f *expr.Func, slot, sizeAcc int, hasAlt bool)
+	try = func(f *expr.Func, slot, sizeAcc int, hasAlt bool) {
+		if best != 0 && sizeAcc+(f.Arity()-slot) >= best {
+			return
+		}
+		if slot == f.Arity() {
+			if !hasAlt || budget < n {
+				return
+			}
+			budget -= n
+			for k := 0; k < n; k++ {
+				for j := 0; j < slot; j++ {
+					argv[j] = sigs[j][k]
+				}
+				v := f.Apply(en.p.U, argv)
+				enc = v.AppendEncoding(enc[:0])
+				if string(enc) != en.goalSuffix[sigValEncLen*k:sigValEncLen*(k+1)] {
+					return
+				}
+			}
+			best = sizeAcc
+			return
+		}
+		t := f.Params[slot]
+		for i := range atoms[t] {
+			sigs[slot] = atoms[t][i].sig
+			try(f, slot+1, sizeAcc+1, hasAlt)
+		}
+		for _, a := range byType[t] {
+			sigs[slot] = a.sig
+			try(f, slot+1, sizeAcc+a.e.Size(), true)
+		}
+	}
+	for _, f := range en.p.Vocab.Funcs() {
+		m := f.Arity()
+		if m == 0 || m > len(sigs) || f.Ret != en.p.Output.VT {
+			continue
+		}
+		// Require every slot to be fillable and at least one alt-typed slot
+		// before recursing.
+		feasible, altSlot := true, false
+		for _, t := range f.Params {
+			if len(atoms[t])+len(byType[t]) == 0 {
+				feasible = false
+				break
+			}
+			if len(byType[t]) > 0 {
+				altSlot = true
+			}
+		}
+		if !feasible || !altSlot {
+			continue
+		}
+		if cap(argv) < m {
+			argv = make([]expr.Value, m)
+		}
+		argv = argv[:m]
+		try(f, 0, 1, false)
+		if budget < n {
+			break
+		}
+	}
+	return best, best != 0
 }
 
 // resumeCapSlack bounds how many size tiers past the previous winner a

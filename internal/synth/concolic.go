@@ -2,6 +2,7 @@ package synth
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -89,11 +90,22 @@ func SolveConcolicSessionCtx(ctx context.Context, p Problem, examples []Concolic
 		stats.Iterations = iter
 		candidate, consistent, err := cegisIteration(ctx, p, examples, &concrete, limits, be, &stats, iter, &bk)
 		if err != nil {
+			// An exhausted search may be hiding an impossible hole; the
+			// atlas check upgrades the error to ErrUnrealizable when it
+			// can prove so, which stops the engine's retry escalation.
+			if errors.Is(err, ErrNoExpression) {
+				if uerr := checkUnrealizable(ctx, p, examples, limits, &stats); uerr != nil {
+					return nil, stats, uerr
+				}
+			}
 			return nil, stats, err
 		}
 		if consistent {
 			return candidate, stats, nil
 		}
+	}
+	if uerr := checkUnrealizable(ctx, p, examples, limits, &stats); uerr != nil {
+		return nil, stats, uerr
 	}
 	return nil, stats, fmt.Errorf("%w: CEGIS iteration budget %d exhausted", ErrNoExpression, limits.MaxIters)
 }
@@ -131,6 +143,7 @@ func cegisIteration(ctx context.Context, p Problem, examples []ConcolicExample,
 	stats.Concrete.Enumerated += cstats.Enumerated
 	stats.Concrete.Kept += cstats.Kept
 	stats.Concrete.Restarts += cstats.Restarts
+	stats.Concrete.InterpPruned += cstats.InterpPruned
 	if cstats.MaxSizeSeen > stats.Concrete.MaxSizeSeen {
 		stats.Concrete.MaxSizeSeen = cstats.MaxSizeSeen
 	}

@@ -3,10 +3,24 @@ package synth
 import (
 	"context"
 	"errors"
+	"runtime"
 	"testing"
 
 	"transit/internal/expr"
 )
+
+// unclampWorkers raises GOMAXPROCS to cover the worker counts a parity
+// test requests. enumWorkers clamps to GOMAXPROCS (spare workers only
+// timeshare), so without this the multi-worker legs of the parity suite
+// would silently degenerate to sequential runs on single-CPU machines
+// and stop exercising the parallel merge.
+func unclampWorkers(t *testing.T, n int) {
+	t.Helper()
+	if old := runtime.GOMAXPROCS(0); old < n {
+		runtime.GOMAXPROCS(n)
+		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
+}
 
 // maxConcrete returns a concrete-example workload consistent with
 // ite(gt(a, b), a, b) over the parity universe.
@@ -43,6 +57,7 @@ func sameConcreteStats(t *testing.T, label string, a, b ConcreteStats) {
 // CEGIS loop must produce byte-identical traces.
 func TestEnumWorkerParity(t *testing.T) {
 	ctx := context.Background()
+	unclampWorkers(t, 4)
 	p, exs := maxConcrete(t)
 
 	t.Run("concrete-found", func(t *testing.T) {
@@ -225,6 +240,7 @@ func TestBankReuseParity(t *testing.T) {
 // with bank reuse against the fully sequential restart path.
 func TestBankReuseWorkerParity(t *testing.T) {
 	ctx := context.Background()
+	unclampWorkers(t, 4)
 	for _, tc := range parityProblems(t) {
 		t.Run(tc.name, func(t *testing.T) {
 			fast := tc.limits
@@ -253,6 +269,7 @@ func TestBankReuseWorkerParity(t *testing.T) {
 // still succeed, and a budget one short must fail.
 func TestMaxExprsExactBudget(t *testing.T) {
 	ctx := context.Background()
+	unclampWorkers(t, 4)
 	p, exs := maxConcrete(t)
 	want, full, err := SolveConcreteCtx(ctx, p, exs, Limits{MaxSize: 8})
 	if err != nil {

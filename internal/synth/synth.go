@@ -107,6 +107,27 @@ type Limits struct {
 	// hatch and the differential-testing lever for that path. Ignored
 	// (reuse disabled) under NoPrune.
 	NoBankReuse bool
+	// NoInterpReduction disables interpretation-indexed pruning: by
+	// default (and only when pruning is on at all, i.e. not under
+	// NoPrune) signature classes are keyed by the candidate's values on a
+	// small deterministic set of probe interpretations in addition to the
+	// concrete examples, so the partition carried across CEGIS rounds is
+	// finer from round one and rarely goes stale when a new
+	// concretization arrives. The finer partition is answer-invariant —
+	// the first candidate matching the goal on the example coordinates is
+	// the same expression either way (DESIGN.md §15) — so the flag, like
+	// EnumWorkers and NoBankReuse, is an escape hatch and a
+	// differential-testing lever, excluded from the engine's memoization
+	// key. It also disables the unrealizability check, which needs the
+	// interpretation-indexed class structure.
+	NoInterpReduction bool
+	// Portfolio asks the engine to race this many solver configurations
+	// per job and keep the first finisher (values <= 1 disable racing).
+	// The synthesizer itself ignores the field: racing is an engine-level
+	// execution strategy layered on top of SolveConcolic, and — because
+	// every raced configuration is answer-identical on the pinned parity
+	// workloads — it is excluded from the engine's memoization key.
+	Portfolio int
 }
 
 // Default limits, applied by Limits.WithDefaults.
@@ -147,6 +168,15 @@ var (
 	// ErrInconsistent means the example set itself admits no output value
 	// for some reachable input valuation.
 	ErrInconsistent = errors.New("synth: example set is inconsistent")
+	// ErrUnrealizable means the hole is impossible, not merely
+	// undiscovered: the vocabulary admits no expression of the output
+	// type — at any size — consistent with the concolic examples. It is
+	// proved by enumerating the observational-equivalence classes of the
+	// vocabulary over every interpretation of the input variables to a
+	// semantic fixpoint and spec-checking each class (see
+	// checkUnrealizable), so unlike ErrNoExpression it is not worth
+	// retrying with larger limits.
+	ErrUnrealizable = errors.New("synth: hole is unrealizable")
 )
 
 // ConcreteStats reports enumeration work done by SolveConcrete.
@@ -158,12 +188,23 @@ type ConcreteStats struct {
 	Kept int64
 	// MaxSizeSeen is the largest size tier the search entered.
 	MaxSizeSeen int
-	// Restarts counts bank-resumed searches that exhausted the size bound
-	// and transparently fell back to a fresh search (the stale-pool case;
-	// always 0 outside CEGIS bank reuse). Enumerated and Kept include the
-	// work of both attempts.
+	// Restarts counts CEGIS rounds that ran a fresh search despite having
+	// a resumable bank: either the resumed search exhausted the size
+	// bound and transparently fell back (the undetected stale-pool case,
+	// synth.bank_fallback counter), or the interpretation shadows proved
+	// the bank stale up front and the doomed resumed walk was skipped
+	// entirely (synth.bank_stale counter). Always 0 outside CEGIS bank
+	// reuse; Enumerated and Kept include the work of every attempt.
 	Restarts int
-	Elapsed  time.Duration
+	// InterpPruned counts duplicate candidates the interpretation index
+	// proved redundant beyond example-equivalence: output-typed
+	// expressions whose full signature — probe coordinates plus example
+	// coordinates — was already covered by a retained representative or a
+	// stored shadow. 0 when interpretation reduction is off. The count is
+	// exact for sequential tiers and approximate under tier parallelism
+	// (workers may scan slightly past the tier's final stop index).
+	InterpPruned int64
+	Elapsed      time.Duration
 }
 
 // IterRecord traces one CEGIS iteration; Table 2 of the paper is a
@@ -190,6 +231,10 @@ type Stats struct {
 	// previous round's expression bank instead of restarting at size 1
 	// (always 0 with Limits.NoBankReuse or Limits.NoPrune).
 	BankReuses int
+
+	// Unrealizable reports that the solve failed with ErrUnrealizable:
+	// the exhaustion was proved permanent, not a budget artifact.
+	Unrealizable bool
 
 	// SMTClauses and SMTClausesReused sum the per-query encoding work:
 	// clauses newly bit-blasted and cached-circuit clauses reused by the

@@ -123,11 +123,30 @@ func (en *enumerator) buildUnits(size int) ([]tierUnit, int64) {
 
 // tierHit is a worker-local first occurrence of a signature class within
 // the tier: the candidate's tier-local 1-based index, its materialized
-// expression, and an owned copy of its signature.
+// expression, an owned copy of its signature (and of its probe
+// coordinates when shadow tracking is on), and whether it matches the
+// goal. The goal flag is carried per hit so the merge scans for the
+// minimum-index flagged hit instead of looking up one goal key.
 type tierHit struct {
-	idx int64
-	e   expr.Expr
-	sig []expr.Value
+	idx  int64
+	e    expr.Expr
+	sig  []expr.Value
+	psig []expr.Value
+	goal bool
+}
+
+// shadowEvent is a worker-local shadow observation: an output-typed
+// candidate whose example signature duplicated an earlier class but whose
+// full (probe + example) signature was locally new. key is the example
+// key, psig the owned probe chunk. Events are resolved at merge time in
+// candidate-index order against the merged probe-chunk index, so the
+// stored shadow set — and therefore every later staleness decision — is
+// identical at every worker count.
+type shadowEvent struct {
+	idx  int64
+	key  string
+	e    expr.Expr
+	psig []expr.Value
 }
 
 // tierWorker is the per-goroutine state of one parallel tier: private
@@ -143,6 +162,73 @@ type tierWorker struct {
 	pos       []int
 	processed int64
 	err       error
+
+	// Shadow scratch (nil/unused when tracking is off): whether this
+	// tier is tracked, the probe buffer, the local probe-chunk index
+	// (example key → chunks observed by this worker), pending events,
+	// and the count of candidates whose full signature was already
+	// covered by the frozen pre-tier index or an earlier local
+	// observation.
+	track      bool
+	probeBuf   []expr.Value
+	localPsigs map[string][]expr.Value
+	events     []shadowEvent
+	pruned     int64
+}
+
+// fillProbes composes the candidate's probe coordinates from its
+// children's psigs into probeBuf (the worker's argBuf is free again once
+// the main signature loop is done).
+func (w *tierWorker) fillProbes(f *expr.Func, args []entry) {
+	if w.probeBuf == nil {
+		w.probeBuf = make([]expr.Value, len(w.en.shadowProbes))
+	}
+	argv := w.argBuf[:len(args)]
+	for k := range w.en.shadowProbes {
+		for j := range args {
+			argv[j] = args[j].psig[k]
+		}
+		w.probeBuf[k] = f.Apply(w.en.p.U, argv)
+	}
+}
+
+// notePsig records an owned probe chunk under an example key in the
+// worker-local index.
+func (w *tierWorker) notePsig(key string, psig []expr.Value) {
+	if w.localPsigs == nil {
+		w.localPsigs = make(map[string][]expr.Value)
+	}
+	w.localPsigs[key] = append(w.localPsigs[key], psig...)
+}
+
+// noteShadow handles a duplicate under shadow tracking: covered full
+// signatures count toward InterpPruned, locally-new ones become events for
+// the merge to resolve in index order. frozen is the class's pre-tier
+// probe rows (the sigSeen value the caller's duplicate check already
+// fetched; nil for classes born in this tier). Both coverage checks are
+// alloc-free chunk compares — no full key is ever built.
+func (w *tierWorker) noteShadow(f *expr.Func, args []entry, idx int64, frozen []expr.Value) {
+	w.fillProbes(f, args)
+	if psigsContain(frozen, w.probeBuf) {
+		w.pruned++
+		return
+	}
+	if psigsContain(w.localPsigs[string(w.keyBuf)], w.probeBuf) {
+		w.pruned++
+		return
+	}
+	if len(w.events) >= maxShadows {
+		return
+	}
+	key := string(w.keyBuf)
+	psig := append([]expr.Value(nil), w.probeBuf...)
+	childExprs := make([]expr.Expr, len(args))
+	for j, a := range args {
+		childExprs[j] = a.e
+	}
+	w.events = append(w.events, shadowEvent{idx: idx, key: key,
+		e: expr.NewApply(f, childExprs...), psig: psig})
+	w.notePsig(key, psig)
 }
 
 // runTierPar fans one tier out over en.workers goroutines and merges
@@ -166,11 +252,12 @@ func (en *enumerator) runTierPar(size int, units []tierUnit, total, skip int64) 
 	var cutoff atomic.Int64
 	cutoff.Store(budgetCut)
 	var next atomic.Int64
+	track := en.trackTier
 	workers := make([]*tierWorker, en.workers)
 	var wg sync.WaitGroup
 	for i := range workers {
-		w := &tierWorker{en: en, table: make(map[string]tierHit),
-			sigBuf: make([]expr.Value, len(en.examples))}
+		w := &tierWorker{en: en, track: track, table: make(map[string]tierHit),
+			sigBuf: make([]expr.Value, en.nSig)}
 		workers[i] = w
 		wg.Add(1)
 		go func() {
@@ -193,20 +280,42 @@ func (en *enumerator) runTierPar(size int, units []tierUnit, total, skip int64) 
 	}
 
 	// Deterministic reduction: minimum-index survivor per signature.
+	// Hits that lose the reduction are exactly the candidates the
+	// sequential scan would have seen as duplicates of an earlier class
+	// member, so under shadow tracking they demote to shadow events and
+	// are resolved below alongside the worker-recorded ones.
+	var demoted []shadowEvent
+	demote := func(k string, h tierHit) {
+		if !track {
+			return
+		}
+		demoted = append(demoted, shadowEvent{idx: h.idx, key: k, e: h.e, psig: h.psig})
+	}
 	merged := make(map[string]tierHit)
 	for _, w := range workers {
 		for k, h := range w.table {
-			if old, ok := merged[k]; !ok || h.idx < old.idx {
+			old, ok := merged[k]
+			switch {
+			case !ok:
 				merged[k] = h
+			case h.idx < old.idx:
+				merged[k] = h
+				demote(k, old)
+			default:
+				demote(k, h)
 			}
 		}
 	}
-	winner, hasWin := merged[en.goalKey]
+	var winner tierHit
+	hasWin := false
+	for _, h := range merged {
+		if h.goal && h.idx <= budgetCut && (!hasWin || h.idx < winner.idx) {
+			winner, hasWin = h, true
+		}
+	}
 	stop := budgetCut
-	if hasWin && winner.idx <= stop {
+	if hasWin {
 		stop = winner.idx
-	} else {
-		hasWin = false
 	}
 	en.stats.Enumerated += stop - skip
 
@@ -225,10 +334,46 @@ func (en *enumerator) runTierPar(size int, units []tierUnit, total, skip int64) 
 	}
 	sort.Slice(survivors, func(i, j int) bool { return survivors[i].idx < survivors[j].idx })
 	for _, h := range survivors {
-		en.sigSeen[h.key] = struct{}{}
+		// The survivor is its class's first member: the assignment marks
+		// the class seen and installs its first probe chunk (nil when the
+		// tier is untracked).
+		en.sigSeen[h.key] = h.psig
 		en.stats.Kept++
 		t := h.e.Type()
-		en.perSize[size][t] = append(en.perSize[size][t], entry{e: h.e, sig: h.sig})
+		en.perSize[size][t] = append(en.perSize[size][t],
+			entry{e: h.e, sig: h.sig, key: []byte(h.key), psig: h.psig})
+	}
+
+	// Resolve shadow events in candidate-index order against the merged
+	// probe-chunk index. A representative retained later in the tier can
+	// never share a full signature with an earlier event (same full
+	// signature implies same example key, and the event was by definition
+	// a duplicate of an earlier class member), so inserting all survivors
+	// first reproduces the sequential interleaving exactly; the stored
+	// shadow set is identical at every worker count. Worker pruned counts
+	// are summed as-is — they may include candidates past the final stop
+	// index, so InterpPruned is approximate under tier parallelism.
+	if track {
+		events := demoted
+		for _, w := range workers {
+			en.stats.InterpPruned += w.pruned
+			events = append(events, w.events...)
+		}
+		sort.Slice(events, func(i, j int) bool { return events[i].idx < events[j].idx })
+		for _, ev := range events {
+			if ev.idx > stop {
+				continue
+			}
+			if psigsContain(en.sigSeen[ev.key], ev.psig) {
+				en.stats.InterpPruned++
+				continue
+			}
+			if len(en.shadows) < maxShadows {
+				en.sigSeen[ev.key] = append(en.sigSeen[ev.key], ev.psig...)
+				en.shadows = append(en.shadows,
+					shadowEntry{e: ev.e, key: []byte(ev.key), psig: ev.psig, size: size, idx: ev.idx})
+			}
+		}
 	}
 
 	if hasWin {
@@ -304,23 +449,43 @@ func (w *tierWorker) unit(u *tierUnit, skip int64, cutoff *atomic.Int64) bool {
 		for j := 0; j < m; j++ {
 			args[j] = u.pools[j][pos[j]]
 		}
-		for k := range en.examples {
+		for k := 0; k < en.nSig; k++ {
 			for j := range args {
 				argv[j] = args[j].sig[k]
 			}
 			w.sigBuf[k] = u.f.Apply(en.p.U, argv)
 		}
 		w.keyBuf = appendSigKey(w.keyBuf[:0], u.f.Ret, w.sigBuf)
-		if _, seen := en.sigSeen[string(w.keyBuf)]; !seen {
-			if _, dup := w.table[string(w.keyBuf)]; !dup {
+		if rows, seen := en.sigSeen[string(w.keyBuf)]; seen {
+			if w.track {
+				w.noteShadow(u.f, args, idx, rows)
+			}
+		} else {
+			// One conversion serves the local-table probe and the insert
+			// (the probe-then-insert pair used to convert twice on every
+			// first occurrence).
+			key := string(w.keyBuf)
+			if _, dup := w.table[key]; dup {
+				if w.track {
+					w.noteShadow(u.f, args, idx, nil)
+				}
+			} else {
 				childExprs := make([]expr.Expr, m)
 				for j, a := range args {
 					childExprs[j] = a.e
 				}
-				key := string(w.keyBuf)
+				var psig []expr.Value
+				if w.track {
+					w.fillProbes(u.f, args)
+					psig = append([]expr.Value(nil), w.probeBuf...)
+					// Index the representative's probe chunk so later
+					// local duplicates of its class count as covered.
+					w.notePsig(key, psig)
+				}
+				goal := en.goalHit(u.f.Ret, w.keyBuf)
 				w.table[key] = tierHit{idx: idx, e: expr.NewApply(u.f, childExprs...),
-					sig: append([]expr.Value(nil), w.sigBuf...)}
-				if key == en.goalKey {
+					sig: append([]expr.Value(nil), w.sigBuf...), psig: psig, goal: goal}
+				if goal {
 					for {
 						c := cutoff.Load()
 						if idx >= c || cutoff.CompareAndSwap(c, idx) {
