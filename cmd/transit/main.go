@@ -72,9 +72,12 @@ import (
 	"time"
 
 	"transit"
+	"transit/internal/bench"
+	"transit/internal/efsm"
 	"transit/internal/export"
 	"transit/internal/expr"
 	"transit/internal/obs"
+	"transit/internal/obs/provenance"
 	"transit/internal/obs/serve"
 )
 
@@ -115,6 +118,7 @@ func main() {
 	flag.StringVar(&opts.pprofAddr, "pprof", "", "serve pprof on this address (e.g. localhost:6060)")
 	flag.StringVar(&opts.serveAddr, "serve", "", "serve live introspection on this address (e.g. localhost:6969)")
 	flag.StringVar(&opts.flightPath, "flight", "", "arm the flight recorder, dumping to this file on panic/cancel/SIGINT")
+	flag.StringVar(&opts.ledgerPath, "ledger", "", "write the synthesis provenance ledger (NDJSON) to this file; render it with `transit obs explain`")
 	flag.DurationVar(&opts.mcProgress, "mc-progress", time.Second, "model-checker heartbeat interval (0 disables)")
 	flag.IntVar(&opts.mcWorkers, "mc-workers", runtime.NumCPU(), "model-checker frontier workers (identical result at any count)")
 	flag.BoolVar(&opts.noSymmetry, "no-symmetry", false, "disable model-checker symmetry reduction")
@@ -153,6 +157,7 @@ type options struct {
 	pprofAddr    string
 	serveAddr    string
 	flightPath   string
+	ledgerPath   string
 	mcProgress   time.Duration
 	mcWorkers    int
 	noSymmetry   bool
@@ -161,8 +166,17 @@ type options struct {
 
 // runObs handles the "transit obs" subcommand family.
 func runObs(args []string) error {
-	usage := fmt.Errorf("usage: transit obs report [-job] <file, or stdin with -job>")
-	if len(args) < 1 || args[0] != "report" {
+	usage := fmt.Errorf("usage: transit obs report [-job] <file, or stdin with -job> | transit obs explain [-hole H] [-violation] <ledger> | transit obs bench-diff [-threshold PCT] OLD.json NEW.json")
+	if len(args) < 1 {
+		return usage
+	}
+	switch args[0] {
+	case "explain":
+		return runObsExplain(args[1:])
+	case "bench-diff":
+		return runObsBenchDiff(args[1:])
+	case "report":
+	default:
 		return usage
 	}
 	fs := flag.NewFlagSet("obs report", flag.ExitOnError)
@@ -193,6 +207,57 @@ func runObs(args []string) error {
 		return obs.ReportJobTrace(in, os.Stdout)
 	}
 	return obs.Report(in, os.Stdout)
+}
+
+// runObsExplain renders a provenance ledger (written by -ledger or
+// fetched from a serve job) as a human-readable "why" tree.
+func runObsExplain(args []string) error {
+	fs := flag.NewFlagSet("obs explain", flag.ExitOnError)
+	hole := fs.String("hole", "", "show one hole: a ledger ID or a label substring")
+	violation := fs.Bool("violation", false, "show only the violation back-links")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: transit obs explain [-hole H] [-violation] <ledger.ndjson>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	l, err := provenance.Read(f)
+	if err != nil {
+		return err
+	}
+	return provenance.Explain(os.Stdout, l, provenance.ExplainOptions{Hole: *hole, Violations: *violation})
+}
+
+// runObsBenchDiff compares two BENCH_*.json artifacts and fails past the
+// regression threshold.
+func runObsBenchDiff(args []string) error {
+	fs := flag.NewFlagSet("obs bench-diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0, "fail when the geomean slowdown exceeds this percentage (<= 0: report only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: transit obs bench-diff [-threshold PCT] OLD.json NEW.json")
+	}
+	oldData, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newData, err := os.ReadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	d, err := bench.DiffArtifacts(oldData, newData)
+	if err != nil {
+		return err
+	}
+	d.Format(os.Stdout)
+	return d.Regression(*threshold)
 }
 
 // mcInterval maps the -mc-progress flag to mc's convention: the flag's 0
@@ -280,6 +345,19 @@ func run(opts options) (int, error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// -ledger arms provenance capture: the recorder rides the context into
+	// the completion run, the flight recorder embeds the ledger tail, and
+	// pipeline() writes the NDJSON file whether or not the check passes.
+	if opts.ledgerPath != "" {
+		runLabel := opts.builtin
+		if runLabel == "" && len(opts.args) == 1 {
+			runLabel = opts.args[0]
+		}
+		ledger := provenance.NewRecorder(runLabel)
+		ctx = provenance.WithRecorder(ctx, ledger)
+		sess.Recorder.AddSnapshot("provenance", func() any { return ledger.Tail(16) })
+	}
+
 	// A panic anywhere in the pipeline dumps the flight ring before the
 	// process dies — the dump is the post-mortem the stack trace lacks.
 	defer func() {
@@ -336,6 +414,29 @@ func loadProtocol(opts options) (*transit.Protocol, error) {
 // observability context.
 func pipeline(ctx context.Context, proto *transit.Protocol, sopts transit.SynthesisOptions, opts options) (int, error) {
 	fmt.Printf("protocol %s with %d caches: %d snippets\n", proto.Name, opts.numCaches, len(proto.Snippets))
+
+	// The ledger is written on every exit path — synthesis failures record
+	// unrealizable/inconsistent holes, and violations are back-linked
+	// before the deferred write runs.
+	rec := provenance.FromCtx(ctx)
+	if rec != nil && opts.ledgerPath != "" {
+		defer func() {
+			f, ferr := os.Create(opts.ledgerPath)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "transit: ledger:", ferr)
+				return
+			}
+			defer f.Close()
+			l := rec.Ledger()
+			if werr := l.WriteNDJSON(f); werr != nil {
+				fmt.Fprintln(os.Stderr, "transit: ledger:", werr)
+				return
+			}
+			fmt.Printf("wrote provenance ledger to %s (%d holes, %d violations)\n",
+				opts.ledgerPath, len(l.Holes), len(l.Violations))
+		}()
+	}
+
 	rep, err := transit.SynthesizeCtx(ctx, proto, sopts)
 	if err != nil {
 		return 0, fmt.Errorf("synthesis: %w", err)
@@ -386,10 +487,48 @@ func pipeline(ctx context.Context, proto *transit.Protocol, sopts transit.Synthe
 	}
 	fmt.Printf("model check FAILED after %d states in %s:\n%v\n",
 		res.States, res.Elapsed.Round(time.Millisecond), res.Violation)
+	if rec != nil {
+		linkViolation(rec, proto, res.Violation)
+	}
 	if opts.msc {
 		fmt.Printf("\nmessage-sequence chart:\n%s", chart)
 	}
 	return 2, nil
+}
+
+// linkViolation back-links a counterexample into the provenance ledger:
+// each trace step is resolved to its (process, from state, event) join
+// key against a fresh runtime — runtimes are deterministic functions of
+// the system, so the refs match the checker's — and the recorder joins
+// those keys to the holes whose expressions fired on the failing path.
+func linkViolation(rec *provenance.Recorder, proto *transit.Protocol, v *transit.Violation) {
+	rt, err := efsm.NewRuntime(proto.Sys)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "transit: ledger: violation back-link:", err)
+		return
+	}
+	refs := v.StepRefs(rt)
+	steps := make([]provenance.StepRecord, 0, len(refs))
+	for _, ref := range refs {
+		sr := provenance.StepRecord{
+			Index:   ref.Index,
+			Process: ref.Process,
+			PID:     ref.PID,
+			From:    ref.From,
+			Event:   ref.Event,
+			To:      ref.To,
+		}
+		if ref.Index >= 0 && ref.Index < len(v.Trace) {
+			sr.Action = v.Trace[ref.Index].Action
+		}
+		steps = append(steps, sr)
+	}
+	rec.AddViolation(&provenance.ViolationRecord{
+		Kind:   v.Kind.String(),
+		Name:   v.Name,
+		Detail: v.Detail,
+		Steps:  steps,
+	})
 }
 
 func dumpTransitions(proto *transit.Protocol) {

@@ -128,6 +128,22 @@ func runServe(args []string) error {
 	// Flight dumps taken while serving carry the queue/worker/rate-limiter
 	// picture next to the span tail.
 	sess.Recorder.AddSnapshot("server", jobsrv.FlightSnapshot)
+	// Readiness is composed: the job server must be admitting (not
+	// draining, queue not saturated) and, when disk-backed, the cache
+	// directory must still accept writes. Liveness (/healthz) needs
+	// neither. The /runs page additionally shows each finished job's
+	// provenance summary.
+	readyStore := store
+	srv.Ready = func() error {
+		if err := jobsrv.Ready(); err != nil {
+			return err
+		}
+		if readyStore != nil {
+			return readyStore.Writable()
+		}
+		return nil
+	}
+	srv.Provenance = jobsrv.ProvenanceSnapshot
 	jobsrv.Mount(srv)
 	if err := srv.Start(); err != nil {
 		return errors.Join(err, sess.Close(), closeStore(), closeAccessLog())

@@ -26,6 +26,7 @@ import (
 	"transit/internal/engine"
 	"transit/internal/expr"
 	"transit/internal/obs"
+	"transit/internal/obs/provenance"
 	"transit/internal/smt"
 	"transit/internal/synth"
 )
@@ -185,6 +186,11 @@ func CompleteCtx(ctx context.Context, sys *efsm.System, vocab *expr.Vocabulary, 
 
 	stats, err := eng.Run(ctx, p.jobs)
 	aggregate(rep, p, stats)
+	// The ledger is assembled the same way the Report is — in plan order,
+	// single-threaded, on both the success and failure paths — so it is
+	// worker-count-deterministic for free. With no recorder in the context
+	// this is a nil-check and nothing more.
+	recordProvenance(provenance.FromCtx(ctx), p)
 	if err != nil {
 		rep.Elapsed = time.Since(start)
 		return rep, err
@@ -273,6 +279,10 @@ type planner struct {
 	eng   *engine.Engine
 	jobs  []*engine.Job
 	defs  []*defPlan
+	// caps holds one provenance capture per inference job, in plan order;
+	// recordProvenance folds them into the run's ledger after the engine
+	// run. Each job's Run closure writes only its own capture.
+	caps []*holeCapture
 }
 
 type defPlan struct {
@@ -432,11 +442,17 @@ func (p *planner) planGroup(d *efsm.ProcDef, g *group) (*groupPlan, error) {
 			Label: fmt.Sprintf("guard %s(%s,%s)[%s]", d.Name, g.from, g.event, b.key),
 			Kind:  "guard",
 		}
+		cap := &holeCapture{
+			label: job.Label, kind: "guard",
+			process: d.Name, from: g.from, event: g.event.Key(),
+			block: b.key, target: guardVar,
+		}
+		p.caps = append(p.caps, cap)
 		if prev != nil {
 			job.Deps = []*engine.Job{prev}
 		}
 		job.Run = func(jctx context.Context) error {
-			guard, err := p.inferGuard(jctx, job, g, inferable, j, gp)
+			guard, err := p.inferGuard(jctx, job, g, inferable, j, gp, cap)
 			if err != nil {
 				return fmt.Errorf("%s: block %s: %w", gp.ctx, b.key, err)
 			}
@@ -509,10 +525,12 @@ func (p *planner) planBlock(d *efsm.ProcDef, g *group, gp *groupPlan, b *block) 
 		}
 	}
 
-	// Collect posts per target across the block's cases.
+	// Collect posts per target across the block's cases, remembering which
+	// snippet case produced each example for the provenance ledger.
 	exsByTarget := map[string][]synth.ConcolicExample{}
+	metaByTarget := map[string][]exampleMeta{}
 	vtByTarget := map[string]expr.Type{}
-	addPost := func(target string, vt expr.Type, pre expr.Expr, constraint expr.Expr) {
+	addPost := func(target string, vt expr.Type, pre expr.Expr, constraint expr.Expr, m exampleMeta) {
 		if _, ok := vtByTarget[target]; !ok {
 			vtByTarget[target] = vt
 			bp.targets = append(bp.targets, target)
@@ -521,6 +539,7 @@ func (p *planner) planBlock(d *efsm.ProcDef, g *group, gp *groupPlan, b *block) 
 			pre = expr.True()
 		}
 		exsByTarget[target] = append(exsByTarget[target], synth.ConcolicExample{Pre: pre, Post: constraint})
+		metaByTarget[target] = append(metaByTarget[target], m)
 	}
 	scope := p.sys.ScopeOf(d, g.event)
 	outType := func(target string) (expr.Type, bool) {
@@ -537,13 +556,18 @@ func (p *planner) planBlock(d *efsm.ProcDef, g *group, gp *groupPlan, b *block) 
 		return expr.Type{}, false
 	}
 	for _, sn := range b.snips {
-		for _, c := range sn.Cases {
+		src := sn.Label
+		if src == "" {
+			src = b.key
+		}
+		for ci, c := range sn.Cases {
 			for _, post := range c.Posts {
 				vt, ok := outType(post.Target)
 				if !ok {
 					return bp, p.planFailure(gp, b, fmt.Errorf("post targets %s, which is neither a process variable nor a declared outbound field", post.Target))
 				}
-				addPost(post.Target, vt, c.Pre, post.Constraint)
+				addPost(post.Target, vt, c.Pre, post.Constraint,
+					exampleMeta{kind: provenance.KindSnippet, source: src, caseIdx: ci})
 			}
 		}
 	}
@@ -577,7 +601,15 @@ func (p *planner) planBlock(d *efsm.ProcDef, g *group, gp *groupPlan, b *block) 
 			Label: fmt.Sprintf("update %s(%s,%s)[%s] %s", d.Name, g.from, g.event, b.key, target),
 			Kind:  "update",
 		}
+		cap := &holeCapture{
+			label: job.Label, kind: "update",
+			process: d.Name, from: g.from, event: g.event.Key(), to: first.To,
+			block: b.key, target: target,
+			exs: exs, meta: metaByTarget[target],
+		}
+		p.caps = append(p.caps, cap)
 		job.Run = func(jctx context.Context) error {
+			cap.ran = true
 			o := expr.V(efsm.Prime(target), vt)
 			prob := synth.Problem{U: p.sys.U, Vocab: p.vocab, Vars: gp.scopeVars, Output: o}
 			rhs, stats, out, err := p.eng.SolveConcolic(jctx, engine.SolveSpec{
@@ -592,6 +624,7 @@ func (p *planner) planBlock(d *efsm.ProcDef, g *group, gp *groupPlan, b *block) 
 			job.ClausesReused = stats.SMTClausesReused
 			job.Iterations = stats.Iterations
 			job.Retries = out.Retries
+			cap.expr, cap.stats, cap.out, cap.err = rhs, stats, out, err
 			if err != nil {
 				return fmt.Errorf("%s: block %s: update inference for %s: %w", gp.ctx, b.key, target, err)
 			}
@@ -621,10 +654,11 @@ func (p *planner) planFailure(gp *groupPlan, b *block, err error) error {
 // preconditions holds (ConcolicExs2), and false whenever a later block's
 // precondition holds (ConcolicExs3). Earlier blocks' guards are read at
 // job-execution time — the chain dependency guarantees they are solved.
-func (p *planner) inferGuard(ctx context.Context, job *engine.Job, g *group, blocks []*block, j int, gp *groupPlan) (expr.Expr, error) {
+func (p *planner) inferGuard(ctx context.Context, job *engine.Job, g *group, blocks []*block, j int, gp *groupPlan, cap *holeCapture) (expr.Expr, error) {
 	scopeVars := gp.scopeVars
 	o := expr.V(guardVar, expr.BoolType)
 	var exs []synth.ConcolicExample
+	var meta []exampleMeta
 	for i := 0; i < j; i++ {
 		if blocks[i].guard == nil {
 			continue
@@ -633,9 +667,11 @@ func (p *planner) inferGuard(ctx context.Context, job *engine.Job, g *group, blo
 			Pre:  expr.True(),
 			Post: expr.Implies(blocks[i].guard, expr.Not(o)),
 		})
+		meta = append(meta, exampleMeta{kind: provenance.KindGuardExcludesPre, source: blocks[i].key, caseIdx: -1})
 	}
 	if pre := blockPre(blocks[j]); pre != nil {
 		exs = append(exs, synth.ConcolicExample{Pre: expr.True(), Post: expr.Implies(pre, o)})
+		meta = append(meta, exampleMeta{kind: provenance.KindGuardCoversPre, source: blocks[j].key, caseIdx: -1})
 	}
 	for i := j + 1; i < len(blocks); i++ {
 		if blocks[i].symbolic {
@@ -643,12 +679,15 @@ func (p *planner) inferGuard(ctx context.Context, job *engine.Job, g *group, blo
 				Pre:  expr.True(),
 				Post: expr.Implies(blocks[i].guard, expr.Not(o)),
 			})
+			meta = append(meta, exampleMeta{kind: provenance.KindGuardExcludesLater, source: blocks[i].key, caseIdx: -1})
 			continue
 		}
 		if pre := blockPre(blocks[i]); pre != nil {
 			exs = append(exs, synth.ConcolicExample{Pre: expr.True(), Post: expr.Implies(pre, expr.Not(o))})
+			meta = append(meta, exampleMeta{kind: provenance.KindGuardExcludesLater, source: blocks[i].key, caseIdx: -1})
 		}
 	}
+	cap.exs, cap.meta, cap.ran = exs, meta, true
 	prob := synth.Problem{U: p.sys.U, Vocab: p.vocab, Vars: scopeVars, Output: o}
 	guard, stats, out, err := p.eng.SolveConcolic(ctx, engine.SolveSpec{
 		Problem: prob, Examples: exs, Limits: p.opts.Limits, Session: gp.guardSess,
@@ -662,6 +701,7 @@ func (p *planner) inferGuard(ctx context.Context, job *engine.Job, g *group, blo
 	job.ClausesReused = stats.SMTClausesReused
 	job.Iterations = stats.Iterations
 	job.Retries = out.Retries
+	cap.expr, cap.stats, cap.out, cap.err = guard, stats, out, err
 	if err != nil {
 		return nil, fmt.Errorf("guard inference: %w", err)
 	}

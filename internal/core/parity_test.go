@@ -13,6 +13,8 @@ import (
 	"transit/internal/core"
 	"transit/internal/efsm"
 	"transit/internal/engine"
+	"transit/internal/engine/diskcache"
+	"transit/internal/obs/provenance"
 	"transit/internal/protocols"
 	"transit/internal/synth"
 )
@@ -182,5 +184,71 @@ func TestCompleteCancellation(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "context canceled") {
 		t.Errorf("err = %v, want a context cancellation", err)
+	}
+}
+
+// ledgerNDJSON completes the protocol with a provenance recorder in the
+// context and returns the canonical NDJSON rendering of the ledger.
+func ledgerNDJSON(t *testing.T, mk func() *protocols.Spec, workers int, cache *engine.Cache) string {
+	t.Helper()
+	spec := mk()
+	rec := provenance.NewRecorder(spec.Name)
+	ctx := provenance.WithRecorder(context.Background(), rec)
+	_, err := core.CompleteCtx(ctx, spec.Sys, spec.Vocab, spec.Snippets, core.Options{
+		Limits:  synth.Limits{MaxSize: 12},
+		Workers: workers,
+		Cache:   cache,
+	})
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	var sb strings.Builder
+	if err := rec.Ledger().WriteNDJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestLedgerParity is the provenance acceptance gate: the ledger must be
+// byte-identical across worker counts and across cache temperature —
+// cold solve, warm memory-tier replay, and disk-tier replay through a
+// fresh cache over the same store (which exercises the wire codec's
+// trace round-trip).
+func TestLedgerParity(t *testing.T) {
+	mk := func() *protocols.Spec { return protocols.MSI(2) }
+
+	baseline := ledgerNDJSON(t, mk, 1, engine.NewCache())
+	if !strings.Contains(baseline, `"type":"provenance"`) || !strings.Contains(baseline, `"type":"hole"`) {
+		t.Fatalf("thin ledger:\n%.400s", baseline)
+	}
+	for _, workers := range []int{2, 8} {
+		if got := ledgerNDJSON(t, mk, workers, engine.NewCache()); got != baseline {
+			t.Fatalf("ledger differs at workers=%d", workers)
+		}
+	}
+
+	// Warm memory tier: same cache, every sub-solve replays from memory.
+	shared := engine.NewCache()
+	cold := ledgerNDJSON(t, mk, 4, shared)
+	if cold != baseline {
+		t.Fatal("cold shared-cache ledger differs from baseline")
+	}
+	warm := ledgerNDJSON(t, mk, 4, shared)
+	if warm != baseline {
+		t.Fatal("warm memory-tier ledger differs from the cold run")
+	}
+
+	// Disk tier: a fresh cache over the same store has an empty memory
+	// tier, so every lookup decodes the persisted trace from disk.
+	store, err := diskcache.Open(t.TempDir(), diskcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if got := ledgerNDJSON(t, mk, 4, engine.NewCacheWithBackend(store)); got != baseline {
+		t.Fatal("cold disk-backed ledger differs from baseline")
+	}
+	if got := ledgerNDJSON(t, mk, 4, engine.NewCacheWithBackend(store)); got != baseline {
+		t.Fatal("disk-tier replay ledger differs from baseline")
 	}
 }

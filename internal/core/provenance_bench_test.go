@@ -1,0 +1,40 @@
+package core_test
+
+// Provenance overhead gate: the ledger must be ~free when no recorder is
+// in the context (one ctx lookup, recordProvenance skipped) and ≤5%
+// when enabled (captures are plan-time structs; assembly is one
+// single-threaded pass over data the run already produced). Compare:
+//
+//	go test ./internal/core -bench 'CompleteProvenance' -benchtime 20x
+
+import (
+	"context"
+	"testing"
+
+	"transit/internal/core"
+	"transit/internal/obs/provenance"
+	"transit/internal/protocols"
+	"transit/internal/synth"
+)
+
+func benchComplete(b *testing.B, record bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		spec := protocols.VI(2)
+		ctx := context.Background()
+		if record {
+			ctx = provenance.WithRecorder(ctx, provenance.NewRecorder(spec.Name))
+		}
+		_, err := core.CompleteCtx(ctx, spec.Sys, spec.Vocab, spec.Snippets, core.Options{
+			Limits:       synth.Limits{MaxSize: 12},
+			Workers:      1,
+			DisableCache: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompleteProvenanceOff(b *testing.B) { benchComplete(b, false) }
+func BenchmarkCompleteProvenanceOn(b *testing.B)  { benchComplete(b, true) }

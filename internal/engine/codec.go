@@ -3,6 +3,7 @@ package engine
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"time"
 
 	"transit/internal/expr"
@@ -24,8 +25,9 @@ import (
 
 // wireVersion is bumped on any incompatible change to the wire structs;
 // decoders reject other versions (the entry is then a cache miss and the
-// sub-problem is re-solved and re-written).
-const wireVersion = 1
+// sub-problem is re-solved and re-written). v2 added the per-iteration
+// CEGIS trace so disk hits replay provenance.
+const wireVersion = 2
 
 // wireValue is a typed constant on the wire.
 type wireValue struct {
@@ -47,11 +49,32 @@ type wireExpr struct {
 	Args  []*wireExpr `json:"args,omitempty"`
 }
 
-// wireStats mirrors the numeric fields of synth.Stats. The per-iteration
-// Trace is deliberately not persisted: it holds expressions and SMT models
-// whose only consumer is the Table 2 renderer, which never reads cached
-// engine stats. Counter replay — the property that keeps aggregate reports
-// identical whether or not the cache intervened — survives intact.
+// wireBinding is one name→value pair of a witness valuation, stored as a
+// sorted slice so the encoded bytes are deterministic.
+type wireBinding struct {
+	Name string     `json:"n"`
+	Val  *wireValue `json:"v"`
+}
+
+// wireIter is one CEGIS round of the trace. The witness valuation is
+// stored once: the round's NewExample shares it (ex.S == rec.Witness by
+// construction in cegisIteration), so decode re-establishes the sharing.
+type wireIter struct {
+	Candidate  *wireExpr     `json:"c"`
+	Witness    []wireBinding `json:"w,omitempty"`
+	Out        *wireValue    `json:"o,omitempty"` // concretized output; nil when accepted
+	KilledBy   int           `json:"kb"`
+	Enumerated int64         `json:"en"`
+	Kept       int64         `json:"kp"`
+	Resumed    bool          `json:"r,omitempty"`
+	Restarted  bool          `json:"rs,omitempty"`
+}
+
+// wireStats mirrors the numeric fields of synth.Stats plus, since wire
+// v2, the per-iteration Trace: the provenance ledger replays it on warm
+// answers so a memo hit stays as explainable as a fresh solve. Counter
+// replay — the property that keeps aggregate reports identical whether
+// or not the cache intervened — is unchanged.
 type wireStats struct {
 	Enumerated       int64 `json:"enumerated"`
 	Kept             int64 `json:"kept"`
@@ -68,9 +91,10 @@ type wireStats struct {
 
 // wireEntry is one persisted cache entry.
 type wireEntry struct {
-	Version int       `json:"version"`
-	Expr    *wireExpr `json:"expr"`
-	Stats   wireStats `json:"stats"`
+	Version int        `json:"version"`
+	Expr    *wireExpr  `json:"expr"`
+	Stats   wireStats  `json:"stats"`
+	Trace   []wireIter `json:"trace,omitempty"`
 }
 
 // EncodeEntry renders a cache entry in the persistent wire form.
@@ -80,9 +104,14 @@ func EncodeEntry(ent CacheEntry) ([]byte, error) {
 		return nil, err
 	}
 	st := ent.Stats
+	trace, err := encodeTrace(st.Trace)
+	if err != nil {
+		return nil, err
+	}
 	return json.Marshal(wireEntry{
 		Version: wireVersion,
 		Expr:    we,
+		Trace:   trace,
 		Stats: wireStats{
 			Enumerated:       st.Concrete.Enumerated,
 			Kept:             st.Concrete.Kept,
@@ -145,6 +174,52 @@ func encodeValue(v expr.Value) (*wireValue, error) {
 	return nil, fmt.Errorf("engine: cannot encode value of type %s", v.Type())
 }
 
+// encodeTrace renders the per-iteration CEGIS trace; witness valuations
+// are flattened to name-sorted binding lists for byte determinism.
+func encodeTrace(trace []synth.IterRecord) ([]wireIter, error) {
+	if len(trace) == 0 {
+		return nil, nil
+	}
+	out := make([]wireIter, 0, len(trace))
+	for _, rec := range trace {
+		wc, err := encodeExpr(rec.Candidate)
+		if err != nil {
+			return nil, err
+		}
+		wi := wireIter{
+			Candidate:  wc,
+			KilledBy:   rec.KilledBy,
+			Enumerated: rec.Enumerated,
+			Kept:       rec.Kept,
+			Resumed:    rec.Resumed,
+			Restarted:  rec.Restarted,
+		}
+		if rec.Witness != nil {
+			names := make([]string, 0, len(rec.Witness))
+			for name := range rec.Witness {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				wv, err := encodeValue(rec.Witness[name])
+				if err != nil {
+					return nil, err
+				}
+				wi.Witness = append(wi.Witness, wireBinding{Name: name, Val: wv})
+			}
+		}
+		if rec.NewExample != nil {
+			wv, err := encodeValue(rec.NewExample.Out)
+			if err != nil {
+				return nil, err
+			}
+			wi.Out = wv
+		}
+		out = append(out, wi)
+	}
+	return out, nil
+}
+
 // DecodeEntry parses a wire entry and binds its expression into spec's
 // world. ok is false when the bytes are malformed, the version is foreign,
 // or some symbol has no counterpart in the spec — all treated as a cache
@@ -166,9 +241,14 @@ func DecodeEntry(data []byte, spec SolveSpec) (ent CacheEntry, ok bool) {
 	if !ok {
 		return CacheEntry{}, false
 	}
+	trace, ok := r.decodeTrace(we.Trace)
+	if !ok {
+		return CacheEntry{}, false
+	}
 	return CacheEntry{
 		Expr: e,
 		Stats: synth.Stats{
+			Trace: trace,
 			Concrete: synth.ConcreteStats{
 				Enumerated:  we.Stats.Enumerated,
 				Kept:        we.Stats.Kept,
@@ -216,33 +296,88 @@ func (r *rehydrator) decode(we *wireExpr) (expr.Expr, bool) {
 }
 
 func (r *rehydrator) decodeValue(wv *wireValue) (expr.Expr, bool) {
+	v, ok := r.decodeVal(wv)
+	if !ok {
+		return nil, false
+	}
+	return expr.NewConst(v), true
+}
+
+// decodeVal binds one wire value into the rehydrator's universe.
+func (r *rehydrator) decodeVal(wv *wireValue) (expr.Value, bool) {
 	switch wv.Kind {
 	case "bool":
-		return expr.NewConst(expr.BoolVal(wv.N != 0)), true
+		return expr.BoolVal(wv.N != 0), true
 	case "int":
 		// The key pins the integer width, so the stored payload is already
 		// in this universe's wrapped range; WrapInt is then the identity.
-		return expr.NewConst(expr.IntVal(r.u, wv.N)), true
+		return expr.IntVal(r.u, wv.N), true
 	case "pid":
 		if wv.N < 0 || wv.N >= int64(r.u.NumCaches()) {
-			return nil, false
+			return expr.Value{}, false
 		}
-		return expr.NewConst(expr.PIDVal(int(wv.N))), true
+		return expr.PIDVal(int(wv.N)), true
 	case "set":
 		if wv.Mask&^r.u.SetMask() != 0 {
-			return nil, false
+			return expr.Value{}, false
 		}
-		return expr.NewConst(expr.SetVal(wv.Mask)), true
+		return expr.SetVal(wv.Mask), true
 	case "enum":
 		et, ok := r.u.Enum(wv.Enum)
 		if !ok {
-			return nil, false
+			return expr.Value{}, false
 		}
 		ord := int(wv.N)
 		if ord < 0 || ord >= len(et.Values) || et.Values[ord] != wv.Name {
+			return expr.Value{}, false
+		}
+		return expr.EnumVal(et, ord), true
+	}
+	return expr.Value{}, false
+}
+
+// decodeTrace rebinds a persisted CEGIS trace into spec's world. Any
+// unbindable symbol fails the whole decode (the caller then treats the
+// entry as a miss), keeping the all-or-nothing contract of DecodeEntry.
+func (r *rehydrator) decodeTrace(wis []wireIter) ([]synth.IterRecord, bool) {
+	if len(wis) == 0 {
+		return nil, true
+	}
+	out := make([]synth.IterRecord, 0, len(wis))
+	for _, wi := range wis {
+		cand, ok := r.decode(wi.Candidate)
+		if !ok {
 			return nil, false
 		}
-		return expr.NewConst(expr.EnumVal(et, ord)), true
+		rec := synth.IterRecord{
+			Candidate:  cand,
+			KilledBy:   wi.KilledBy,
+			Enumerated: wi.Enumerated,
+			Kept:       wi.Kept,
+			Resumed:    wi.Resumed,
+			Restarted:  wi.Restarted,
+		}
+		if len(wi.Witness) > 0 {
+			env := make(expr.Env, len(wi.Witness))
+			for _, b := range wi.Witness {
+				v, ok := r.decodeVal(b.Val)
+				if !ok {
+					return nil, false
+				}
+				env[b.Name] = v
+			}
+			rec.Witness = env
+			if wi.Out != nil {
+				out2, ok := r.decodeVal(wi.Out)
+				if !ok {
+					return nil, false
+				}
+				// The round's concretization shares the witness valuation,
+				// exactly as cegisIteration built it.
+				rec.NewExample = &synth.ConcreteExample{S: env, Out: out2}
+			}
+		}
+		out = append(out, rec)
 	}
-	return nil, false
+	return out, true
 }

@@ -586,6 +586,32 @@ func (s *Store) Len() int {
 	return len(s.index)
 }
 
+// Writable probes whether the store's directory still accepts writes by
+// creating and removing a scratch file. The /readyz endpoint calls it: a
+// disk-backed serve process whose cache volume went read-only (or full)
+// should stop admitting jobs before solves start failing mid-run.
+func (s *Store) Writable() error {
+	s.mu.Lock()
+	closed, dir := s.closed, s.dir
+	s.mu.Unlock()
+	if closed {
+		return fmt.Errorf("diskcache: store is closed")
+	}
+	f, err := os.CreateTemp(dir, ".writable-*")
+	if err != nil {
+		return fmt.Errorf("diskcache: %s not writable: %w", dir, err)
+	}
+	name := f.Name()
+	err = f.Close()
+	if rmErr := os.Remove(name); err == nil {
+		err = rmErr
+	}
+	if err != nil {
+		return fmt.Errorf("diskcache: %s not writable: %w", dir, err)
+	}
+	return nil
+}
+
 // Stats snapshots the store's counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()

@@ -232,3 +232,27 @@ func TestSegmentRotationAndCompactionKeepsData(t *testing.T) {
 		}
 	}
 }
+
+func TestWritableProbe(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Writable(); err != nil {
+		t.Fatalf("fresh store not writable: %v", err)
+	}
+	// The probe must not leave scratch files behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if len(e.Name()) > 0 && e.Name()[0] == '.' {
+			t.Fatalf("probe left %s behind", e.Name())
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Writable(); err == nil {
+		t.Fatal("closed store reports writable")
+	}
+}

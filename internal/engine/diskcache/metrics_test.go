@@ -109,12 +109,11 @@ func TestMetricsConcurrentReadersWithCompaction(t *testing.T) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
+			// Check stop only after the first lookup so every reader
+			// records at least one hit or miss even when the writer
+			// finishes all its rounds before this goroutine is first
+			// scheduled.
 			for i := 0; ; i++ {
-				select {
-				case <-stop:
-					return
-				default:
-				}
 				s.Get(key((r*31 + i) % 64))
 				// Monotonicity probe: counters may only grow.
 				monoMu.Lock()
@@ -124,6 +123,11 @@ func TestMetricsConcurrentReadersWithCompaction(t *testing.T) {
 				}
 				prevHits, prevMiss = h, m
 				monoMu.Unlock()
+				select {
+				case <-stop:
+					return
+				default:
+				}
 			}
 		}(r)
 	}

@@ -112,6 +112,43 @@ type Violation struct {
 // input to FormatMSC and to replay tooling).
 func (v *Violation) Actions() []efsm.Action { return v.actions }
 
+// StepRef identifies the transition taken at one step of a violation
+// trace in join-key terms: which process definition, from which control
+// state, on which event. The provenance ledger uses these keys to
+// back-link a failing path to the records of every synthesized
+// expression that fired along it.
+type StepRef struct {
+	Index   int    // index into Trace (step 0 is the initial state)
+	Process string // process definition name
+	PID     int
+	From    string
+	Event   string // efsm.Event.Key()
+	To      string
+}
+
+// StepRefs resolves the structured action path against a runtime built
+// over the same system (instance indices and transition pointers are
+// runtime-relative). One ref is produced per action, indexed to match
+// the corresponding Trace step.
+func (v *Violation) StepRefs(r *efsm.Runtime) []StepRef {
+	refs := make([]StepRef, 0, len(v.actions))
+	for i, a := range v.actions {
+		ref := StepRef{Index: i + 1, PID: -1}
+		if r != nil && a.Inst >= 0 && a.Inst < len(r.Insts) {
+			inst := r.Insts[a.Inst]
+			ref.Process = inst.Def.Name
+			ref.PID = inst.PID
+		}
+		if a.Trans != nil {
+			ref.From = a.Trans.From
+			ref.Event = a.Trans.Event.Key()
+			ref.To = a.Trans.To
+		}
+		refs = append(refs, ref)
+	}
+	return refs
+}
+
 func (v *Violation) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s: %s\n  %s\n", v.Kind, v.Name, v.Detail)

@@ -1,0 +1,32 @@
+package provenance
+
+import "transit/internal/synth"
+
+// TraceIterations converts a synthesizer CEGIS trace into ledger
+// iteration records. The trace is deterministic for a given problem
+// (DESIGN.md §16) and is persisted by the memo codec, so cold solves and
+// cache replays convert to identical records. Shared by the core
+// completion planner and the job server's direct-solve path.
+func TraceIterations(trace []synth.IterRecord) []IterationRecord {
+	out := make([]IterationRecord, 0, len(trace))
+	for i, it := range trace {
+		ir := IterationRecord{
+			Round:      i + 1,
+			Candidate:  it.Candidate.String(),
+			Accepted:   it.KilledBy < 0,
+			KilledBy:   it.KilledBy,
+			Enumerated: it.Enumerated,
+			Kept:       it.Kept,
+			Resumed:    it.Resumed,
+			Restarted:  it.Restarted,
+		}
+		if it.Witness != nil {
+			ir.Witness = RenderEnv(it.Witness)
+		}
+		if it.NewExample != nil {
+			ir.CounterOut = it.NewExample.Out.String()
+		}
+		out = append(out, ir)
+	}
+	return out
+}

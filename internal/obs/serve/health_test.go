@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	srv, _, _ := startServer(t)
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+}
+
+func TestReadyzWithoutHook(t *testing.T) {
+	srv, _, _ := startServer(t)
+	code, body := get(t, srv, "/readyz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ready" {
+		t.Fatalf("/readyz = %d %q", code, body)
+	}
+}
+
+func TestReadyzReportsHook(t *testing.T) {
+	srv := New("127.0.0.1:0")
+	ready := error(nil)
+	srv.Ready = func() error { return ready }
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	if code, _ := get(t, srv, "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz while ready = %d", code)
+	}
+	ready = errors.New("admission queue saturated (64/64)")
+	code, body := get(t, srv, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while unready = %d", code)
+	}
+	if !strings.Contains(body, "admission queue saturated") {
+		t.Fatalf("/readyz body hides the reason: %q", body)
+	}
+	// Liveness is unaffected by readiness: the process still serves.
+	if code, _ := get(t, srv, "/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz while unready = %d", code)
+	}
+}

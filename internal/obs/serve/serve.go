@@ -33,6 +33,17 @@ type Server struct {
 	Registry *obs.Registry
 	Recorder *obs.Recorder
 
+	// Ready backs /readyz: nil (or a nil return) means ready, an error
+	// means 503 with the reason in the body. The process composes it from
+	// whatever defines "can do useful work" — the job server's admission
+	// state, the disk cache's writability. Set before Start.
+	Ready func() error
+
+	// Provenance backs the "provenance" section of /runs: per-job ledger
+	// summaries from the job server. Nil omits the section. Set before
+	// Start.
+	Provenance func() any
+
 	started time.Time
 	ln      net.Listener
 	srv     *http.Server
@@ -87,6 +98,8 @@ func (s *Server) Start() error {
 	mux.HandleFunc("/runs", s.handleRuns)
 	mux.HandleFunc("/trace/live", s.handleTraceLive)
 	mux.HandleFunc("/flight", s.handleFlight)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.Handle("/debug/pprof/", obs.NewPprofMux())
 	for _, rt := range s.extra {
 		mux.Handle(rt.pattern, rt.handler)
@@ -126,6 +139,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /runs         active engine jobs and live synthesis / model-check gauges
   /trace/live   trace spans and marks as server-sent events (NDJSON payloads)
   /flight       current flight-recorder ring as an NDJSON dump
+  /healthz      liveness: 200 while the process serves HTTP
+  /readyz       readiness: 200 when work is admitted, 503 with a reason otherwise
   /debug/pprof/ Go profilers
 `, os.Getpid())
 }
@@ -167,12 +182,14 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 }
 
 // RunsSnapshot is the /runs response: the engine's in-flight runs with
-// their active jobs, the model checker's latest heartbeat, and the
-// per-worker live synthesis gauges.
+// their active jobs, the model checker's latest heartbeat, the
+// per-worker live synthesis gauges, and (under a job server) the per-job
+// provenance summaries.
 type RunsSnapshot struct {
-	Engine []engine.RunStatus `json:"engine"`
-	MC     *MCLive            `json:"mc,omitempty"`
-	Synth  []SynthLive        `json:"synth,omitempty"`
+	Engine     []engine.RunStatus `json:"engine"`
+	MC         *MCLive            `json:"mc,omitempty"`
+	Synth      []SynthLive        `json:"synth,omitempty"`
+	Provenance any                `json:"provenance,omitempty"`
 }
 
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
@@ -181,7 +198,34 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	if runs == nil {
 		runs = []engine.RunStatus{}
 	}
-	writeJSON(w, RunsSnapshot{Engine: runs, MC: mc, Synth: tracks})
+	snap := RunsSnapshot{Engine: runs, MC: mc, Synth: tracks}
+	if s.Provenance != nil {
+		snap.Provenance = s.Provenance()
+	}
+	writeJSON(w, snap)
+}
+
+// handleHealthz is pure liveness: if this handler runs, the process is
+// alive and serving HTTP. Readiness lives at /readyz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz answers 200 when the process can take on new work and
+// 503 (with the reason) when it cannot — draining, saturated queue,
+// unwritable cache directory. With no Ready hook, serving HTTP is the
+// only requirement, so it reports ready.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Ready != nil {
+		if err := s.Ready(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "not ready: %v\n", err)
+			return
+		}
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 func (s *Server) handleTraceLive(w http.ResponseWriter, r *http.Request) {

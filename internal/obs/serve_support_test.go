@@ -361,3 +361,58 @@ func TestDisabledSpanHotPathZeroAlloc(t *testing.T) {
 		t.Errorf("disabled span hot path allocates %v per op, want 0", allocs)
 	}
 }
+
+// TestDumpFlightConcurrent hammers DumpFlight from many goroutines: the
+// dump-once CAS must let exactly one caller write the file, everyone
+// else must no-op, and the race detector must stay quiet.
+func TestDumpFlightConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.ndjson")
+	sess, err := NewSession(Options{FlightPath: path, FlightEvents: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx := sess.Context(context.Background())
+	func() {
+		ctx, sp := Start(ctx, "work")
+		defer sp.End()
+		_, inner := Start(ctx, "inner")
+		inner.End()
+	}()
+
+	const n = 16
+	var wg sync.WaitGroup
+	paths := make([]string, n)
+	errs := make([]error, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			paths[i], errs[i] = sess.DumpFlight("concurrent dump")
+		}(i)
+	}
+	wg.Wait()
+
+	writers := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if paths[i] != "" {
+			writers++
+			if paths[i] != path {
+				t.Fatalf("goroutine %d wrote to %q", i, paths[i])
+			}
+		}
+	}
+	if writers != 1 {
+		t.Fatalf("%d goroutines claim to have written the dump, want exactly 1", writers)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"concurrent dump"`) {
+		t.Fatalf("dump missing reason:\n%s", data)
+	}
+}

@@ -18,20 +18,20 @@ const defaultAccessLogMaxBytes = 64 << 20
 // wall time up to scheduling slack and marshaling overhead, so a log line
 // alone answers "where did this job's time go".
 type AccessRecord struct {
-	Time     string  `json:"time"`
-	Job      string  `json:"job"`
-	Kind     string  `json:"kind"`
-	Key      string  `json:"key"`
-	Client   string  `json:"client,omitempty"`
-	TraceID  string  `json:"trace_id,omitempty"`
-	Outcome  string  `json:"outcome"`
-	Tier     string  `json:"cache_tier,omitempty"`
-	Dedups   int     `json:"dedup_joins,omitempty"`
-	QueueMS  float64 `json:"queue_ms"`
-	CacheMS  float64 `json:"cache_ms"`
-	SolveMS  float64 `json:"solve_ms"`
-	TotalMS  float64 `json:"total_ms"`
-	Error    string  `json:"error,omitempty"`
+	Time    string  `json:"time"`
+	Job     string  `json:"job"`
+	Kind    string  `json:"kind"`
+	Key     string  `json:"key"`
+	Client  string  `json:"client,omitempty"`
+	TraceID string  `json:"trace_id,omitempty"`
+	Outcome string  `json:"outcome"`
+	Tier    string  `json:"cache_tier,omitempty"`
+	Dedups  int     `json:"dedup_joins,omitempty"`
+	QueueMS float64 `json:"queue_ms"`
+	CacheMS float64 `json:"cache_ms"`
+	SolveMS float64 `json:"solve_ms"`
+	TotalMS float64 `json:"total_ms"`
+	Error   string  `json:"error,omitempty"`
 }
 
 // AccessLog writes one AccessRecord per finished job as NDJSON, with

@@ -1,0 +1,85 @@
+package server
+
+import "transit/internal/obs/provenance"
+
+// This file is the job server's view onto the provenance layer: each
+// finished job keeps a compact summary of its causal record (the full
+// ledger rides inside the result payload), and ProvenanceSnapshot
+// aggregates those summaries for the /runs page so an operator can see
+// at a glance which jobs synthesized what and whether anything failed
+// or went unwitnessed.
+
+// ProvSummary is one job's provenance digest.
+type ProvSummary struct {
+	Holes      int            `json:"holes"`
+	Solved     int            `json:"solved"`
+	Witnessed  int            `json:"witnessed"` // solved holes with a non-empty witness set
+	Statuses   map[string]int `json:"statuses,omitempty"`
+	Violations int            `json:"violations,omitempty"`
+}
+
+// provSummary folds a solve job's single hole or a completion job's
+// ledger into a summary. Either argument may be nil.
+func provSummary(h *provenance.HoleRecord, l *provenance.Ledger) *ProvSummary {
+	var holes []*provenance.HoleRecord
+	sum := &ProvSummary{Statuses: map[string]int{}}
+	switch {
+	case h != nil:
+		holes = []*provenance.HoleRecord{h}
+	case l != nil:
+		holes = l.Holes
+		sum.Violations = len(l.Violations)
+	default:
+		return nil
+	}
+	for _, hr := range holes {
+		sum.Holes++
+		sum.Statuses[hr.Status]++
+		if hr.Status == provenance.StatusSolved {
+			sum.Solved++
+			if len(hr.Witnesses) > 0 {
+				sum.Witnessed++
+			}
+		}
+	}
+	return sum
+}
+
+// setProvenance records a finished job's provenance summary.
+func (j *job) setProvenance(p *ProvSummary) {
+	if p == nil {
+		return
+	}
+	j.mu.Lock()
+	j.prov = p
+	j.mu.Unlock()
+}
+
+// ProvJob is one job's provenance row in the /runs snapshot.
+type ProvJob struct {
+	ID      string       `json:"id"`
+	Kind    string       `json:"kind"`
+	TraceID string       `json:"trace_id,omitempty"`
+	Summary *ProvSummary `json:"summary"`
+}
+
+// ProvenanceSnapshot lists the provenance summaries of every job that
+// produced one, in admission order; cmd/transit wires it into the /runs
+// page. Safe to call from any goroutine.
+func (s *Server) ProvenanceSnapshot() any {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]ProvJob, 0, len(jobs))
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.prov != nil {
+			out = append(out, ProvJob{ID: j.id, Kind: j.kind, TraceID: j.traceID, Summary: j.prov})
+		}
+		j.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"transit/internal/obs/provenance"
+)
+
+func TestSolveJobProvenance(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	_, env := post(t, ts, maxReq(), nil)
+	done := await(t, ts, env.ID)
+	if done.Status != string(JobDone) {
+		t.Fatalf("status %s: %s", done.Status, done.Error)
+	}
+	var res SolveResult
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	h := res.Provenance
+	if h == nil {
+		t.Fatal("solve result carries no provenance record")
+	}
+	if h.Status != provenance.StatusSolved || h.Result == "" {
+		t.Fatalf("provenance status %q result %q", h.Status, h.Result)
+	}
+	if h.Kind != "solve" || h.Target != "o" {
+		t.Fatalf("provenance identity: %+v", h)
+	}
+	if len(h.Examples) != 1 || h.Examples[0].Kind != provenance.KindRequest || h.Examples[0].Digest == "" {
+		t.Fatalf("provenance examples: %+v", h.Examples)
+	}
+	if len(h.Iterations) == 0 {
+		t.Fatal("provenance records no CEGIS iterations")
+	}
+	final := h.Iterations[len(h.Iterations)-1]
+	if !final.Accepted || final.KilledBy != -1 {
+		t.Fatalf("final iteration not accepted: %+v", final)
+	}
+	if len(h.Witnesses) == 0 {
+		t.Fatal("solved hole has an empty witness set")
+	}
+
+	// The /runs-facing summary reflects the finished job.
+	rows, ok := s.ProvenanceSnapshot().([]ProvJob)
+	if !ok || len(rows) != 1 {
+		t.Fatalf("provenance snapshot: %#v", s.ProvenanceSnapshot())
+	}
+	sum := rows[0].Summary
+	if rows[0].ID != env.ID || sum.Holes != 1 || sum.Solved != 1 || sum.Witnessed != 1 {
+		t.Fatalf("provenance summary: %+v", rows[0])
+	}
+}
+
+func TestCompleteJobProvenanceLedger(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	req := &JobRequest{
+		Kind:     "complete",
+		Complete: &CompleteRequest{Builtin: "vi", NumCaches: 3},
+	}
+	_, env := post(t, ts, req, nil)
+	done := await(t, ts, env.ID)
+	if done.Status != string(JobDone) {
+		t.Fatalf("status %s: %s", done.Status, done.Error)
+	}
+	var res CompleteResult
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	l := res.Provenance
+	if l == nil || len(l.Holes) == 0 {
+		t.Fatalf("completion result carries no ledger: %+v", l)
+	}
+	if l.Run != "VI" || l.Version != provenance.Version {
+		t.Fatalf("ledger header: run %q version %d", l.Run, l.Version)
+	}
+	for _, h := range l.Holes {
+		if h.Status == provenance.StatusSolved && len(h.Witnesses) == 0 {
+			t.Fatalf("solved hole %d (%s) has no witnesses", h.ID, h.Label)
+		}
+	}
+
+	// Warm resubmission: the ledger rides the result payload, so the
+	// byte-diff also proves the ledger replays identically from cache.
+	_, env2 := post(t, ts, req, nil)
+	done2 := await(t, ts, env2.ID)
+	if done2.Status != string(JobDone) || done2.CacheMisses != 0 {
+		t.Fatalf("warm completion: %+v", done2)
+	}
+	if string(done.Result) != string(done2.Result) {
+		t.Fatal("warm completion result (with ledger) differs from cold run")
+	}
+
+	rows := s.ProvenanceSnapshot().([]ProvJob)
+	if len(rows) != 2 {
+		t.Fatalf("want 2 provenance rows, got %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Summary.Holes != len(l.Holes) || row.Summary.Solved == 0 {
+			t.Fatalf("completion summary: %+v", row)
+		}
+	}
+}
+
+func TestServerReady(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	if err := s.Ready(); err != nil {
+		t.Fatalf("fresh server not ready: %v", err)
+	}
+	// Drain flips readiness: submissions would now 503.
+	ts.Close()
+	s.Drain(0)
+	err := s.Ready()
+	if err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Fatalf("draining server reports ready (err=%v)", err)
+	}
+}
+
+func TestReadyQueueSaturation(t *testing.T) {
+	// A server that is never started keeps everything it admits in the
+	// queue, so a single submission saturates QueueDepth 1.
+	s := New(Config{QueueDepth: 1})
+	if err := s.Ready(); err != nil {
+		t.Fatalf("empty queue not ready: %v", err)
+	}
+	body := strings.NewReader(`{"kind":"solve","solve":{"num_caches":3,"vars":[{"name":"a","type":"Int"}],"output":{"name":"o","type":"Int"},"examples":[{"post":"o = a"}]}}`)
+	req, _ := http.NewRequest("POST", "/v1/jobs", body)
+	w := &nullResponseWriter{h: http.Header{}}
+	s.Handler().ServeHTTP(w, req)
+	if w.status != http.StatusAccepted {
+		t.Fatalf("submit status %d", w.status)
+	}
+	err := s.Ready()
+	if err == nil || !strings.Contains(err.Error(), "saturated") {
+		t.Fatalf("saturated queue reports ready (err=%v)", err)
+	}
+	s.Start()
+	s.Drain(0)
+}
+
+type nullResponseWriter struct {
+	h      http.Header
+	status int
+}
+
+func (w *nullResponseWriter) Header() http.Header { return w.h }
+func (w *nullResponseWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return len(b), nil
+}
+func (w *nullResponseWriter) WriteHeader(code int) { w.status = code }
+
+func TestProvSummaryShapes(t *testing.T) {
+	if provSummary(nil, nil) != nil {
+		t.Fatal("nil inputs must yield a nil summary")
+	}
+	l := &provenance.Ledger{
+		Holes: []*provenance.HoleRecord{
+			{Status: provenance.StatusSolved, Witnesses: []provenance.WitnessRecord{{Example: 0}}},
+			{Status: provenance.StatusSolved},
+			{Status: provenance.StatusUnconstrained},
+		},
+		Violations: []*provenance.ViolationRecord{{Kind: "invariant"}},
+	}
+	sum := provSummary(nil, l)
+	if sum.Holes != 3 || sum.Solved != 2 || sum.Witnessed != 1 || sum.Violations != 1 {
+		t.Fatalf("ledger summary: %+v", sum)
+	}
+	if sum.Statuses[provenance.StatusSolved] != 2 || sum.Statuses[provenance.StatusUnconstrained] != 1 {
+		t.Fatalf("status counts: %+v", sum.Statuses)
+	}
+}

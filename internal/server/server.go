@@ -140,6 +140,7 @@ type job struct {
 	cache     jobCache
 	cancel    context.CancelFunc
 	dedups    int
+	prov      *ProvSummary
 
 	bus    *serve.Broadcast
 	events [][]byte
@@ -269,6 +270,24 @@ func (s *Server) Draining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.draining
+}
+
+// Ready reports whether a new submission would be admitted right now:
+// nil unless the server is draining or the admission queue is saturated
+// (both conditions under which submit answers 503). The /readyz endpoint
+// surfaces it so a load balancer stops routing before the 503s start.
+func (s *Server) Ready() error {
+	s.mu.Lock()
+	draining := s.draining
+	depth, capacity := len(s.queue), cap(s.queue)
+	s.mu.Unlock()
+	if draining {
+		return fmt.Errorf("draining: new submissions are refused")
+	}
+	if depth >= capacity {
+		return fmt.Errorf("admission queue saturated (%d/%d)", depth, capacity)
+	}
+	return nil
 }
 
 // Drain stops admission (submissions get 503), lets the workers finish
@@ -669,10 +688,10 @@ func (s *Server) stats() StatsSnapshot {
 
 // FlightJob is one non-terminal job's identity in a flight snapshot.
 type FlightJob struct {
-	ID      string `json:"id"`
-	Kind    string `json:"kind"`
-	State   string `json:"state"`
-	TraceID string `json:"trace_id,omitempty"`
+	ID      string  `json:"id"`
+	Kind    string  `json:"kind"`
+	State   string  `json:"state"`
+	TraceID string  `json:"trace_id,omitempty"`
 	AgeMS   float64 `json:"age_ms"`
 }
 

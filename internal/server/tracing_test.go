@@ -367,3 +367,44 @@ func TestFlightSnapshot(t *testing.T) {
 		t.Fatalf("post-drain snapshot: %+v", done)
 	}
 }
+
+// TestTraceparentEdgeCases drives the W3C header path end-to-end:
+// which submitted header values become the job's trace ID and which are
+// discarded in favor of a generated one.
+func TestTraceparentEdgeCases(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const w3c = "00-" + clientTraceID + "-b7ad6b7169203331-01"
+	cases := []struct {
+		name string
+		hdr  map[string]string
+		want string // "" = a fresh generated ID is expected
+	}{
+		{"w3c traceparent", map[string]string{"Traceparent": w3c}, clientTraceID},
+		{"uppercase trace-id", map[string]string{"Traceparent": "00-" + strings.ToUpper(clientTraceID) + "-B7AD6B7169203331-01"}, clientTraceID},
+		{"bare header wins over traceparent", map[string]string{"X-Transit-Trace": "abc123", "Traceparent": w3c}, "abc123"},
+		{"all-zero trace-id", map[string]string{"Traceparent": "00-00000000000000000000000000000000-b7ad6b7169203331-01"}, ""},
+		{"wrong field widths", map[string]string{"Traceparent": "00-abc-def-01"}, ""},
+		{"too many fields", map[string]string{"Traceparent": w3c + "-extra"}, ""},
+		{"overlong bare id", map[string]string{"X-Transit-Trace": strings.Repeat("a", 33)}, ""},
+		{"garbage bare id falls through to traceparent", map[string]string{"X-Transit-Trace": "not hex!", "Traceparent": w3c}, clientTraceID},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, env := post(t, ts, maxReq(), c.hdr)
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("submit status %d", resp.StatusCode)
+			}
+			defer await(t, ts, env.ID)
+			if c.want != "" {
+				if env.TraceID != c.want {
+					t.Fatalf("trace ID = %q, want %q", env.TraceID, c.want)
+				}
+				return
+			}
+			if len(env.TraceID) != 32 || env.TraceID == clientTraceID ||
+				strings.Trim(env.TraceID, "0") == "" {
+				t.Fatalf("expected a fresh generated ID, got %q", env.TraceID)
+			}
+		})
+	}
+}

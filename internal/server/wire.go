@@ -11,6 +11,7 @@ import (
 	"transit/internal/engine"
 	"transit/internal/expr"
 	"transit/internal/lang"
+	"transit/internal/obs/provenance"
 	"transit/internal/protocols"
 	"transit/internal/synth"
 )
@@ -87,10 +88,15 @@ type SolveStats struct {
 	SMTClausesReused int64 `json:"smt_clauses_reused"`
 }
 
-// SolveResult is a solve job's result payload.
+// SolveResult is a solve job's result payload. Provenance is the
+// single-hole causal record for the synthesized expression: the request
+// examples with digests, every CEGIS round, and the minimal witness
+// set. It is built from the replayed trace, so warm cache replays carry
+// the same record as the cold solve.
 type SolveResult struct {
-	Expr  string     `json:"expr"`
-	Stats SolveStats `json:"stats"`
+	Expr       string                 `json:"expr"`
+	Stats      SolveStats             `json:"stats"`
+	Provenance *provenance.HoleRecord `json:"provenance,omitempty"`
 }
 
 // CompleteRequest wire-encodes a skeleton-completion job: either TRANSIT
@@ -116,6 +122,10 @@ type CompleteResult struct {
 	GuardExprsTried    int64    `json:"guard_exprs_tried"`
 	SMTQueries         int      `json:"smt_queries"`
 	TransitionsText    []string `json:"transitions_text"`
+	// Provenance is the run's full ledger: one hole record per
+	// synthesized guard and update, assembled in plan order (DESIGN.md
+	// §16), so it is identical across worker counts and cache tiers.
+	Provenance *provenance.Ledger `json:"provenance,omitempty"`
 }
 
 // prepare validates a request and returns its canonical dedup key plus
@@ -319,9 +329,44 @@ func (s *Server) runSolve(ctx context.Context, j *job, spec engine.SolveSpec) (j
 			SMTClauses:       st.SMTClauses,
 			SMTClausesReused: st.SMTClausesReused,
 		},
+		Provenance: solveProvenance(spec, res, st, out),
 	}
 	raw, err := json.Marshal(result)
+	if err == nil {
+		j.setProvenance(provSummary(result.Provenance, nil))
+	}
 	return raw, cinfo, err
+}
+
+// solveProvenance builds the one-hole causal record for a direct solve
+// job from the request examples and the (possibly cache-replayed) CEGIS
+// trace. It must be a pure function of the problem: the job-server CI
+// smoke test diffs result bytes between a cold job and its warm
+// resubmission.
+func solveProvenance(spec engine.SolveSpec, res expr.Expr, st synth.Stats, out engine.SolveOutcome) *provenance.HoleRecord {
+	h := &provenance.HoleRecord{
+		Label:  "solve " + spec.Problem.Output.Name,
+		Kind:   "solve",
+		Target: spec.Problem.Output.Name,
+	}
+	h.Examples = make([]provenance.ExampleRecord, 0, len(spec.Examples))
+	for i, ex := range spec.Examples {
+		pre, post := ex.Pre.String(), ex.Post.String()
+		h.Examples = append(h.Examples, provenance.ExampleRecord{
+			Index:  i,
+			Kind:   provenance.KindRequest,
+			Case:   -1,
+			Pre:    pre,
+			Post:   post,
+			Digest: provenance.Digest(pre, post),
+		})
+	}
+	h.Iterations = provenance.TraceIterations(st.Trace)
+	h.Status = provenance.StatusSolved
+	h.Result = res.String()
+	h.Portfolio = out.Portfolio
+	provenance.ComputeWitnesses(h)
+	return h
 }
 
 // loadProtocol resolves a completion request's source or builtin.
@@ -359,6 +404,12 @@ func loadProtocol(req *CompleteRequest) (*lang.Protocol, error) {
 // runComplete executes a skeleton-completion job through the shared
 // cache.
 func (s *Server) runComplete(ctx context.Context, j *job, proto *lang.Protocol, req *CompleteRequest) (json.RawMessage, jobCache, error) {
+	// Each completion job gets its own recorder; the core layer fills it
+	// in plan order, so the resulting ledger — and with it the whole
+	// result payload — is byte-identical across worker counts and cache
+	// temperature.
+	rec := provenance.NewRecorder(proto.Name)
+	ctx = provenance.WithRecorder(ctx, rec)
 	rep, err := core.CompleteCtx(ctx, proto.Sys, proto.Vocab, proto.Snippets, core.Options{
 		Limits:      synth.Limits{MaxSize: req.MaxSize},
 		Workers:     s.cfg.Workers,
@@ -388,8 +439,12 @@ func (s *Server) runComplete(ctx context.Context, j *job, proto *lang.Protocol, 
 		GuardExprsTried:    rep.GuardExprsTried,
 		SMTQueries:         rep.SMTQueries,
 		TransitionsText:    renderTransitions(proto.Sys),
+		Provenance:         rec.Ledger(),
 	}
 	raw, err := json.Marshal(out)
+	if err == nil {
+		j.setProvenance(provSummary(nil, out.Provenance))
+	}
 	return raw, cinfo, err
 }
 

@@ -134,7 +134,8 @@ func cegisIteration(ctx context.Context, p Problem, examples []ConcolicExample,
 		span.End()
 	}()
 
-	if (*bk).usable(*concrete, limits.withDefaults()) {
+	resumed := (*bk).usable(*concrete, limits.withDefaults())
+	if resumed {
 		stats.BankReuses++
 	}
 	bankable := !limits.NoBankReuse && !limits.NoPrune
@@ -156,7 +157,14 @@ func cegisIteration(ctx context.Context, p Problem, examples []ConcolicExample,
 	}
 	defer be.endCandidate()
 
-	rec := IterRecord{Candidate: candidate}
+	rec := IterRecord{
+		Candidate:  candidate,
+		KilledBy:   -1,
+		Resumed:    resumed,
+		Restarted:  cstats.Restarts > 0,
+		Enumerated: cstats.Enumerated,
+		Kept:       cstats.Kept,
+	}
 	consistent = true
 	for i := range examples {
 		S, err := be.checkExample(ctx, i, stats)
@@ -168,6 +176,7 @@ func cegisIteration(ctx context.Context, p Problem, examples []ConcolicExample,
 		}
 		// Witness S falsifies the example; concretize it.
 		consistent = false
+		rec.KilledBy = i
 		ko, err := be.concretize(ctx, S, stats)
 		if err != nil {
 			return nil, false, err

@@ -208,7 +208,14 @@ type ConcreteStats struct {
 }
 
 // IterRecord traces one CEGIS iteration; Table 2 of the paper is a
-// rendering of this trace for max(a, b).
+// rendering of this trace for max(a, b). Beyond the paper's columns the
+// record carries the causal fields the provenance ledger needs: which
+// concolic example killed the candidate, whether the round resumed the
+// previous bank or restarted, and the round's enumeration counters. All
+// of them are deterministic across worker counts (InterpPruned, which is
+// approximate under tier parallelism, is deliberately absent), so the
+// trace — and any ledger derived from it — stays byte-identical across
+// `-workers` settings and memo-cache replays.
 type IterRecord struct {
 	// Candidate is the expression proposed by SolveConcrete.
 	Candidate expr.Expr
@@ -217,6 +224,19 @@ type IterRecord struct {
 	Witness expr.Env
 	// NewExample is the concretization added, or nil when accepted.
 	NewExample *ConcreteExample
+	// KilledBy is the index of the concolic example whose consistency
+	// query produced Witness, or -1 when the candidate was accepted.
+	KilledBy int
+	// Resumed reports that the round resumed the previous round's
+	// expression bank instead of enumerating from size 1.
+	Resumed bool
+	// Restarted reports that the round's search restarted despite a
+	// resumable bank (stale-skip or transparent fallback).
+	Restarted bool
+	// Enumerated and Kept are this round's enumeration counters
+	// (per-round slices of ConcreteStats.Enumerated/Kept).
+	Enumerated int64
+	Kept       int64
 }
 
 // Stats reports work done by SolveConcolic.
